@@ -1,0 +1,7 @@
+"""Ablation bench (beyond the paper): dpPred bypass vs LRU demotion."""
+
+
+def test_ablation_action(run_report):
+    """Quantify Section V-A's bypass design choice."""
+    report = run_report("ablation_action")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Ablation bench (beyond the paper): dpPred confidence-threshold sweep."""
+
+
+def test_ablation_threshold(run_report):
+    """Accuracy/coverage trade-off around the paper's threshold of 6."""
+    report = run_report("ablation_threshold")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Extension bench (beyond the paper): TLB prefetching vs dpPred."""
+
+
+def test_extension_prefetch(run_report):
+    """Distance prefetching [43] compared against dead-page bypassing."""
+    report = run_report("extension_prefetch")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 1 (experiment id: fig1)."""
+
+
+def test_fig1(run_report):
+    """Fraction of LLT entries dead or DOA at any time."""
+    report = run_report("fig1")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 2 (experiment id: fig2)."""
+
+
+def test_fig2(run_report):
+    """Classification of dead pages in the LLT at eviction."""
+    report = run_report("fig2")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 3 (experiment id: fig3)."""
+
+
+def test_fig3(run_report):
+    """Fraction of LLC entries dead or DOA at any time."""
+    report = run_report("fig3")
+    assert report.render()

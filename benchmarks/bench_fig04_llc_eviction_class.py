@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 4 (experiment id: fig4)."""
+
+
+def test_fig4(run_report):
+    """Classification of dead blocks in the LLC at eviction."""
+    report = run_report("fig4")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 9 (experiment id: fig9)."""
+
+
+def test_fig9(run_report):
+    """Normalized IPC for TLB dead page predictors."""
+    report = run_report("fig9")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 10 (experiment id: fig10)."""
+
+
+def test_fig10(run_report):
+    """Normalized IPC for LLC / combined predictors."""
+    report = run_report("fig10")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 11a (experiment id: fig11a)."""
+
+
+def test_fig11a(run_report):
+    """dpPred IPC across LLT sizes."""
+    report = run_report("fig11a")
+    assert report.render()

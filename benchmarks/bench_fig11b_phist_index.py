@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 11b (experiment id: fig11b)."""
+
+
+def test_fig11b(run_report):
+    """dpPred IPC across pHIST indexing configurations."""
+    report = run_report("fig11b")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 11c (experiment id: fig11c)."""
+
+
+def test_fig11c(run_report):
+    """dpPred IPC across shadow table sizes."""
+    report = run_report("fig11c")
+    assert report.render()

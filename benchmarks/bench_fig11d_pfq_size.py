@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 11d (experiment id: fig11d)."""
+
+
+def test_fig11d(run_report):
+    """cbPred IPC across PFQ sizes."""
+    report = run_report("fig11d")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 11e (experiment id: fig11e)."""
+
+
+def test_fig11e(run_report):
+    """Combined predictor IPC across LLC sizes."""
+    report = run_report("fig11e")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Figure 11f (experiment id: fig11f)."""
+
+
+def test_fig11f(run_report):
+    """Predictors under SRRIP replacement."""
+    report = run_report("fig11f")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's storage analysis (Sec V-D/VI-D) (experiment id: storage)."""
+
+
+def test_storage(run_report):
+    """Predictor storage overhead accounting."""
+    report = run_report("storage")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Table III (experiment id: table3)."""
+
+
+def test_table3(run_report):
+    """Percent of LLC DOA blocks that map onto a DOA page."""
+    report = run_report("table3")
+    assert report.render()

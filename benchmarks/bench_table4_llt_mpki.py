@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Table IV (experiment id: table4)."""
+
+
+def test_table4(run_report):
+    """LLT MPKI reductions by dead page predictors (incl. oracle)."""
+    report = run_report("table4")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Table V (experiment id: table5)."""
+
+
+def test_table5(run_report):
+    """LLC MPKI reductions by dead block predictors."""
+    report = run_report("table5")
+    assert report.render()

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Table VI (experiment id: table6)."""
+
+
+def test_table6(run_report):
+    """Accuracy and coverage of dead page predictors."""
+    report = run_report("table6")
+    assert report.render()

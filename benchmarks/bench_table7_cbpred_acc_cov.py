@@ -1,0 +1,7 @@
+"""Benchmark target regenerating the paper's Table VII (experiment id: table7)."""
+
+
+def test_table7(run_report):
+    """Accuracy and coverage of dead block predictors."""
+    report = run_report("table7")
+    assert report.render()

@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` file regenerates exactly one paper artifact (DESIGN.md
+§4) and prints the reproduced table next to the paper's reported values.
+Budgets are reduced relative to the experiment CLI so the full harness
+runs in minutes; set ``REPRO_BENCH_BUDGET`` to raise them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+#: Per-run access budget for benchmark-driven experiments.
+BENCH_BUDGET = int(os.environ.get("REPRO_BENCH_BUDGET", "40000"))
+
+
+@pytest.fixture
+def run_report(benchmark, capsys):
+    """Run one experiment under pytest-benchmark and print its report."""
+
+    def _run(experiment_id: str):
+        from repro.experiments.registry import run_experiment
+
+        kwargs = {} if experiment_id == "storage" else {"budget": BENCH_BUDGET}
+        report = benchmark.pedantic(
+            lambda: run_experiment(experiment_id, **kwargs),
+            rounds=1,
+            iterations=1,
+        )
+        with capsys.disabled():
+            print("\n" + report.render() + "\n")
+        return report
+
+    return _run

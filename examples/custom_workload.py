@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Bring your own workload: evaluate the predictors on a hash-join kernel.
+
+The suite ships the paper's 14 workloads, but the `Workload` base class is
+public API: subclass it, emit the references your kernel makes, and run it
+through the same machine. This example models a database hash join — a
+probe relation streamed once (pure DOA pages) against a hash table whose
+buckets are hit randomly (the reusable set) — a workload family the paper
+does not evaluate but its predictors should love.
+
+Usage::
+
+    python examples/custom_workload.py [accesses]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.sim import fast_config, run_trace
+from repro.workloads import AddressSpace, Workload
+from repro.workloads.trace import TraceBuilder, pc_for_site
+
+
+class HashJoin(Workload):
+    """Streamed probe relation joined against an in-memory hash table."""
+
+    name = "hashjoin"
+    description = "database hash join: probe stream vs bucket array"
+
+    probe_bytes = 48 << 20     # probe relation, streamed once
+    table_bytes = 480 * 1024   # hash table: ~120 pages, randomly probed
+    tuple_size = 512           # wide rows: few tuples per page
+    gap = 3
+
+    def generate(self, budget: int):
+        builder = TraceBuilder(self.name, budget)
+        space = AddressSpace()
+        probe = space.region("probe", self.probe_bytes)
+        table = space.region("table", self.table_bytes)
+        rng = self._rng()
+        n_tuples = self.probe_bytes // self.tuple_size
+        buckets = self.table_bytes // 64
+        pc_probe = pc_for_site(0)
+        pc_bucket = pc_for_site(1)
+        pc_chain = pc_for_site(2)
+        pos = 0
+        while not builder.full:
+            # Read the next probe tuple (sequential stream).
+            builder.emit(
+                pc_probe, probe + pos * self.tuple_size, gap=self.gap
+            )
+            # Hash it into a bucket; ~30% of probes walk one chain link.
+            bucket = int(rng.randint(0, buckets))
+            builder.emit(pc_bucket, table + bucket * 64, gap=self.gap)
+            if rng.rand() < 0.3:
+                chained = int(rng.randint(0, buckets))
+                builder.emit(pc_chain, table + chained * 64, gap=self.gap)
+            pos = (pos + 1) % n_tuples
+        return builder.build()
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    trace = HashJoin(seed=7).generate(budget)
+    print(
+        f"hash join: {trace.num_accesses} accesses over "
+        f"{trace.footprint_pages} pages"
+    )
+
+    baseline = run_trace(trace, fast_config())
+    improved = run_trace(
+        trace,
+        fast_config(
+            tlb_predictor="dppred",
+            llc_predictor="cbpred",
+            track_reference=True,
+        ),
+    )
+
+    red = (
+        100 * (baseline.llt_mpki - improved.llt_mpki) / baseline.llt_mpki
+        if baseline.llt_mpki
+        else 0.0
+    )
+    print(f"baseline  : IPC {baseline.ipc:.4f}, LLT MPKI {baseline.llt_mpki:.2f}")
+    print(f"predictors: IPC {improved.ipc:.4f}, LLT MPKI {improved.llt_mpki:.2f}")
+    print(f"normalized IPC {improved.speedup_over(baseline):.3f}x, "
+          f"LLT MPKI reduction {red:.1f}%")
+    if improved.tlb_accuracy is not None:
+        print(f"dpPred accuracy {100 * improved.tlb_accuracy:.1f}%, "
+              f"coverage {100 * improved.tlb_coverage:.1f}%")
+    print(
+        "\nThe probe stream's pages are dead-on-arrival and PC-predictable;"
+        "\nbypassing them keeps the bucket array resident in the LLT."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: measure what dpPred + cbPred buy on one workload.
+
+Runs the cactusADM-like stencil (the paper's best case) on the scaled
+machine, with and without the predictors, and prints the headline metrics
+the paper reports: normalized IPC, LLT MPKI, LLC MPKI, and the predictors'
+bypass counts.
+
+Usage::
+
+    python examples/quickstart.py [workload] [accesses]
+"""
+
+import sys
+
+from repro.sim import fast_config, run_trace
+from repro.workloads import get_trace, workload_names
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "cactusADM"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    if workload not in workload_names():
+        raise SystemExit(
+            f"unknown workload {workload!r}; choose from {workload_names()}"
+        )
+
+    print(f"generating {workload} trace ({budget} accesses)...")
+    trace = get_trace(workload, budget)
+    print(
+        f"  {trace.num_accesses} accesses, {trace.num_instructions} "
+        f"instructions, {trace.footprint_pages} data pages"
+    )
+
+    print("simulating baseline (LRU everywhere)...")
+    baseline = run_trace(trace, fast_config())
+
+    print("simulating dpPred + cbPred...")
+    improved = run_trace(
+        trace,
+        fast_config(
+            tlb_predictor="dppred",
+            llc_predictor="cbpred",
+            track_reference=True,
+        ),
+    )
+
+    speedup = improved.speedup_over(baseline)
+    print()
+    print(f"{'metric':24s} {'baseline':>12s} {'dpPred+cbPred':>14s}")
+    print(f"{'IPC':24s} {baseline.ipc:12.4f} {improved.ipc:14.4f}")
+    print(f"{'LLT MPKI':24s} {baseline.llt_mpki:12.2f} {improved.llt_mpki:14.2f}")
+    print(f"{'LLC MPKI':24s} {baseline.llc_mpki:12.2f} {improved.llc_mpki:14.2f}")
+    print(f"{'memory accesses':24s} {baseline.mem_accesses:12d} {improved.mem_accesses:14d}")
+    print()
+    print(f"normalized IPC        : {speedup:.3f}x")
+    print(f"LLT bypasses (dpPred) : {improved.llt_bypasses}")
+    print(f"LLC bypasses (cbPred) : {improved.llc_bypasses}")
+    print(f"shadow-table saves    : {improved.llt_shadow_hits}")
+    if improved.tlb_accuracy is not None:
+        print(f"dpPred accuracy       : {100 * improved.tlb_accuracy:.1f}%")
+    if improved.tlb_coverage is not None:
+        print(f"dpPred coverage       : {100 * improved.tlb_coverage:.1f}%")
+    if improved.llc_accuracy is not None:
+        print(f"cbPred accuracy       : {100 * improved.llc_accuracy:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

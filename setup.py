@@ -1,0 +1,5 @@
+"""Setup shim for environments that cannot build PEP 660 editable wheels."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — reproduction of "Dead Page and Dead Block Predictors: Cleaning
+TLBs and Caches Together" (Mazumdar, Mitra & Basu, HPCA 2021).
+
+Public API tour:
+
+* :mod:`repro.core` — the paper's contribution: :class:`DeadPagePredictor`
+  (dpPred) for the last-level TLB and
+  :class:`CorrelatingDeadBlockPredictor` (cbPred) for the LLC.
+* :mod:`repro.sim` — the machine model: :func:`fast_config` /
+  :func:`paper_config`, :class:`Machine`, and :func:`run_cached`.
+* :mod:`repro.workloads` — the 14-workload Table II suite.
+* :mod:`repro.experiments` — one function per paper table/figure, also
+  runnable as ``python -m repro.experiments <id>``.
+
+Quickstart::
+
+    from repro.sim import fast_config, run_trace
+    from repro.workloads import get_trace
+
+    trace = get_trace("cactusADM")
+    baseline = run_trace(trace, fast_config())
+    improved = run_trace(
+        trace, fast_config(tlb_predictor="dppred", llc_predictor="cbpred")
+    )
+    print(improved.speedup_over(baseline))
+"""
+
+from repro.core import (
+    CbPredConfig,
+    CorrelatingDeadBlockPredictor,
+    DeadPagePredictor,
+    DpPredConfig,
+)
+from repro.sim import (
+    Machine,
+    SimResult,
+    SystemConfig,
+    fast_config,
+    paper_config,
+    run_cached,
+    run_trace,
+)
+from repro.workloads import Trace, get_trace, make_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CbPredConfig",
+    "CorrelatingDeadBlockPredictor",
+    "DeadPagePredictor",
+    "DpPredConfig",
+    "Machine",
+    "SimResult",
+    "SystemConfig",
+    "fast_config",
+    "paper_config",
+    "run_cached",
+    "run_trace",
+    "Trace",
+    "get_trace",
+    "make_workload",
+    "workload_names",
+    "__version__",
+]

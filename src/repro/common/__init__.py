@@ -1,0 +1,28 @@
+"""Shared primitives: bit manipulation, saturating counters, statistics."""
+
+from repro.common.bitops import fold_xor, is_power_of_two, log2_exact, mask
+from repro.common.counters import CounterArray, SaturatingCounter
+from repro.common.residency import ResidencySummary, ResidencyTracker
+from repro.common.stats import (
+    Stats,
+    arithmetic_mean,
+    geometric_mean,
+    percent,
+    safe_reduction,
+)
+
+__all__ = [
+    "fold_xor",
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "CounterArray",
+    "SaturatingCounter",
+    "ResidencySummary",
+    "ResidencyTracker",
+    "Stats",
+    "arithmetic_mean",
+    "geometric_mean",
+    "percent",
+    "safe_reduction",
+]

@@ -1,0 +1,115 @@
+"""Saturating counters, the basic confidence element of every predictor here.
+
+The paper uses 3-bit saturating counters in both ``pHIST`` (dead-page
+history) and ``bHIST`` (dead-block history), incremented when a true DOA
+entry is observed at eviction and cleared when a non-DOA entry is observed.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import mask
+
+
+class SaturatingCounter:
+    """A single up/down counter saturating at ``[0, 2**width - 1]``.
+
+    >>> c = SaturatingCounter(width=2)
+    >>> for _ in range(5):
+    ...     _ = c.increment()
+    >>> c.value
+    3
+    """
+
+    __slots__ = ("_value", "_max")
+
+    def __init__(self, width: int, initial: int = 0):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self._max = mask(width)
+        if not 0 <= initial <= self._max:
+            raise ValueError(f"initial {initial} out of range [0, {self._max}]")
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    def increment(self) -> int:
+        """Increment by one, saturating at the maximum. Returns new value."""
+        if self._value < self._max:
+            self._value += 1
+        return self._value
+
+    def decrement(self) -> int:
+        """Decrement by one, saturating at zero. Returns new value."""
+        if self._value > 0:
+            self._value -= 1
+        return self._value
+
+    def clear(self) -> None:
+        """Reset to zero (the paper's negative-feedback action)."""
+        self._value = 0
+
+    def is_above(self, threshold: int) -> bool:
+        """True when the counter is strictly above ``threshold``."""
+        return self._value > threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SaturatingCounter(value={self._value}, max={self._max})"
+
+
+class CounterArray:
+    """A flat array of saturating counters, stored as plain ints for speed.
+
+    Predictor history tables contain hundreds to thousands of counters that
+    are touched on every fill and eviction, so this avoids one object per
+    counter. Indexing is the caller's responsibility (1-D flat index).
+    """
+
+    __slots__ = ("_values", "_max")
+
+    def __init__(self, size: int, width: int, initial: int = 0):
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self._max = mask(width)
+        if not 0 <= initial <= self._max:
+            raise ValueError(f"initial {initial} out of range [0, {self._max}]")
+        self._values = [initial] * size
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def max_value(self) -> int:
+        return self._max
+
+    def get(self, index: int) -> int:
+        return self._values[index]
+
+    def increment(self, index: int) -> int:
+        v = self._values[index]
+        if v < self._max:
+            v += 1
+            self._values[index] = v
+        return v
+
+    def decrement(self, index: int) -> int:
+        v = self._values[index]
+        if v > 0:
+            v -= 1
+            self._values[index] = v
+        return v
+
+    def clear(self, index: int) -> None:
+        self._values[index] = 0
+
+    def clear_all(self) -> None:
+        for i in range(len(self._values)):
+            self._values[i] = 0
+
+    def is_above(self, index: int, threshold: int) -> bool:
+        return self._values[index] > threshold

@@ -1,0 +1,127 @@
+"""Residency tracking: the measurement instrument behind Figures 1-4.
+
+A *residency* is one stay of an entry (page in the LLT, block in the LLC)
+between its fill and its eviction. The paper characterises structures two
+ways:
+
+* **Sampled / time-weighted deadness** (Figures 1 and 3): at a random
+  instant, what fraction of resident entries are *dead* (will receive no
+  further hit before eviction)? Rather than literally sampling snapshots we
+  integrate exactly over time: an entry is dead from its last hit (or its
+  fill, if it never hits) until its eviction, so
+
+      dead_fraction = sum(evict_t - last_hit_t) / sum(evict_t - fill_t)
+      doa_fraction  = sum(evict_t - fill_t, over zero-hit residencies) / same
+
+* **Eviction-time classification** (Figures 2 and 4): at eviction, an entry
+  is *DOA* if it produced zero hits, *mostly dead* if dead-time > live-time
+  but it had at least one hit, and *mostly live* otherwise.
+
+Time here is the simulator's access tick (monotone event counter), which is
+what Sniper-style sampling would observe too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ResidencySummary:
+    """Aggregated deadness statistics over all completed residencies."""
+
+    residencies: int = 0
+    total_time: float = 0.0
+    dead_time: float = 0.0
+    doa_time: float = 0.0
+    doa_evictions: int = 0
+    mostly_dead_evictions: int = 0
+    mostly_live_evictions: int = 0
+
+    @property
+    def dead_fraction(self) -> float:
+        """Time-weighted fraction of resident entries that are dead."""
+        return self.dead_time / self.total_time if self.total_time else 0.0
+
+    @property
+    def doa_fraction(self) -> float:
+        """Time-weighted fraction of resident entries that are DOA."""
+        return self.doa_time / self.total_time if self.total_time else 0.0
+
+    @property
+    def doa_eviction_fraction(self) -> float:
+        """Fraction of evictions classified DOA (Figure 2/4 lower stack)."""
+        return self.doa_evictions / self.residencies if self.residencies else 0.0
+
+    @property
+    def mostly_dead_eviction_fraction(self) -> float:
+        """Fraction of evictions that were mostly dead but not DOA."""
+        return (
+            self.mostly_dead_evictions / self.residencies
+            if self.residencies
+            else 0.0
+        )
+
+    @property
+    def dead_eviction_fraction(self) -> float:
+        """Total height of the Figure 2/4 stacked bar (DOA + mostly dead)."""
+        return self.doa_eviction_fraction + self.mostly_dead_eviction_fraction
+
+
+class ResidencyTracker:
+    """Accumulates ``ResidencySummary`` from fill/hit/evict events.
+
+    The owning structure calls :meth:`fill`, :meth:`hit`, and :meth:`evict`
+    with an opaque per-entry key (e.g. ``(set, way)``) and the current tick.
+    Memory use is O(currently resident entries).
+    """
+
+    __slots__ = ("_live", "summary")
+
+    def __init__(self) -> None:
+        # key -> [fill_t, last_hit_t, hit_count]
+        self._live: dict = {}
+        self.summary = ResidencySummary()
+
+    def fill(self, key, now: int) -> None:
+        self._live[key] = [now, now, 0]
+
+    def hit(self, key, now: int) -> None:
+        rec = self._live.get(key)
+        if rec is not None:
+            rec[1] = now
+            rec[2] += 1
+
+    def evict(self, key, now: int) -> None:
+        rec = self._live.pop(key, None)
+        if rec is None:
+            return
+        fill_t, last_hit_t, hits = rec
+        total = now - fill_t
+        if total <= 0:
+            # Zero-duration residencies carry no time weight but still count
+            # toward eviction classification.
+            total = 0
+        dead = now - last_hit_t
+        s = self.summary
+        s.residencies += 1
+        s.total_time += total
+        s.dead_time += dead if hits else total
+        if hits == 0:
+            s.doa_time += total
+            s.doa_evictions += 1
+        else:
+            live = last_hit_t - fill_t
+            if dead > live:
+                s.mostly_dead_evictions += 1
+            else:
+                s.mostly_live_evictions += 1
+
+    def flush(self, now: int) -> None:
+        """Evict every live residency (end-of-simulation accounting)."""
+        for key in list(self._live):
+            self.evict(key, now)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)

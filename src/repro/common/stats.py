@@ -1,0 +1,88 @@
+"""Lightweight named-counter statistics used by every simulated structure."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+
+class Stats:
+    """A bag of named integer counters with derived-ratio helpers.
+
+    Structures own a :class:`Stats` and bump counters with :meth:`add`;
+    experiments read them through :meth:`snapshot` or :meth:`ratio`.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        den = self._counters.get(denominator, 0)
+        if den == 0:
+            return 0.0
+        return self._counters.get(numerator, 0) / den
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def merge(self, other: "Stats") -> None:
+        for name, value in other._counters.items():
+            self.add(name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"Stats({inner})"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (paper's IPC-average convention).
+
+    >>> round(geometric_mean([1.0, 4.0]), 3)
+    2.0
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percent(value: float) -> float:
+    """Convert a fraction to percent, for report rendering."""
+    return 100.0 * value
+
+
+def safe_reduction(baseline: float, improved: float) -> float:
+    """Percent reduction of ``improved`` relative to ``baseline``.
+
+    Positive means ``improved`` is lower (better for MPKI). Returns 0 when
+    the baseline is zero, mirroring the paper's 0.0 rows for workloads with
+    negligible misses.
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def format_mapping(data: Mapping[str, float], precision: int = 2) -> str:
+    """Render a mapping as aligned ``key: value`` lines (debug/report aid)."""
+    if not data:
+        return "(empty)"
+    width = max(len(k) for k in data)
+    return "\n".join(f"{k.ljust(width)} : {v:.{precision}f}" for k, v in data.items())

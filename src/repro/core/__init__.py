@@ -1,0 +1,23 @@
+"""The paper's contribution: dpPred (LLT) and cbPred (LLC) predictors."""
+
+from repro.core.bhist import BlockHistoryTable
+from repro.core.cbpred import CbPredConfig, CorrelatingDeadBlockPredictor
+from repro.core.dppred import DeadPagePredictor, DpPredConfig
+from repro.core.hashing import block_hash, pc_hash, vpn_hash
+from repro.core.pfq import PfnFilterQueue
+from repro.core.phist import PageHistoryTable
+from repro.core.shadow import ShadowTable
+
+__all__ = [
+    "BlockHistoryTable",
+    "CbPredConfig",
+    "CorrelatingDeadBlockPredictor",
+    "DeadPagePredictor",
+    "DpPredConfig",
+    "block_hash",
+    "pc_hash",
+    "vpn_hash",
+    "PfnFilterQueue",
+    "PageHistoryTable",
+    "ShadowTable",
+]

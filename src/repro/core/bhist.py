@@ -1,0 +1,52 @@
+"""bHIST: cbPred's block history table (Section V-B).
+
+A direct-mapped table of 3-bit saturating counters (4096 entries for a
+2 MB LLC) indexed by a 12-bit fold-XOR hash of the physical block address.
+Counters are updated only for blocks whose ``DP`` bit is set — blocks that
+mapped onto a predicted-DOA page — which keeps aliasing low despite the
+small table.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import log2_exact
+from repro.common.counters import CounterArray
+from repro.common.stats import Stats
+from repro.core.hashing import block_hash
+
+
+class BlockHistoryTable:
+    """Direct-mapped saturating-counter table keyed by block-address hash."""
+
+    def __init__(self, num_entries: int = 4096, counter_bits: int = 3):
+        self.num_entries = num_entries
+        self.hash_bits = log2_exact(num_entries)
+        self.counter_bits = counter_bits
+        self._counters = CounterArray(num_entries, counter_bits)
+        self.stats = Stats()
+
+    def _index(self, block: int) -> int:
+        return block_hash(block, self.hash_bits)
+
+    def value(self, block: int) -> int:
+        return self._counters.get(self._index(block))
+
+    def predicts_doa(self, block: int, threshold: int) -> bool:
+        """True when the counter is strictly above ``threshold`` (paper: 6)."""
+        return self._counters.is_above(self._index(block), threshold)
+
+    def train_doa(self, block: int) -> None:
+        """A DP-marked block was evicted untouched: strengthen."""
+        self._counters.increment(self._index(block))
+        self.stats.add("doa_trainings")
+
+    def train_not_doa(self, block: int) -> None:
+        """A DP-marked block was hit before eviction: clear."""
+        self._counters.clear(self._index(block))
+        self.stats.add("not_doa_trainings")
+
+    def storage_bits(self) -> int:
+        return self.num_entries * self.counter_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BlockHistoryTable({self.num_entries}x{self.counter_bits}b)"

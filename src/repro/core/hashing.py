@@ -1,0 +1,41 @@
+"""The predictor hash functions (Section V).
+
+* ``pc_hash`` — "Each TLB entry also stores a hash of the program counter
+  (6 bits long by default) of the memory instruction that brought the entry
+  in the TLB. The hash is computed by dividing the PC into subblocks and
+  XOR-ing them."
+* ``vpn_hash`` — the 4-bit fold of the virtual page number used as the
+  second pHIST dimension.
+* ``block_hash`` — "the cache block address is folded and XOR-ed to create
+  a 12 bit hash to lookup the bHIST table."
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import fold_xor
+
+#: Defaults from the paper's Section V-A / V-B.
+DEFAULT_PC_HASH_BITS = 6
+DEFAULT_VPN_HASH_BITS = 4
+DEFAULT_BLOCK_HASH_BITS = 12
+
+
+def pc_hash(pc: int, bits: int = DEFAULT_PC_HASH_BITS) -> int:
+    """Fold-XOR hash of the program counter."""
+    return fold_xor(pc, bits)
+
+
+def vpn_hash(vpn: int, bits: int = DEFAULT_VPN_HASH_BITS) -> int:
+    """Fold-XOR hash of the virtual page number.
+
+    ``bits=0`` selects the pure-PC-indexed pHIST variant (Figure 11b):
+    there is a single column, so every VPN hashes to 0.
+    """
+    if bits == 0:
+        return 0
+    return fold_xor(vpn, bits)
+
+
+def block_hash(block: int, bits: int = DEFAULT_BLOCK_HASH_BITS) -> int:
+    """Fold-XOR hash of a physical cache-block address."""
+    return fold_xor(block, bits)

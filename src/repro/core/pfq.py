@@ -1,0 +1,50 @@
+"""PFQ — the PFN filter queue at the LLC (Section V-B).
+
+"We propose to introduce a small structure to keep physical page numbers of
+recently predicted DOA pages at the LLC. ... We found that an 8-entry PFQ
+is sufficient since typical cache block accesses fall in recently accessed
+pages. Entries in PFQ are replaced in a simple FIFO order."
+
+Membership is checked on every LLC fill ("matched against all the entries
+in PFQ in parallel"), so lookups here are O(1) via a mirror set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.stats import Stats
+
+
+class PfnFilterQueue:
+    """Small FIFO of predicted-DOA physical page numbers."""
+
+    def __init__(self, capacity: int = 8):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._queue: deque = deque()
+        self._members: set = set()
+        self.stats = Stats()
+
+    def insert(self, pfn: int) -> None:
+        """Insert a predicted-DOA PFN, FIFO-evicting the oldest when full."""
+        if pfn in self._members:
+            return  # already queued; hardware would match both entries
+        if len(self._queue) >= self.capacity:
+            evicted = self._queue.popleft()
+            self._members.discard(evicted)
+            self.stats.add("evictions")
+        self._queue.append(pfn)
+        self._members.add(pfn)
+        self.stats.add("inserts")
+
+    def __contains__(self, pfn: int) -> bool:
+        return pfn in self._members
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def storage_bits(self, pfn_bits: int = 39) -> int:
+        """State in bits (paper: 8 entries x 39-bit PFN = 39 bytes)."""
+        return self.capacity * pfn_bits

@@ -1,0 +1,62 @@
+"""dpPred's shadow table (Section V-A).
+
+"We keep a small (e.g., two entries) shadow table that keeps recently
+bypassed entries and also acts as a victim buffer. A hit in the shadow
+table indicates misprediction."
+
+Entries hold the full bypassed translation — VPN, PFN, and the PC hash that
+would have been stored in the LLT — so a shadow hit can refill the LLT
+without a page walk. Replacement is FIFO over the tiny capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.common.stats import Stats
+
+
+class ShadowTable:
+    """FIFO victim buffer of recently bypassed translations."""
+
+    def __init__(self, capacity: int = 2):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        self.stats = Stats()
+
+    def insert(self, vpn: int, pfn: int, pc_hash: int) -> None:
+        """Record a bypassed translation, evicting the oldest if full."""
+        if vpn in self._entries:
+            # Refresh in place; the translation is identical.
+            del self._entries[vpn]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.add("evictions")
+        self._entries[vpn] = (pfn, pc_hash)
+        self.stats.add("inserts")
+
+    def lookup(self, vpn: int) -> Optional[Tuple[int, int]]:
+        """Consume a match: returns ``(pfn, pc_hash)`` and removes the entry.
+
+        A hit means the bypassed page was re-referenced — a misprediction —
+        and the caller must issue pHIST negative feedback.
+        """
+        entry = self._entries.pop(vpn, None)
+        if entry is None:
+            self.stats.add("misses")
+            return None
+        self.stats.add("hits")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def storage_bits(self, entry_bits: int = 13 * 8) -> int:
+        """State in bits; the paper budgets ~13 bytes per entry."""
+        return self.capacity * entry_bits

@@ -1,0 +1,6 @@
+"""Experiment harness: one function per paper table/figure, plus a CLI."""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentReport, render_table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "ExperimentReport", "render_table"]

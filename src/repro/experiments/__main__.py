@@ -1,0 +1,64 @@
+"""CLI: ``python -m repro.experiments <id> [...]`` reproduces paper artifacts.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig9
+    python -m repro.experiments table4 table5 --budget 60000
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig9 table4), or 'all'",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="per-run access budget (default: REPRO_BUDGET or 120000)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for exp_id, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:8s} {doc}")
+        return 0
+
+    ids = (
+        list(EXPERIMENTS)
+        if args.experiments == ["all"]
+        else args.experiments
+    )
+    for exp_id in ids:
+        start = time.time()
+        kwargs = {}
+        if args.budget is not None and exp_id != "storage":
+            kwargs["budget"] = args.budget
+        report = run_experiment(exp_id, **kwargs)
+        print(report.render())
+        print(f"\n[{exp_id} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Ablations beyond the paper's own sensitivity study (DESIGN.md §6).
+
+* **Bypass vs demote** — the paper bypasses predicted-DOA pages; its SHiP
+  adaptation demotes to LRU instead. Running *dpPred's own prediction*
+  with both actions isolates how much of the win is the bypass mechanism
+  versus the prediction quality.
+* **Threshold sweep** — Section V-A fixes the confidence threshold at 6;
+  the sweep shows the accuracy/coverage trade-off that choice sits on
+  (canneal/Triangle are called out as cases where 6 is "too conservative").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.stats import arithmetic_mean, geometric_mean
+from repro.experiments.common import baseline, run_suite
+from repro.experiments.report import ExperimentReport
+from repro.sim.config import fast_config
+from repro.workloads.suite import DEFAULT_BUDGET, workload_names
+
+
+def ablation_bypass_vs_demote(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Does dpPred need to bypass, or is LRU demotion enough?"""
+    configs = {
+        "base": baseline(),
+        "bypass": fast_config(tlb_predictor="dppred"),
+        "demote": fast_config(tlb_predictor="dppred_demote"),
+    }
+    suite = run_suite(configs, budget)
+    report = ExperimentReport(
+        "ablation_action", "dpPred action ablation: bypass vs LRU demotion"
+    )
+    rows = []
+    gains = {"bypass": [], "demote": []}
+    reds = {"bypass": [], "demote": []}
+    for wl in workload_names():
+        row = [wl]
+        for cfg in ("bypass", "demote"):
+            gains[cfg].append(suite.ipc_vs(wl, cfg, "base"))
+            reds[cfg].append(suite.llt_mpki_reduction(wl, cfg, "base"))
+            row.extend([gains[cfg][-1], reds[cfg][-1]])
+        rows.append(tuple(row))
+    rows.append(
+        ("MEAN",
+         geometric_mean(gains["bypass"]), arithmetic_mean(reds["bypass"]),
+         geometric_mean(gains["demote"]), arithmetic_mean(reds["demote"]))
+    )
+    report.add_table(
+        ["workload", "bypass IPCx", "bypass MPKI red%",
+         "demote IPCx", "demote MPKI red%"],
+        rows,
+    )
+    report.add_note(
+        "bypass avoids the allocation entirely (no victim at all); "
+        "demotion still evicts one entry per predicted-DOA fill and burns "
+        "a way until the next fill — the gap quantifies Section V-A's "
+        "design choice"
+    )
+    return report
+
+
+def ablation_threshold(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Sweep dpPred's confidence threshold (paper default: 6)."""
+    thresholds = (1, 3, 5, 6, 7)
+    configs = {"base": baseline()}
+    for t in thresholds:
+        configs[f"t{t}"] = replace(
+            fast_config(tlb_predictor="dppred", track_reference=True),
+            dppred_threshold=t,
+        )
+    suite = run_suite(configs, budget)
+    report = ExperimentReport(
+        "ablation_threshold", "dpPred confidence-threshold sweep"
+    )
+    rows = []
+    for t in thresholds:
+        reds, accs, covs = [], [], []
+        for wl in workload_names():
+            reds.append(suite.llt_mpki_reduction(wl, f"t{t}", "base"))
+            result = suite.result(wl, f"t{t}")
+            if result.tlb_accuracy is not None:
+                accs.append(100 * result.tlb_accuracy)
+            if result.tlb_coverage is not None:
+                covs.append(100 * result.tlb_coverage)
+        rows.append(
+            (f"threshold {t}",
+             arithmetic_mean(reds),
+             arithmetic_mean(accs) if accs else None,
+             arithmetic_mean(covs) if covs else None)
+        )
+    report.add_table(
+        ["configuration", "mean LLT MPKI red%", "mean acc%", "mean cov%"],
+        rows,
+    )
+    report.add_note(
+        "lower thresholds raise coverage but cost accuracy — the paper "
+        "picks 6 to guarantee no application regresses (Section VI-C)"
+    )
+    return report

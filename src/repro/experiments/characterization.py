@@ -1,0 +1,164 @@
+"""Characterisation experiments: Figures 1-4 and Table III (Section IV).
+
+These run the *baseline* machine with residency tracking and report the
+deadness structure of the LLT and the LLC, plus the dead-block/dead-page
+correlation that motivates cbPred.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.stats import arithmetic_mean
+from repro.experiments import paperdata
+from repro.experiments.common import characterization, run_suite
+from repro.experiments.report import ExperimentReport
+from repro.workloads.suite import DEFAULT_BUDGET, workload_names
+
+
+def _characterization_suite(budget: int):
+    return run_suite({"char": characterization()}, budget)
+
+
+def fig1_llt_deadness(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Figure 1: fraction of LLT entries dead / DOA at any time."""
+    suite = _characterization_suite(budget)
+    report = ExperimentReport(
+        "fig1", "Fraction of LLT entries dead or DOA at any time"
+    )
+    rows = []
+    dead_vals, doa_vals = [], []
+    for wl in workload_names():
+        summary = suite.result(wl, "char").llt_residency
+        dead = 100 * summary.dead_fraction
+        doa = 100 * summary.doa_fraction
+        dead_vals.append(dead)
+        doa_vals.append(doa)
+        rows.append((wl, dead, doa))
+    rows.append(("AVERAGE", arithmetic_mean(dead_vals), arithmetic_mean(doa_vals)))
+    report.add_table(["workload", "dead %", "DOA %"], rows)
+    report.add_note(
+        f"paper: {paperdata.FIG1_AVG_LLT_DEAD:.1f}% of LLT entries dead on "
+        f"average; {paperdata.FIG1_AVG_LLT_DOA:.1f}% DOA (Sections IV-A/IV-C)"
+    )
+    return report
+
+
+def fig2_llt_eviction_classes(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Figure 2: eviction-time classification of LLT entries."""
+    suite = _characterization_suite(budget)
+    report = ExperimentReport(
+        "fig2", "Classification of dead pages in LLT (at eviction)"
+    )
+    rows = []
+    doa_share_vals = []
+    for wl in workload_names():
+        summary = suite.result(wl, "char").llt_residency
+        doa = 100 * summary.doa_eviction_fraction
+        mostly = 100 * summary.mostly_dead_eviction_fraction
+        total_dead = doa + mostly
+        doa_share = 100 * doa / total_dead if total_dead else 0.0
+        doa_share_vals.append(doa_share)
+        rows.append((wl, total_dead, mostly, doa, doa_share))
+    rows.append(
+        ("AVERAGE", None, None, None, arithmetic_mean(doa_share_vals))
+    )
+    report.add_table(
+        ["workload", "dead-evict %", "mostly-dead %", "DOA %",
+         "DOA share of dead %"],
+        rows,
+    )
+    report.add_note(
+        f"paper: >{paperdata.FIG2_AVG_DOA_SHARE_OF_DEAD:.0f}% of dead LLT "
+        "evictions are DOA, on average (Section IV-A)"
+    )
+    return report
+
+
+def fig3_llc_deadness(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Figure 3: fraction of LLC blocks dead / DOA at any time."""
+    suite = _characterization_suite(budget)
+    report = ExperimentReport(
+        "fig3", "Fraction of LLC entries dead or DOA at any time"
+    )
+    rows = []
+    dead_vals, doa_vals = [], []
+    for wl in workload_names():
+        summary = suite.result(wl, "char").llc_residency
+        dead = 100 * summary.dead_fraction
+        doa = 100 * summary.doa_fraction
+        dead_vals.append(dead)
+        doa_vals.append(doa)
+        rows.append((wl, dead, doa))
+    rows.append(("AVERAGE", arithmetic_mean(dead_vals), arithmetic_mean(doa_vals)))
+    report.add_table(["workload", "dead %", "DOA %"], rows)
+    report.add_note(
+        f"paper: ~{paperdata.FIG3_AVG_LLC_DEAD:.0f}% of LLC blocks dead at "
+        f"any time; {paperdata.FIG3_AVG_LLC_DOA:.1f}% of blocks DOA"
+    )
+    return report
+
+
+def fig4_llc_eviction_classes(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Figure 4: eviction-time classification of LLC blocks."""
+    suite = _characterization_suite(budget)
+    report = ExperimentReport(
+        "fig4", "Classification of dead blocks in LLC (at eviction)"
+    )
+    rows = []
+    for wl in workload_names():
+        summary = suite.result(wl, "char").llc_residency
+        doa = 100 * summary.doa_eviction_fraction
+        mostly = 100 * summary.mostly_dead_eviction_fraction
+        rows.append((wl, doa + mostly, mostly, doa))
+    report.add_table(
+        ["workload", "dead-evict %", "mostly-dead %", "DOA %"], rows
+    )
+    report.add_note(
+        "paper: a significant fraction of dead LLC evictions are DOA, "
+        "in line with [Faldu & Grot, WDDD'16]"
+    )
+    return report
+
+
+def table3_doa_correlation(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Table III: % of LLC DOA blocks that map onto a DOA page."""
+    suite = _characterization_suite(budget)
+    report = ExperimentReport(
+        "table3", "Percentage of LLC DOA blocks that map onto a DOA page"
+    )
+    rows = []
+    vals = []
+    for wl in workload_names():
+        result = suite.result(wl, "char")
+        measured = 100 * result.doa_block_on_doa_page_fraction
+        vals.append(measured)
+        rows.append(
+            (wl, measured, paperdata.TABLE3_DOA_BLOCKS_ON_DOA_PAGE[wl])
+        )
+    rows.append(("AVERAGE", arithmetic_mean(vals), paperdata.TABLE3_AVG))
+    report.add_table(["workload", "measured %", "paper %"], rows)
+    return report
+
+
+def characterization_summary(budget: int = DEFAULT_BUDGET) -> Dict[str, float]:
+    """Headline averages used by tests and EXPERIMENTS.md."""
+    suite = _characterization_suite(budget)
+    llt_dead, llt_doa_share, llc_dead, corr = [], [], [], []
+    for wl in workload_names():
+        r = suite.result(wl, "char")
+        llt_dead.append(r.llt_residency.dead_fraction)
+        dead_ev = r.llt_residency.dead_eviction_fraction
+        if dead_ev:
+            llt_doa_share.append(
+                r.llt_residency.doa_eviction_fraction / dead_ev
+            )
+        llc_dead.append(r.llc_residency.dead_fraction)
+        if r.doa_blocks_classified:
+            corr.append(r.doa_block_on_doa_page_fraction)
+    return {
+        "avg_llt_dead": 100 * arithmetic_mean(llt_dead),
+        "avg_llt_doa_share_of_dead": 100 * arithmetic_mean(llt_doa_share),
+        "avg_llc_dead": 100 * arithmetic_mean(llc_dead),
+        "avg_doa_block_on_doa_page": 100 * arithmetic_mean(corr),
+    }

@@ -1,0 +1,132 @@
+"""Shared experiment machinery: named configurations and suite sweeps.
+
+Every experiment is a matrix of (workload, configuration) runs normalised
+against the LRU baseline. The named configurations here are built once so
+that the process-wide run cache in :mod:`repro.sim.runner` is shared across
+experiments (the baseline run, for instance, feeds every figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.sim.config import (
+    SystemConfig,
+    fast_config,
+    iso_storage_config,
+)
+from repro.sim.results import SimResult
+from repro.sim.runner import run_cached
+from repro.workloads.suite import DEFAULT_BUDGET, workload_names
+
+
+def baseline() -> SystemConfig:
+    return fast_config()
+
+
+def characterization() -> SystemConfig:
+    """Baseline with residency + Table III correlation tracking."""
+    return fast_config(track_residency=True, track_correlation=True)
+
+
+def dppred(track: bool = True) -> SystemConfig:
+    return fast_config(tlb_predictor="dppred", track_reference=track)
+
+
+def dppred_no_shadow() -> SystemConfig:
+    return fast_config(tlb_predictor="dppred_sh", track_reference=True)
+
+
+def ship_tlb() -> SystemConfig:
+    return fast_config(tlb_predictor="ship", track_reference=True)
+
+
+def aip_tlb() -> SystemConfig:
+    return fast_config(tlb_predictor="aip")
+
+
+def oracle_tlb() -> SystemConfig:
+    return fast_config(tlb_predictor="oracle")
+
+
+def iso_storage() -> SystemConfig:
+    return iso_storage_config(fast_config())
+
+
+def combined() -> SystemConfig:
+    """dpPred + cbPred: the paper's headline configuration."""
+    return fast_config(
+        tlb_predictor="dppred", llc_predictor="cbpred", track_reference=True
+    )
+
+
+def combined_no_pfq() -> SystemConfig:
+    return fast_config(
+        tlb_predictor="dppred",
+        llc_predictor="cbpred_nopfq",
+        track_reference=True,
+    )
+
+
+def ship_llc() -> SystemConfig:
+    return fast_config(llc_predictor="ship", track_reference=True)
+
+
+def aip_llc() -> SystemConfig:
+    return fast_config(llc_predictor="aip")
+
+
+def ship_both() -> SystemConfig:
+    return fast_config(tlb_predictor="ship", llc_predictor="ship")
+
+
+def aip_both() -> SystemConfig:
+    return fast_config(tlb_predictor="aip", llc_predictor="aip")
+
+
+@dataclass
+class SuiteResults:
+    """Per-workload results for a set of named configurations."""
+
+    configs: List[str]
+    results: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+
+    def result(self, workload: str, config: str) -> SimResult:
+        return self.results[workload][config]
+
+    def ipc_vs(self, workload: str, config: str, baseline_name: str) -> float:
+        base = self.results[workload][baseline_name]
+        return self.results[workload][config].speedup_over(base)
+
+    def llt_mpki_reduction(
+        self, workload: str, config: str, baseline_name: str
+    ) -> float:
+        base = self.results[workload][baseline_name].llt_mpki
+        new = self.results[workload][config].llt_mpki
+        return 100.0 * (base - new) / base if base else 0.0
+
+    def llc_mpki_reduction(
+        self, workload: str, config: str, baseline_name: str
+    ) -> float:
+        base = self.results[workload][baseline_name].llc_mpki
+        new = self.results[workload][config].llc_mpki
+        return 100.0 * (base - new) / base if base else 0.0
+
+
+def run_suite(
+    configs: Dict[str, SystemConfig],
+    budget: int = DEFAULT_BUDGET,
+    workloads: List[str] = None,
+    progress: Callable[[str], None] = None,
+) -> SuiteResults:
+    """Run every workload under every named configuration (cached)."""
+    names = workloads if workloads is not None else workload_names()
+    suite = SuiteResults(configs=list(configs))
+    for wl in names:
+        suite.results[wl] = {}
+        for cfg_name, cfg in configs.items():
+            if progress is not None:
+                progress(f"{wl} / {cfg_name}")
+            suite.results[wl][cfg_name] = run_cached(wl, cfg, budget)
+    return suite

@@ -1,0 +1,135 @@
+"""The paper's reported numbers, for paper-vs-measured reporting.
+
+Tables III-VII are transcribed exactly; figures are bar charts, so only
+the averages the text quotes (and notable per-workload callouts) are
+recorded. ``None`` marks values the paper does not report numerically.
+"""
+
+from __future__ import annotations
+
+#: Table II order (also the order of every figure's x-axis).
+WORKLOADS = [
+    "cactusADM", "cc", "cg.B", "sssp", "lbm", "Triangle", "KCore",
+    "canneal", "pr", "graph500", "bfs", "bc", "mis", "mcf",
+]
+
+#: Figure 1 / Section IV-A: fraction of LLT entries dead at any time (avg).
+FIG1_AVG_LLT_DEAD = 81.66
+#: Section IV-C: fraction of LLT entries that are DOA, on average.
+FIG1_AVG_LLT_DOA = 78.9
+
+#: Figure 2 / Section IV-A: share of dead evictions that are DOA (avg).
+FIG2_AVG_DOA_SHARE_OF_DEAD = 85.0
+
+#: Figure 3 / Section IV-B: fraction of LLC blocks dead at any time (avg).
+FIG3_AVG_LLC_DEAD = 83.0
+#: Section IV-C: fraction of all LLC blocks that are DOA, on average.
+FIG3_AVG_LLC_DOA = 50.4
+
+#: Table III: % of LLC DOA blocks that map onto a DOA page in the LLT.
+TABLE3_DOA_BLOCKS_ON_DOA_PAGE = {
+    "cactusADM": 72.22, "cc": 67.76, "cg.B": 92.14, "sssp": 93.25,
+    "lbm": 99.98, "Triangle": 73.33, "KCore": 68.18, "canneal": 64.15,
+    "pr": 33.33, "graph500": 81.40, "bfs": 81.00, "bc": 62.38,
+    "mis": 62.23, "mcf": 66.18,
+}
+TABLE3_AVG = 72.7
+
+#: Figure 9 (text): average IPC improvement of dpPred alone; best case.
+FIG9_AVG_DPPRED_IPC_GAIN = 5.2
+FIG9_CACTUSADM_DPPRED_IPC = 1.45
+
+#: Table IV: LLT MPKI reduction (%) per predictor.
+TABLE4_LLT_MPKI_REDUCTION = {
+    #            AIP-TLB SHiP-TLB dpPred Iso-TLB Oracle
+    "cactusADM": (0.6,  7.3, 37.8, 2.8, 55.2),
+    "cc":        (0.0,  6.4,  7.8, 6.0, 12.8),
+    "cg.B":      (0.0,  8.0, 16.0, 0.0, 18.3),
+    "sssp":      (0.0,  6.8,  9.4, 6.0, 32.1),
+    "lbm":       (1.0,  0.0, 30.2, 0.0, 46.5),
+    "Triangle":  (0.0,  5.5,  8.1, 3.6, 14.1),
+    "KCore":     (0.0,  4.1,  4.6, 2.8, 13.3),
+    "canneal":   (0.0,  2.9,  3.4, 5.0, 15.4),
+    "pr":        (0.0,  4.3,  4.4, 0.0, 15.2),
+    "graph500":  (0.2,  1.3,  3.8, 3.5, 18.5),
+    "bfs":       (0.0,  0.0,  0.0, 0.0, 10.0),
+    "bc":        (0.0,  4.2,  8.6, 9.7, 33.6),
+    "mis":       (0.0,  0.0,  0.0, 0.0, 16.7),
+    "mcf":       (0.0,  0.0,  1.0, 0.0,  9.0),
+}
+TABLE4_AVG_DPPRED = 9.65
+TABLE4_AVG_ORACLE = 22.19
+
+#: Figure 10 (text): combined dpPred+cbPred IPC improvement (geomean).
+FIG10_AVG_COMBINED_IPC_GAIN = 8.3
+
+#: Table V: LLC MPKI reduction (%) per predictor.
+TABLE5_LLC_MPKI_REDUCTION = {
+    #            AIP-LLC SHiP-LLC cbPred
+    "cactusADM": (12.46, 13.84, 1.84),
+    "cc":        (-6.56, -6.56, -1.60),
+    "cg.B":      (-4.49, -2.63, 5.90),
+    "sssp":      (0.19, 14.29, 17.82),
+    "lbm":       (-2.76, 13.99, 17.74),
+    "Triangle":  (7.15, -7.74, 0.65),
+    "KCore":     (1.74, -8.82, -0.45),
+    "canneal":   (-15.54, -4.46, 0.00),
+    "pr":        (-5.00, -21.45, -0.39),
+    "graph500":  (38.79, 22.87, 4.25),
+    "bfs":       (-22.35, -5.54, 4.45),
+    "bc":        (-11.49, -11.38, -0.17),
+    "mis":       (-12.76, -10.67, 7.45),
+    "mcf":       (23.59, 16.00, 1.81),
+}
+TABLE5_AVG_CBPRED = 4.24
+
+#: Table VI: (accuracy %, coverage %) for dpPred / dpPred-SH / SHiP-TLB.
+TABLE6_TLB_ACC_COV = {
+    "cactusADM": ((100, 98), (99, 98), (70, 99)),
+    "cc":        ((72, 70), (70, 74), (67, 68)),
+    "cg.B":      ((83, 80), (82, 80), (75, 82)),
+    "sssp":      ((86, 78), (92, 83), (88, 86)),
+    "lbm":       ((100, 100), (100, 100), (100, 65)),
+    "Triangle":  ((84, 23), (78, 36), (55, 42)),
+    "KCore":     ((90, 71), (88, 75), (69, 81)),
+    "canneal":   ((72, 13), (72, 13), (62, 25)),
+    "pr":        ((82, 49), (80, 50), (79, 52)),
+    "graph500":  ((87, 21), (87, 61), (70, 27)),
+    "bfs":       ((87, 41), (74, 50), (66, 59)),
+    "bc":        ((74, 49), (49, 56), (54, 47)),
+    "mis":       ((81, 25), (68, 37), (45, 22)),
+    "mcf":       ((67, 10), (40, 21), (41, 11)),
+}
+TABLE6_AVG_DPPRED_ACCURACY = 83.6
+
+#: Table VII: (accuracy %, coverage %) for cbPred / cbPred-PFQ / SHiP-LLC.
+TABLE7_LLC_ACC_COV = {
+    "cactusADM": ((100, 66), (94, 71), (94, 73)),
+    "cc":        ((99, 40), (86, 61), (89, 66)),
+    "cg.B":      ((100, 90), (92, 92), (99, 98)),
+    "sssp":      ((99, 24), (93, 72), (96, 70)),
+    "lbm":       ((100, 44), (90, 98), (95, 99)),
+    "Triangle":  ((100, 43), (84, 46), (93, 83)),
+    "KCore":     ((100, 34), (95, 80), (92, 96)),
+    "canneal":   ((100, 14), (87, 67), (87, 74)),
+    "pr":        ((99, 10), (89, 35), (86, 62)),
+    "graph500":  ((100, 28), (91, 46), (96, 78)),
+    "bfs":       ((100, 46), (93, 50), (88, 64)),
+    "bc":        ((98, 27), (90, 32), (89, 71)),
+    "mis":       ((100, 47), (86, 21), (85, 50)),
+    "mcf":       ((100, 11), (93, 54), (97, 70)),
+}
+
+#: Section V-D / VI-D storage accounting (bytes / KB).
+STORAGE_DPPRED_BYTES = 1306
+STORAGE_CBPRED_KB = 9.54
+STORAGE_TOTAL_KB = 10.81
+STORAGE_AIP_KB = 124.0
+STORAGE_SHIP_KB = 66.0
+
+#: Figure 11e (text): combined gain at 3 MB/core LLC.
+FIG11E_AVG_3MB = 7.03
+#: Figure 11f (text): combined gain on top of SRRIP LLT+LLC; dpPred on
+#: SRRIP-LLT alone.
+FIG11F_AVG_COMBINED_OVER_SRRIP = 6.29
+FIG11F_AVG_DPPRED_OVER_SRRIP_LLT = 5.0

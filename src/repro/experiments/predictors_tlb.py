@@ -1,0 +1,129 @@
+"""TLB-predictor experiments: Figure 9, Table IV, Table VI (Section VI-A/C)."""
+
+from __future__ import annotations
+
+from repro.common.stats import arithmetic_mean, geometric_mean
+from repro.experiments import paperdata
+from repro.experiments.common import (
+    aip_tlb,
+    baseline,
+    dppred,
+    dppred_no_shadow,
+    iso_storage,
+    oracle_tlb,
+    run_suite,
+    ship_tlb,
+)
+from repro.experiments.report import ExperimentReport
+from repro.workloads.suite import DEFAULT_BUDGET, workload_names
+
+_FIG9_CONFIGS = {
+    "base": baseline(),
+    "aip_tlb": aip_tlb(),
+    "ship_tlb": ship_tlb(),
+    "dppred": dppred(),
+    "iso": iso_storage(),
+}
+
+
+def fig9_tlb_predictor_ipc(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Figure 9: normalized IPC of TLB dead-page predictors."""
+    suite = run_suite(_FIG9_CONFIGS, budget)
+    report = ExperimentReport(
+        "fig9", "Normalized IPC for TLB dead page predictors"
+    )
+    rows = []
+    gains = {name: [] for name in ("aip_tlb", "ship_tlb", "dppred", "iso")}
+    for wl in workload_names():
+        row = [wl]
+        for cfg in ("aip_tlb", "ship_tlb", "dppred", "iso"):
+            speedup = suite.ipc_vs(wl, cfg, "base")
+            gains[cfg].append(speedup)
+            row.append(speedup)
+        rows.append(tuple(row))
+    rows.append(
+        ("GEOMEAN", *[geometric_mean(gains[c]) for c in
+                      ("aip_tlb", "ship_tlb", "dppred", "iso")])
+    )
+    report.add_table(
+        ["workload", "AIP-TLB", "SHiP-TLB", "dpPred", "iso-storage"], rows
+    )
+    report.add_note(
+        f"paper: dpPred improves IPC by {paperdata.FIG9_AVG_DPPRED_IPC_GAIN}% "
+        f"on average; cactusADM by ~{paperdata.FIG9_CACTUSADM_DPPRED_IPC}x; "
+        "AIP-TLB provides almost no improvement"
+    )
+    return report
+
+
+def table4_llt_mpki(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Table IV: LLT MPKI reductions by dead page predictors."""
+    configs = dict(_FIG9_CONFIGS)
+    configs["oracle"] = oracle_tlb()
+    suite = run_suite(configs, budget)
+    report = ExperimentReport("table4", "LLT MPKI reductions (%)")
+    rows = []
+    avgs = {name: [] for name in ("aip_tlb", "ship_tlb", "dppred", "iso", "oracle")}
+    for wl in workload_names():
+        row = [wl]
+        for cfg in ("aip_tlb", "ship_tlb", "dppred", "iso", "oracle"):
+            red = suite.llt_mpki_reduction(wl, cfg, "base")
+            avgs[cfg].append(red)
+            row.append(red)
+        row.append(paperdata.TABLE4_LLT_MPKI_REDUCTION[wl][2])  # paper dpPred
+        rows.append(tuple(row))
+    rows.append(
+        ("AVERAGE",
+         *[arithmetic_mean(avgs[c]) for c in
+           ("aip_tlb", "ship_tlb", "dppred", "iso", "oracle")],
+         paperdata.TABLE4_AVG_DPPRED)
+    )
+    report.add_table(
+        ["workload", "AIP-TLB", "SHiP-TLB", "dpPred", "Iso-TLB", "Oracle",
+         "paper dpPred"],
+        rows,
+    )
+    report.add_note(
+        f"paper averages: dpPred {paperdata.TABLE4_AVG_DPPRED}%, "
+        f"oracle {paperdata.TABLE4_AVG_ORACLE}%"
+    )
+    return report
+
+
+def table6_dppred_accuracy(budget: int = DEFAULT_BUDGET) -> ExperimentReport:
+    """Table VI: accuracy and coverage of dead page predictors."""
+    configs = {
+        "dppred": dppred(),
+        "dppred_sh": dppred_no_shadow(),
+        "ship_tlb": ship_tlb(),
+    }
+    suite = run_suite(configs, budget)
+    report = ExperimentReport(
+        "table6", "Accuracy / coverage for dead page predictors (%)"
+    )
+    rows = []
+    accs = []
+    for wl in workload_names():
+        row = [wl]
+        for cfg in ("dppred", "dppred_sh", "ship_tlb"):
+            result = suite.result(wl, cfg)
+            acc = result.tlb_accuracy
+            cov = result.tlb_coverage
+            row.append(100 * acc if acc is not None else None)
+            row.append(100 * cov if cov is not None else None)
+            if cfg == "dppred" and acc is not None:
+                accs.append(100 * acc)
+        paper_acc, paper_cov = paperdata.TABLE6_TLB_ACC_COV[wl][0]
+        row.append(f"{paper_acc}/{paper_cov}")
+        rows.append(tuple(row))
+    report.add_table(
+        ["workload", "dp acc", "dp cov", "dp-SH acc", "dp-SH cov",
+         "SHiP acc", "SHiP cov", "paper dp acc/cov"],
+        rows,
+    )
+    if accs:
+        report.add_note(
+            f"measured mean dpPred accuracy: {arithmetic_mean(accs):.1f}% "
+            f"(paper: {paperdata.TABLE6_AVG_DPPRED_ACCURACY}%)"
+        )
+    return report

@@ -1,0 +1,78 @@
+"""Experiment registry: one entry per paper table/figure (DESIGN.md §4)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.ablations import (
+    ablation_bypass_vs_demote,
+    ablation_threshold,
+)
+from repro.experiments.extensions import extension_prefetch
+from repro.experiments.characterization import (
+    fig1_llt_deadness,
+    fig2_llt_eviction_classes,
+    fig3_llc_deadness,
+    fig4_llc_eviction_classes,
+    table3_doa_correlation,
+)
+from repro.experiments.predictors_llc import (
+    fig10_llc_predictor_ipc,
+    table5_llc_mpki,
+    table7_cbpred_accuracy,
+)
+from repro.experiments.predictors_tlb import (
+    fig9_tlb_predictor_ipc,
+    table4_llt_mpki,
+    table6_dppred_accuracy,
+)
+from repro.experiments.sensitivity import (
+    fig11a_llt_size,
+    fig11b_phist_indexing,
+    fig11c_shadow_size,
+    fig11d_pfq_size,
+    fig11e_llc_size,
+    fig11f_srrip,
+)
+from repro.experiments.storage import storage_overhead
+
+#: id -> callable producing an ExperimentReport. Callables accept an
+#: optional ``budget`` keyword except ``storage`` (analytic).
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": fig1_llt_deadness,
+    "fig2": fig2_llt_eviction_classes,
+    "fig3": fig3_llc_deadness,
+    "fig4": fig4_llc_eviction_classes,
+    "table3": table3_doa_correlation,
+    "fig9": fig9_tlb_predictor_ipc,
+    "table4": table4_llt_mpki,
+    "table6": table6_dppred_accuracy,
+    "fig10": fig10_llc_predictor_ipc,
+    "table5": table5_llc_mpki,
+    "table7": table7_cbpred_accuracy,
+    "fig11a": fig11a_llt_size,
+    "fig11b": fig11b_phist_indexing,
+    "fig11c": fig11c_shadow_size,
+    "fig11d": fig11d_pfq_size,
+    "fig11e": fig11e_llc_size,
+    "fig11f": fig11f_srrip,
+    "storage": storage_overhead,
+    # Ablations beyond the paper (DESIGN.md §6).
+    "ablation_action": ablation_bypass_vs_demote,
+    "ablation_threshold": ablation_threshold,
+    "extension_prefetch": extension_prefetch,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run one experiment by id; returns its ExperimentReport."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    if experiment_id == "storage":
+        return fn()
+    return fn(**kwargs)

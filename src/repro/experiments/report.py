@@ -1,0 +1,78 @@
+"""ASCII report rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned fixed-width text table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(
+            " | ".join(
+                cell.rjust(w) if _numeric(cell) else cell.ljust(w)
+                for cell, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_bar(value: float, scale: float = 1.0, width: int = 30) -> str:
+    """A crude horizontal bar for figure-style output."""
+    n = max(0, min(width, int(round(value / scale))))
+    return "#" * n
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    if cell in ("-", ""):
+        return True
+    try:
+        float(cell.rstrip("%x"))
+        return True
+    except ValueError:
+        return False
+
+
+class ExperimentReport:
+    """Collects a titled set of tables/notes and renders them together."""
+
+    def __init__(self, experiment_id: str, title: str):
+        self.experiment_id = experiment_id
+        self.title = title
+        self._sections: List[str] = []
+
+    def add_table(self, headers, rows, title=None) -> None:
+        self._sections.append(render_table(headers, rows, title))
+
+    def add_note(self, text: str) -> None:
+        self._sections.append(text)
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        return "\n\n".join([header] + self._sections)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

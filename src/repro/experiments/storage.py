@@ -1,0 +1,83 @@
+"""Storage-overhead accounting: Sections V-D and VI-D.
+
+Purely analytic — it instantiates the predictors and sums their state
+bits, at both the paper scale (1024-entry LLT, 2 MB LLC) and the fast
+profile's scale, and compares against AIP and SHiP budgets.
+"""
+
+from __future__ import annotations
+
+from repro.core.cbpred import CbPredConfig, CorrelatingDeadBlockPredictor
+from repro.core.dppred import DeadPagePredictor, DpPredConfig
+from repro.experiments import paperdata
+from repro.experiments.report import ExperimentReport
+from repro.predictors.aip import AipCachePredictor, AipTlbPredictor
+from repro.predictors.base import AccessContext
+from repro.predictors.ship import ShipCachePredictor, ShipConfig, ShipTlbPredictor
+from repro.sim.config import fast_config, paper_config
+
+
+def storage_breakdown(llt_entries: int, llc_blocks: int, bhist_entries: int):
+    """Per-predictor storage in bytes for a given machine scale."""
+    dp = DeadPagePredictor(DpPredConfig())
+    cb = CorrelatingDeadBlockPredictor(
+        CbPredConfig(bhist_entries=bhist_entries)
+    )
+    ctx = AccessContext()
+    ship_t = ShipTlbPredictor(ShipConfig(signature_bits=8))
+    ship_c = ShipCachePredictor(ctx, ShipConfig(signature_bits=14))
+    aip_t = AipTlbPredictor()
+    aip_c = AipCachePredictor(ctx)
+    return {
+        "dpPred": dp.storage_bits(llt_entries) / 8,
+        "cbPred": cb.storage_bits(llc_blocks) / 8,
+        "dpPred+cbPred": (
+            dp.storage_bits(llt_entries) + cb.storage_bits(llc_blocks)
+        ) / 8,
+        "SHiP (TLB+LLC)": (
+            ship_t.storage_bits(llt_entries) + ship_c.storage_bits(llc_blocks)
+        ) / 8,
+        "AIP (TLB+LLC)": (
+            aip_t.storage_bits(llt_entries) + aip_c.storage_bits(llc_blocks)
+        ) / 8,
+    }
+
+
+def storage_overhead() -> ExperimentReport:
+    """The storage comparison of Section VI-D."""
+    report = ExperimentReport(
+        "storage", "Predictor storage overhead (Sections V-D / VI-D)"
+    )
+    paper = paper_config()
+    fast = fast_config()
+
+    paper_scale = storage_breakdown(
+        paper.l2_tlb.entries, paper.llc.blocks, paper.cbpred_bhist_entries
+    )
+    rows = [
+        (name, bytes_ / 1024.0) for name, bytes_ in paper_scale.items()
+    ]
+    report.add_table(
+        ["predictor", "storage (KB), paper scale"],
+        rows,
+        title="Paper scale: 1024-entry LLT, 2 MB LLC",
+    )
+
+    fast_scale = storage_breakdown(
+        fast.l2_tlb.entries, fast.llc.blocks, fast.cbpred_bhist_entries
+    )
+    rows = [(name, bytes_ / 1024.0) for name, bytes_ in fast_scale.items()]
+    report.add_table(
+        ["predictor", "storage (KB), fast profile"],
+        rows,
+        title="Fast profile: 128-entry LLT, 256 KB LLC",
+    )
+
+    report.add_note(
+        f"paper: dpPred {paperdata.STORAGE_DPPRED_BYTES} B, cbPred "
+        f"{paperdata.STORAGE_CBPRED_KB} KB, total "
+        f"{paperdata.STORAGE_TOTAL_KB} KB vs AIP {paperdata.STORAGE_AIP_KB} "
+        f"KB and SHiP {paperdata.STORAGE_SHIP_KB} KB — 1/6th to 1/11th of "
+        "the alternatives"
+    )
+    return report

@@ -1,0 +1,32 @@
+"""Main-memory model: a fixed-latency backing store with access counting.
+
+The paper's baseline (Table I) charges 191 cycles per main-memory access.
+Bandwidth and bank contention are out of scope — the predictors change
+*how often* memory is touched, which is what the counters capture.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import Stats
+
+
+class MainMemory:
+    """Fixed-latency DRAM stand-in."""
+
+    def __init__(self, latency: int = 191):
+        if latency <= 0:
+            raise ValueError(f"latency must be positive, got {latency}")
+        self.latency = latency
+        self.stats = Stats()
+
+    def access(self, block: int, is_write: bool = False) -> int:
+        """Perform one access; returns its latency in cycles."""
+        self.stats.add("accesses")
+        if is_write:
+            self.stats.add("writes")
+        else:
+            self.stats.add("reads")
+        return self.latency
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MainMemory(latency={self.latency})"

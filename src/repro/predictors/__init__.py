@@ -1,0 +1,31 @@
+"""Baseline predictors the paper compares against: SHiP, AIP, and oracles."""
+
+from repro.predictors.aip import AipCachePredictor, AipConfig, AipTlbPredictor
+from repro.predictors.base import AccessContext
+from repro.predictors.oracle import (
+    DoaRecordingCacheListener,
+    DoaRecordingListener,
+    OracleCacheListener,
+    OracleTlbListener,
+)
+from repro.predictors.prefetch import (
+    DistancePrefetcherConfig,
+    DistanceTlbPrefetcher,
+)
+from repro.predictors.ship import ShipCachePredictor, ShipConfig, ShipTlbPredictor
+
+__all__ = [
+    "AipCachePredictor",
+    "AipConfig",
+    "AipTlbPredictor",
+    "AccessContext",
+    "DoaRecordingCacheListener",
+    "DoaRecordingListener",
+    "OracleCacheListener",
+    "OracleTlbListener",
+    "DistancePrefetcherConfig",
+    "DistanceTlbPrefetcher",
+    "ShipCachePredictor",
+    "ShipConfig",
+    "ShipTlbPredictor",
+]

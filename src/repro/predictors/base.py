@@ -1,0 +1,23 @@
+"""Shared infrastructure for the baseline predictors.
+
+PC-signature predictors at the LLC (SHiP-LLC, AIP-LLC) need the program
+counter of the instruction whose access caused a fill, but the cache model
+deliberately sees only block addresses. The machine publishes the current
+instruction's PC into an :class:`AccessContext` that such predictors hold a
+reference to — the software analogue of threading the PC down the MSHR
+chain, which is how hardware proposals (SHiP-PC et al.) do it.
+"""
+
+from __future__ import annotations
+
+
+class AccessContext:
+    """Mutable holder for the in-flight instruction's identity."""
+
+    __slots__ = ("pc",)
+
+    def __init__(self) -> None:
+        self.pc = 0
+
+    def set_pc(self, pc: int) -> None:
+        self.pc = pc

@@ -1,0 +1,115 @@
+"""Two-pass oracle DOA page predictor (Table IV's "Oracle" column).
+
+A true oracle needs full knowledge of the future; the paper approximates it
+("effectively be an oracle predictor with a lookahead of 1"). Being
+trace-driven, we can afford the standard trace-oracle construction:
+
+* **Pass 1** (:class:`DoaRecordingListener`): run the baseline LLT and
+  record, for the *i*-th fill of each VPN, whether that residency ended
+  dead-on-arrival.
+* **Pass 2** (:class:`OracleTlbListener`): re-run the identical trace and
+  bypass exactly the fills recorded as DOA.
+
+Fill sequences can diverge slightly once bypassing changes eviction order;
+keying by per-VPN fill occurrence keeps the two passes aligned, and any
+unmatched occurrence conservatively allocates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.stats import Stats
+from repro.mem.cache import FILL_ALLOCATE as CACHE_FILL_ALLOCATE
+from repro.mem.cache import FILL_BYPASS as CACHE_FILL_BYPASS
+from repro.mem.cache import CacheLine, CacheListener, SetAssocCache
+from repro.vm.tlb import FILL_ALLOCATE, FILL_BYPASS, Tlb, TlbEntry, TlbListener
+
+
+class DoaRecordingListener(TlbListener):
+    """Pass 1: records per-(vpn, occurrence) DOA outcomes."""
+
+    def __init__(self) -> None:
+        self.outcomes: Dict[Tuple[int, int], bool] = {}
+        self._occurrence: Dict[int, int] = {}
+        self._pending_key: Tuple[int, int] = (0, 0)
+        self.stats = Stats()
+
+    def on_fill(self, tlb: Tlb, vpn: int, pfn: int, pc: int, now: int) -> str:
+        occ = self._occurrence.get(vpn, 0)
+        self._occurrence[vpn] = occ + 1
+        self._pending_key = (vpn, occ)
+        return FILL_ALLOCATE
+
+    def filled(self, tlb: Tlb, entry: TlbEntry, now: int) -> None:
+        entry.aux = self._pending_key
+
+    def on_evict(self, tlb: Tlb, entry: TlbEntry, now: int) -> None:
+        if entry.aux is not None:
+            self.outcomes[entry.aux] = not entry.accessed
+            if not entry.accessed:
+                self.stats.add("doa_residencies")
+
+
+class OracleTlbListener(TlbListener):
+    """Pass 2: bypasses the fills pass 1 proved to be DOA."""
+
+    def __init__(self, outcomes: Dict[Tuple[int, int], bool]):
+        self.outcomes = outcomes
+        self._occurrence: Dict[int, int] = {}
+        self.stats = Stats()
+
+    def on_fill(self, tlb: Tlb, vpn: int, pfn: int, pc: int, now: int) -> str:
+        occ = self._occurrence.get(vpn, 0)
+        self._occurrence[vpn] = occ + 1
+        if self.outcomes.get((vpn, occ), False):
+            self.stats.add("oracle_bypasses")
+            return FILL_BYPASS
+        return FILL_ALLOCATE
+
+
+class DoaRecordingCacheListener(CacheListener):
+    """LLC-side pass 1: records per-(block, occurrence) DOA outcomes.
+
+    The LLC analogue of :class:`DoaRecordingListener` — used to build a
+    DOA-block oracle that upper-bounds cbPred the way Table IV's oracle
+    upper-bounds dpPred.
+    """
+
+    def __init__(self) -> None:
+        self.outcomes: Dict[Tuple[int, int], bool] = {}
+        self._occurrence: Dict[int, int] = {}
+        self._pending_key: Tuple[int, int] = (0, 0)
+        self.stats = Stats()
+
+    def on_fill(self, cache: SetAssocCache, block: int, now: int) -> str:
+        occ = self._occurrence.get(block, 0)
+        self._occurrence[block] = occ + 1
+        self._pending_key = (block, occ)
+        return CACHE_FILL_ALLOCATE
+
+    def filled(self, cache: SetAssocCache, line: CacheLine, now: int) -> None:
+        line.aux = self._pending_key
+
+    def on_evict(self, cache: SetAssocCache, line: CacheLine, now: int) -> None:
+        if line.aux is not None:
+            self.outcomes[line.aux] = not line.accessed
+            if not line.accessed:
+                self.stats.add("doa_residencies")
+
+
+class OracleCacheListener(CacheListener):
+    """LLC-side pass 2: bypasses the fills pass 1 proved to be DOA."""
+
+    def __init__(self, outcomes: Dict[Tuple[int, int], bool]):
+        self.outcomes = outcomes
+        self._occurrence: Dict[int, int] = {}
+        self.stats = Stats()
+
+    def on_fill(self, cache: SetAssocCache, block: int, now: int) -> str:
+        occ = self._occurrence.get(block, 0)
+        self._occurrence[block] = occ + 1
+        if self.outcomes.get((block, occ), False):
+            self.stats.add("oracle_bypasses")
+            return CACHE_FILL_BYPASS
+        return CACHE_FILL_ALLOCATE

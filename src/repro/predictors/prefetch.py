@@ -1,0 +1,151 @@
+"""Distance-based TLB prefetching [Kandiraju & Sivasubramaniam, ISCA'02].
+
+A related-work baseline the paper discusses (Section VII): "Kandiraju et
+al. described three prefetching algorithms for TLBs, among which
+distance-based prefetching gives the best performance for most workloads.
+However, prefetching does not perform well across all applications."
+
+The classic scheme keeps a Markov table over *distances* between
+consecutive demand VPNs: on a demand fill at distance ``d`` from the
+previous miss, the table's entry for the previous distance is trained to
+``d``, and the entries reachable from ``d`` are used to prefetch
+``vpn + d'`` translations into the LLT. Prefetches resolve through the
+page table off the critical path (no latency charged) and only for pages
+the OS has already mapped — a prefetch must not fault.
+
+This composes with the paper's study as an alternative way to spend
+hardware on the LLT: prefetching *adds* entries ahead of use, dpPred
+*avoids* useless entries; `experiments/extensions.py` compares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.stats import Stats
+from repro.vm.tlb import Tlb, TlbEntry, TlbListener
+
+
+@dataclass(frozen=True)
+class DistancePrefetcherConfig:
+    """Knobs for the distance prefetcher."""
+
+    table_entries: int = 256       # distance-indexed Markov table
+    prefetch_degree: int = 2       # successors fetched per demand miss
+    max_distance: int = 64         # |d| beyond this is noise, not trained
+
+    def validate(self) -> None:
+        if self.table_entries <= 0:
+            raise ValueError("table_entries must be positive")
+        if self.prefetch_degree <= 0:
+            raise ValueError("prefetch_degree must be positive")
+        if self.max_distance <= 0:
+            raise ValueError("max_distance must be positive")
+
+
+class DistanceTlbPrefetcher(TlbListener):
+    """Markov-over-distances TLB prefetcher attached to the LLT.
+
+    ``resolver`` maps a VPN to its PFN if (and only if) the page is
+    already mapped; the machine wires it to the page table's non-faulting
+    ``lookup``.
+    """
+
+    def __init__(
+        self,
+        config: DistancePrefetcherConfig = DistancePrefetcherConfig(),
+        resolver: Optional[Callable[[int], Optional[int]]] = None,
+    ):
+        config.validate()
+        self.config = config
+        self.resolver = resolver
+        # distance -> list of successor distances (most recent first).
+        self._table: Dict[int, List[int]] = {}
+        self._last_vpn: Optional[int] = None
+        self._last_distance: Optional[int] = None
+        self._prefetching = False
+        self.stats = Stats()
+
+    # ------------------------------------------------------------------ #
+    # Training + trigger
+    # ------------------------------------------------------------------ #
+    def _table_key(self, distance: int) -> int:
+        return distance % self.config.table_entries
+
+    def _train(self, distance: int) -> None:
+        if self._last_distance is None:
+            return
+        key = self._table_key(self._last_distance)
+        successors = self._table.setdefault(key, [])
+        if distance in successors:
+            successors.remove(distance)
+        successors.insert(0, distance)
+        del successors[self.config.prefetch_degree:]
+        self.stats.add("trainings")
+
+    def filled(self, tlb: Tlb, entry: TlbEntry, now: int) -> None:
+        if self._prefetching:
+            entry.aux = "prefetched"
+            return
+        vpn = entry.vpn
+        if self._last_vpn is not None:
+            distance = vpn - self._last_vpn
+            if 0 < abs(distance) <= self.config.max_distance:
+                self._train(distance)
+                self._issue_prefetches(tlb, vpn, distance, now)
+                self._last_distance = distance
+            else:
+                self._last_distance = None
+        self._last_vpn = vpn
+
+    def on_hit(self, tlb: Tlb, entry: TlbEntry, now: int) -> None:
+        if entry.aux == "prefetched":
+            entry.aux = None
+            self.stats.add("useful_prefetches")
+            # The first touch of a prefetched page is a demand arrival:
+            # keep the distance stream alive and prefetch ahead of it.
+            vpn = entry.vpn
+            if self._last_vpn is not None:
+                distance = vpn - self._last_vpn
+                if 0 < abs(distance) <= self.config.max_distance:
+                    self._train(distance)
+                    self._issue_prefetches(tlb, vpn, distance, now)
+                    self._last_distance = distance
+                else:
+                    self._last_distance = None
+            self._last_vpn = vpn
+
+    def on_evict(self, tlb: Tlb, entry: TlbEntry, now: int) -> None:
+        if entry.aux == "prefetched":
+            self.stats.add("wasted_prefetches")
+
+    # ------------------------------------------------------------------ #
+    # Prefetch issue
+    # ------------------------------------------------------------------ #
+    def _issue_prefetches(
+        self, tlb: Tlb, vpn: int, distance: int, now: int
+    ) -> None:
+        if self.resolver is None:
+            return
+        successors = self._table.get(self._table_key(distance), [])
+        self._prefetching = True
+        try:
+            for d in successors:
+                target = vpn + d
+                if target < 0 or tlb.probe(target) is not None:
+                    continue
+                pfn = self.resolver(target)
+                if pfn is None:
+                    continue  # not mapped: a prefetch must not fault
+                tlb.fill(target, pfn, 0, now)
+                self.stats.add("prefetches_issued")
+        finally:
+            self._prefetching = False
+
+    @property
+    def usefulness(self) -> float:
+        issued = self.stats.get("prefetches_issued")
+        if not issued:
+            return 0.0
+        return self.stats.get("useful_prefetches") / issued

@@ -1,0 +1,455 @@
+"""The full machine model: TLBs + walker + caches + predictors + timing.
+
+One :class:`Machine` simulates one core of the Table I system. The access
+path per memory instruction is:
+
+1. instruction-side translation (L1 I-TLB, falling back to the shared L2
+   TLB and the page-table walker);
+2. data-side translation (L1 D-TLB -> L2 TLB/LLT -> walker), where the LLT
+   carries the configured dead-page predictor and the walker's page-table
+   loads go through the data caches;
+3. physical data access through the L1D/L2/LLC hierarchy, where the LLC
+   carries the configured dead-block predictor;
+4. timing accumulation per the mechanistic model in
+   :class:`~repro.sim.config.TimingConfig`.
+
+The PC of the instruction that triggered an LLT miss is handed to the fill
+directly — the software equivalent of the paper's "the hash of the PC that
+triggered the miss is stored in the LLT's MSHR".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.cbpred import CbPredConfig, CorrelatingDeadBlockPredictor
+from repro.core.dppred import DeadPagePredictor, DpPredConfig
+from repro.mem.cache import CacheLine, CacheListener, SetAssocCache
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.mainmem import MainMemory
+from repro.predictors.aip import AipCachePredictor, AipTlbPredictor
+from repro.predictors.base import AccessContext
+from repro.predictors.oracle import (
+    DoaRecordingCacheListener,
+    DoaRecordingListener,
+    OracleCacheListener,
+    OracleTlbListener,
+)
+from repro.predictors.prefetch import DistanceTlbPrefetcher
+from repro.predictors.ship import ShipCachePredictor, ShipConfig, ShipTlbPredictor
+from repro.sim.config import (
+    LLC_PRED_AIP,
+    LLC_PRED_CBPRED,
+    LLC_PRED_CBPRED_NOPFQ,
+    LLC_PRED_NONE,
+    LLC_PRED_ORACLE,
+    LLC_PRED_SHIP,
+    TLB_PRED_AIP,
+    TLB_PRED_DPPRED,
+    TLB_PRED_DPPRED_DEMOTE,
+    TLB_PRED_DPPRED_NOSHADOW,
+    TLB_PRED_NONE,
+    TLB_PRED_ORACLE,
+    TLB_PRED_PREFETCH,
+    TLB_PRED_SHIP,
+    SystemConfig,
+)
+from repro.sim.reference import ReferenceStructure
+from repro.sim.results import SimResult
+from repro.vm.pagetable import RadixPageTable
+from repro.vm.physmem import PAGE_SHIFT, FrameAllocator
+from repro.vm.pwc import PageWalkCaches
+from repro.vm.tlb import Tlb, TlbEntry, TlbListener
+from repro.vm.walker import BLOCK_SHIFT, PageTableWalker
+
+_BLOCK_OFFSET_BITS = PAGE_SHIFT - BLOCK_SHIFT  # block-in-page bits (6)
+_BLOCK_IN_PAGE_MASK = (1 << _BLOCK_OFFSET_BITS) - 1
+
+
+class _CorrelationTlbListener(TlbListener):
+    """Records each VPN's most recent LLT DOA outcome (Table III support)."""
+
+    def __init__(self) -> None:
+        self.last_doa_status: Dict[int, bool] = {}
+
+    def on_evict(self, tlb: Tlb, entry: TlbEntry, now: int) -> None:
+        self.last_doa_status[entry.vpn] = not entry.accessed
+
+
+class _CorrelationCacheListener(CacheListener):
+    """Classifies evicted DOA LLC blocks by their page's DOA status."""
+
+    def __init__(self, machine: "Machine", tlb_side: _CorrelationTlbListener):
+        self.machine = machine
+        self.tlb_side = tlb_side
+        self.doa_blocks_total = 0
+        self.doa_blocks_classified = 0
+        self.doa_blocks_on_doa_page = 0
+
+    def on_evict(self, cache: SetAssocCache, line: CacheLine, now: int) -> None:
+        if line.accessed:
+            return
+        self.doa_blocks_total += 1
+        pfn = line.tag >> _BLOCK_OFFSET_BITS
+        vpn = self.machine.pfn_to_vpn.get(pfn)
+        if vpn is None:
+            return  # page-table block, not a demand page
+        resident = self.machine.l2_tlb.probe(vpn)
+        if resident is not None:
+            page_doa = not resident.accessed
+        elif vpn in self.tlb_side.last_doa_status:
+            page_doa = self.tlb_side.last_doa_status[vpn]
+        else:
+            return  # never completed an LLT residency; unclassifiable
+        self.doa_blocks_classified += 1
+        if page_doa:
+            self.doa_blocks_on_doa_page += 1
+
+
+class Machine:
+    """A single-core trace-driven simulation of the paper's system."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        oracle_outcomes: Optional[dict] = None,
+        llc_oracle_outcomes: Optional[dict] = None,
+        seed: int = 1,
+    ):
+        config.validate()
+        self._llc_oracle_outcomes = llc_oracle_outcomes
+        self.config = config
+        self.context = AccessContext()
+        self.now = 0
+        self.instructions = 0
+        self.cycles = 0.0
+        self.pfn_to_vpn: Dict[int, int] = {}
+
+        # --- data-cache hierarchy -------------------------------------- #
+        self._llc_predictor = self._build_llc_predictor()
+        llc_listener = self._llc_predictor
+        self._correlation_cache: Optional[_CorrelationCacheListener] = None
+        self._correlation_tlb: Optional[_CorrelationTlbListener] = None
+        if config.track_correlation:
+            if (
+                config.tlb_predictor != TLB_PRED_NONE
+                or config.llc_predictor != LLC_PRED_NONE
+            ):
+                raise ValueError(
+                    "track_correlation measures the *baseline* machine; "
+                    "disable predictors"
+                )
+            self._correlation_tlb = _CorrelationTlbListener()
+            self._correlation_cache = _CorrelationCacheListener(
+                self, self._correlation_tlb
+            )
+            llc_listener = self._correlation_cache
+
+        self.l1d = SetAssocCache(
+            "L1D", config.l1d.num_sets, config.l1d.assoc, config.cache_policy
+        )
+        self.l2 = SetAssocCache(
+            "L2", config.l2.num_sets, config.l2.assoc, config.cache_policy
+        )
+        self.llc = SetAssocCache(
+            "LLC",
+            config.llc.num_sets,
+            config.llc.assoc,
+            config.effective_llc_policy,
+            listener=llc_listener,
+            track_residency=config.track_residency,
+        )
+        self.hierarchy = CacheHierarchy(
+            self.l1d,
+            self.l2,
+            self.llc,
+            MainMemory(config.mem_latency),
+            l1_latency=config.l1d.latency,
+            l2_latency=config.l2.latency,
+            llc_latency=config.llc.latency,
+        )
+
+        # --- virtual memory -------------------------------------------- #
+        self.page_table = RadixPageTable(
+            FrameAllocator(num_frames=config.phys_frames, seed=seed)
+        )
+        self.walker = PageTableWalker(
+            self.page_table,
+            PageWalkCaches(config.pwc_entries, config.pwc_latencies),
+            self.hierarchy,
+        )
+        self._tlb_predictor = self._build_tlb_predictor(oracle_outcomes)
+        if isinstance(self._tlb_predictor, DistanceTlbPrefetcher):
+            # Prefetches resolve through the page table without faulting.
+            self._tlb_predictor.resolver = self.page_table.lookup
+        tlb_listener = self._tlb_predictor
+        if self._correlation_tlb is not None:
+            tlb_listener = self._correlation_tlb
+        self.l1_itlb = Tlb(
+            "L1-ITLB", config.l1_itlb.entries, config.l1_itlb.assoc,
+            config.tlb_policy,
+        )
+        self.l1_dtlb = Tlb(
+            "L1-DTLB", config.l1_dtlb.entries, config.l1_dtlb.assoc,
+            config.tlb_policy,
+        )
+        self.l2_tlb = Tlb(
+            "LLT",
+            config.l2_tlb.entries,
+            config.l2_tlb.assoc,
+            config.tlb_policy,
+            listener=tlb_listener,
+            track_residency=config.track_residency,
+        )
+
+        # --- ground-truth references (Tables VI/VII) ------------------- #
+        self.ref_llt: Optional[ReferenceStructure] = None
+        self.ref_llc: Optional[ReferenceStructure] = None
+        if config.track_reference:
+            self.ref_llt = ReferenceStructure(
+                "ref-LLT", config.l2_tlb.entries, config.l2_tlb.assoc
+            )
+            self.ref_llc = ReferenceStructure(
+                "ref-LLC", config.llc.blocks, config.llc.assoc
+            )
+            self._attach_observers()
+
+    # ------------------------------------------------------------------ #
+    # Predictor construction
+    # ------------------------------------------------------------------ #
+    def _build_tlb_predictor(self, oracle_outcomes):
+        cfg = self.config
+        kind = cfg.tlb_predictor
+        if kind == TLB_PRED_NONE:
+            return None
+        if kind in (
+            TLB_PRED_DPPRED, TLB_PRED_DPPRED_NOSHADOW, TLB_PRED_DPPRED_DEMOTE
+        ):
+            dp = DeadPagePredictor(
+                DpPredConfig(
+                    pc_hash_bits=cfg.dppred_pc_bits,
+                    vpn_hash_bits=cfg.dppred_vpn_bits,
+                    threshold=cfg.dppred_threshold,
+                    shadow_entries=(
+                        cfg.dppred_shadow_entries
+                        if kind in (TLB_PRED_DPPRED, TLB_PRED_DPPRED_DEMOTE)
+                        else 0
+                    ),
+                    action=(
+                        "demote"
+                        if kind == TLB_PRED_DPPRED_DEMOTE
+                        else "bypass"
+                    ),
+                )
+            )
+            if isinstance(self._llc_predictor, CorrelatingDeadBlockPredictor):
+                dp.pfn_sink = self._llc_predictor.notify_doa_page
+            return dp
+        if kind == TLB_PRED_SHIP:
+            return ShipTlbPredictor(
+                ShipConfig(signature_bits=cfg.ship_tlb_signature_bits)
+            )
+        if kind == TLB_PRED_AIP:
+            return AipTlbPredictor()
+        if kind == TLB_PRED_ORACLE:
+            if oracle_outcomes is None:
+                return DoaRecordingListener()
+            return OracleTlbListener(oracle_outcomes)
+        if kind == TLB_PRED_PREFETCH:
+            # The resolver is attached after the page table exists.
+            return DistanceTlbPrefetcher()
+        raise AssertionError(f"unhandled tlb predictor {kind}")
+
+    def _build_llc_predictor(self):
+        cfg = self.config
+        kind = cfg.llc_predictor
+        if kind == LLC_PRED_NONE:
+            return None
+        if kind in (LLC_PRED_CBPRED, LLC_PRED_CBPRED_NOPFQ):
+            return CorrelatingDeadBlockPredictor(
+                CbPredConfig(
+                    bhist_entries=cfg.cbpred_bhist_entries,
+                    threshold=cfg.cbpred_threshold,
+                    pfq_entries=cfg.cbpred_pfq_entries,
+                    use_pfq=(kind == LLC_PRED_CBPRED),
+                )
+            )
+        if kind == LLC_PRED_SHIP:
+            return ShipCachePredictor(
+                self.context,
+                ShipConfig(signature_bits=cfg.ship_llc_signature_bits),
+            )
+        if kind == LLC_PRED_AIP:
+            return AipCachePredictor(self.context)
+        if kind == LLC_PRED_ORACLE:
+            if self._llc_oracle_outcomes is None:
+                return DoaRecordingCacheListener()
+            return OracleCacheListener(self._llc_oracle_outcomes)
+        raise AssertionError(f"unhandled llc predictor {kind}")
+
+    def _attach_observers(self) -> None:
+        tlb_pred = self._tlb_predictor
+        if tlb_pred is not None and hasattr(tlb_pred, "prediction_observer"):
+            tlb_pred.prediction_observer = self.ref_llt.record_prediction
+        llc_pred = self._llc_predictor
+        if llc_pred is not None and hasattr(llc_pred, "prediction_observer"):
+            llc_pred.prediction_observer = self.ref_llc.record_prediction
+
+    # ------------------------------------------------------------------ #
+    # Access path
+    # ------------------------------------------------------------------ #
+    def _translate(self, l1_tlb: Tlb, vpn: int, pc: int, now: int):
+        """Returns ``(pfn, exposed_translation_penalty)``."""
+        pfn = l1_tlb.lookup(vpn, now)
+        if pfn is not None:
+            return pfn, 0.0
+        timing = self.config.timing
+        if self.ref_llt is not None:
+            self.ref_llt.access(vpn, now)
+        pfn = self.l2_tlb.lookup(vpn, now)
+        if pfn is not None:
+            penalty = timing.l2_tlb_hit_penalty
+        else:
+            # The PC travels in the LLT MSHR to be available at fill time.
+            pfn, walk_latency = self.walker.walk(vpn, now)
+            self.pfn_to_vpn[pfn] = vpn
+            penalty = (
+                self.config.l2_tlb.latency
+                + walk_latency * timing.walk_exposure
+            )
+            self.l2_tlb.fill(vpn, pfn, pc, now)
+        l1_tlb.fill(vpn, pfn, pc, now)
+        return pfn, penalty
+
+    def access(self, pc: int, vaddr: int, is_write: bool, gap: int) -> None:
+        """Simulate one memory instruction preceded by ``gap`` non-memory
+        instructions."""
+        self.now += 1
+        now = self.now
+        self.instructions += gap + 1
+        self.context.pc = pc
+        timing = self.config.timing
+        penalty = 0.0
+
+        # Instruction-side translation (small code footprint; nearly
+        # always an L1 I-TLB hit after warm-up).
+        _, ipenalty = self._translate(self.l1_itlb, pc >> PAGE_SHIFT, pc, now)
+        penalty += ipenalty
+
+        # Data-side translation.
+        vpn = vaddr >> PAGE_SHIFT
+        pfn, dpenalty = self._translate(self.l1_dtlb, vpn, pc, now)
+        penalty += dpenalty
+
+        # Physical data access.
+        block = (pfn << _BLOCK_OFFSET_BITS) | (
+            (vaddr >> BLOCK_SHIFT) & _BLOCK_IN_PAGE_MASK
+        )
+        _, level = self.hierarchy.access(block, now, is_write)
+        if level == "l2":
+            penalty += timing.l2_hit_penalty
+        elif level == "llc":
+            penalty += timing.llc_hit_penalty
+        elif level == "mem":
+            penalty += (
+                timing.llc_hit_penalty
+                + self.config.mem_latency / timing.mem_divisor
+            )
+        if self.ref_llc is not None and level in ("llc", "mem"):
+            self.ref_llc.access(block, now)
+
+        self.cycles += (gap + 1) * timing.base_cpi + penalty
+
+    def run(self, trace) -> SimResult:
+        """Simulate a whole trace (a :class:`~repro.workloads.trace.Trace`)."""
+        access = self.access
+        for pc, vaddr, is_write, gap in trace.iter_records():
+            access(pc, vaddr, is_write, gap)
+        return self.finalize(trace.name)
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def finalize(self, workload: str = "unnamed") -> SimResult:
+        now = self.now
+        self.l2_tlb.flush_residency(now)
+        self.hierarchy.finalize(now)
+        if self.ref_llt is not None:
+            self.ref_llt.finalize()
+        if self.ref_llc is not None:
+            self.ref_llc.finalize()
+
+        llt_stats = self.l2_tlb.stats
+        shadow_hits = llt_stats.get("victim_buffer_hits")
+        result = SimResult(
+            workload=workload,
+            config_name=self._config_label(),
+            instructions=self.instructions,
+            cycles=self.cycles,
+            llt_hits=llt_stats.get("hits"),
+            llt_misses=llt_stats.get("misses") - shadow_hits,
+            llt_shadow_hits=shadow_hits,
+            llt_bypasses=llt_stats.get("bypasses"),
+            llc_hits=self.llc.stats.get("hits"),
+            llc_misses=self.llc.stats.get("misses"),
+            llc_bypasses=self.llc.stats.get("bypasses"),
+            mem_accesses=self.hierarchy.memory.stats.get("accesses"),
+            walk_cycles=self.walker.stats.get("walk_cycles"),
+            walks=self.walker.stats.get("walks"),
+        )
+        if self.ref_llt is not None:
+            result.tlb_accuracy = self.ref_llt.accuracy
+            result.tlb_coverage = self.ref_llt.coverage
+        if self.ref_llc is not None:
+            result.llc_accuracy = self.ref_llc.accuracy
+            result.llc_coverage = self.ref_llc.coverage
+        if self.config.track_residency:
+            result.llt_residency = self.l2_tlb.residency.summary
+            result.llc_residency = self.llc.residency.summary
+        if self._correlation_cache is not None:
+            result.doa_blocks_on_doa_page = (
+                self._correlation_cache.doa_blocks_on_doa_page
+            )
+            result.doa_blocks_classified = (
+                self._correlation_cache.doa_blocks_classified
+            )
+        result.raw = {
+            "llt": llt_stats.snapshot(),
+            "l1d": self.l1d.stats.snapshot(),
+            "l2": self.l2.stats.snapshot(),
+            "llc": self.llc.stats.snapshot(),
+            "walker": self.walker.stats.snapshot(),
+            "memory": self.hierarchy.memory.stats.snapshot(),
+        }
+        return result
+
+    def _config_label(self) -> str:
+        return (
+            f"{self.config.name}/tlb={self.config.tlb_predictor}"
+            f"/llc={self.config.llc_predictor}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Oracle support
+    # ------------------------------------------------------------------ #
+    @property
+    def oracle_recorder(self) -> Optional[DoaRecordingListener]:
+        """Pass-1 TLB recorder when running the oracle's first pass."""
+        if isinstance(self._tlb_predictor, DoaRecordingListener):
+            return self._tlb_predictor
+        return None
+
+    @property
+    def llc_oracle_recorder(self) -> Optional[DoaRecordingCacheListener]:
+        """Pass-1 LLC recorder when running the oracle's first pass."""
+        if isinstance(self._llc_predictor, DoaRecordingCacheListener):
+            return self._llc_predictor
+        return None
+
+    @property
+    def tlb_predictor(self):
+        return self._tlb_predictor
+
+    @property
+    def llc_predictor(self):
+        return self._llc_predictor

@@ -1,0 +1,86 @@
+"""Simulation results: the metrics every experiment consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.residency import ResidencySummary
+
+
+@dataclass
+class SimResult:
+    """Outcome of one workload x configuration simulation run."""
+
+    workload: str
+    config_name: str
+    instructions: int = 0
+    cycles: float = 0.0
+    # LLT (L2 TLB)
+    llt_hits: int = 0
+    llt_misses: int = 0          # misses that triggered a page walk
+    llt_shadow_hits: int = 0     # misses served by dpPred's victim buffer
+    llt_bypasses: int = 0
+    # LLC
+    llc_hits: int = 0
+    llc_misses: int = 0
+    llc_bypasses: int = 0
+    mem_accesses: int = 0
+    walk_cycles: int = 0
+    walks: int = 0
+    # Ground-truth prediction quality (None when not tracked / no events)
+    tlb_accuracy: Optional[float] = None
+    tlb_coverage: Optional[float] = None
+    llc_accuracy: Optional[float] = None
+    llc_coverage: Optional[float] = None
+    # Deadness characterisation (None when not tracked)
+    llt_residency: Optional[ResidencySummary] = None
+    llc_residency: Optional[ResidencySummary] = None
+    # Table III correlation (None when not tracked)
+    doa_blocks_on_doa_page: int = 0
+    doa_blocks_classified: int = 0
+    # Raw per-structure counters for debugging / extra analyses
+    raw: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def llt_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.llt_misses / self.instructions
+
+    @property
+    def llc_mpki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+    @property
+    def avg_walk_latency(self) -> float:
+        return self.walk_cycles / self.walks if self.walks else 0.0
+
+    @property
+    def doa_block_on_doa_page_fraction(self) -> float:
+        """Table III: share of DOA LLC blocks that fell on a DOA page."""
+        if not self.doa_blocks_classified:
+            return 0.0
+        return self.doa_blocks_on_doa_page / self.doa_blocks_classified
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Normalized IPC relative to ``baseline`` (Figures 9-11)."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.workload:12s} {self.config_name:22s} "
+            f"IPC={self.ipc:6.3f} LLT-MPKI={self.llt_mpki:7.3f} "
+            f"LLC-MPKI={self.llc_mpki:7.3f}"
+        )

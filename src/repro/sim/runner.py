@@ -1,0 +1,124 @@
+"""Run orchestration: simulate (workload, config) pairs with memoisation.
+
+Every experiment in :mod:`repro.experiments` reduces to a matrix of
+simulation runs, many of which repeat across experiments (every figure
+normalises to the same LRU baseline, for instance). ``run_cached``
+memoises on the frozen config + workload identity so each distinct run
+executes once per process.
+
+The oracle configuration needs two passes (see
+:mod:`repro.predictors.oracle`); the runner hides that detail.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sim.config import LLC_PRED_ORACLE, TLB_PRED_ORACLE, SystemConfig
+from repro.sim.machine import Machine
+from repro.sim.results import SimResult
+from repro.workloads.suite import DEFAULT_BUDGET, get_trace
+from repro.workloads.trace import Trace
+
+_run_cache: Dict[tuple, SimResult] = {}
+
+
+def run_trace(trace: Trace, config: SystemConfig, seed: int = 1) -> SimResult:
+    """Simulate ``trace`` on ``config`` (no caching)."""
+    if (
+        config.tlb_predictor == TLB_PRED_ORACLE
+        or config.llc_predictor == LLC_PRED_ORACLE
+    ):
+        return _run_oracle(trace, config, seed)
+    machine = Machine(config, seed=seed)
+    return machine.run(trace)
+
+
+def _run_oracle(trace: Trace, config: SystemConfig, seed: int) -> SimResult:
+    # Pass 1: baseline run recording per-fill DOA outcomes (TLB and/or
+    # LLC side, depending on which predictor is the oracle).
+    recorder_machine = Machine(config, seed=seed)
+    recorder_machine.run(trace)
+    tlb_outcomes = None
+    if recorder_machine.oracle_recorder is not None:
+        tlb_outcomes = recorder_machine.oracle_recorder.outcomes
+    llc_outcomes = None
+    if recorder_machine.llc_oracle_recorder is not None:
+        llc_outcomes = recorder_machine.llc_oracle_recorder.outcomes
+    # Pass 2: bypass exactly the recorded DOA fills.
+    machine = Machine(
+        config,
+        oracle_outcomes=tlb_outcomes,
+        llc_oracle_outcomes=llc_outcomes,
+        seed=seed,
+    )
+    return machine.run(trace)
+
+
+def run_cached(
+    workload: str,
+    config: SystemConfig,
+    budget: int = DEFAULT_BUDGET,
+    seed: int = 42,
+) -> SimResult:
+    """Simulate a suite workload under ``config``, memoised process-wide."""
+    key = (workload, budget, seed, config)
+    result = _run_cache.get(key)
+    if result is None:
+        trace = get_trace(workload, budget, seed)
+        result = run_trace(trace, config, seed=1)
+        _run_cache[key] = result
+    return result
+
+
+def clear_run_cache() -> None:
+    _run_cache.clear()
+
+
+def baseline_and(
+    workload: str,
+    config: SystemConfig,
+    budget: int = DEFAULT_BUDGET,
+) -> tuple:
+    """Convenience: ``(baseline_result, config_result)`` for one workload,
+    where the baseline is ``config`` with both predictors disabled."""
+    base_cfg = config.with_predictors(tlb="none", llc="none")
+    return (
+        run_cached(workload, base_cfg, budget),
+        run_cached(workload, config, budget),
+    )
+
+
+def run_many(
+    workload: str,
+    config: SystemConfig,
+    seeds,
+    budget: int = DEFAULT_BUDGET,
+) -> list:
+    """Run one (workload, config) pair over several trace seeds.
+
+    Returns the list of :class:`SimResult`, one per seed — the raw
+    material for run-to-run-variation statistics (see
+    :func:`summarize_runs`)."""
+    return [run_cached(workload, config, budget, seed=s) for s in seeds]
+
+
+def summarize_runs(results) -> dict:
+    """Mean/min/max of the headline metrics over multi-seed runs."""
+    if not results:
+        raise ValueError("summarize_runs needs at least one result")
+
+    def stats(values):
+        values = list(values)
+        return {
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }
+
+    return {
+        "ipc": stats(r.ipc for r in results),
+        "llt_mpki": stats(r.llt_mpki for r in results),
+        "llc_mpki": stats(r.llc_mpki for r in results),
+        "runs": len(results),
+    }

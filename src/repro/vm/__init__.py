@@ -1,0 +1,43 @@
+"""Virtual-memory substrate: TLBs, page table, walk caches, frame allocator."""
+
+from repro.vm.pagetable import (
+    ENTRIES_PER_NODE,
+    LEVEL_BITS,
+    NUM_LEVELS,
+    PTE_SIZE,
+    VPN_BITS,
+    RadixPageTable,
+)
+from repro.vm.physmem import PAGE_SHIFT, PAGE_SIZE, FrameAllocator, OutOfPhysicalMemory
+from repro.vm.pwc import PageWalkCaches
+from repro.vm.tlb import (
+    FILL_ALLOCATE,
+    FILL_BYPASS,
+    FILL_DISTANT,
+    Tlb,
+    TlbEntry,
+    TlbListener,
+)
+from repro.vm.walker import BLOCK_SHIFT, PageTableWalker
+
+__all__ = [
+    "ENTRIES_PER_NODE",
+    "LEVEL_BITS",
+    "NUM_LEVELS",
+    "PTE_SIZE",
+    "VPN_BITS",
+    "RadixPageTable",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "FrameAllocator",
+    "OutOfPhysicalMemory",
+    "PageWalkCaches",
+    "FILL_ALLOCATE",
+    "FILL_BYPASS",
+    "FILL_DISTANT",
+    "Tlb",
+    "TlbEntry",
+    "TlbListener",
+    "PageTableWalker",
+    "BLOCK_SHIFT",
+]

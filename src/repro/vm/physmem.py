@@ -1,0 +1,67 @@
+"""OS-like physical frame allocator.
+
+Pages (and page-table nodes) receive physical frames on first touch, the
+way a demand-paging OS would. Frames are handed out through a bijective
+scramble of a monotone counter so that consecutive virtual pages do *not*
+land in consecutive physical frames — real free lists are fragmented, and
+physically-indexed caches (the LLC here) care about frame-number bits.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import is_power_of_two, mask
+from repro.common.stats import Stats
+
+#: Architectural page size used throughout the simulator (4 KB, the paper's
+#: default; Section VI-F discusses why large pages are out of scope).
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+
+class OutOfPhysicalMemory(RuntimeError):
+    """Raised when the configured physical-frame pool is exhausted."""
+
+
+class FrameAllocator:
+    """Allocates physical frame numbers on demand.
+
+    ``scramble=True`` (default) maps the i-th allocation to
+    ``(i * ODD + salt) mod pool`` — a bijection over a power-of-two pool
+    that spreads frames across the physical address space deterministically.
+    ``scramble=False`` yields sequential frames (useful in tests).
+    """
+
+    _ODD_MULTIPLIER = 0x9E3779B1  # golden-ratio odd constant
+
+    def __init__(self, num_frames: int = 1 << 22, scramble: bool = True, seed: int = 1):
+        if not is_power_of_two(num_frames):
+            raise ValueError(f"num_frames must be a power of two, got {num_frames}")
+        self.num_frames = num_frames
+        self._mask = mask(num_frames.bit_length() - 1)
+        self._next = 0
+        self._scramble = scramble
+        self._salt = (seed * 0x85EBCA6B) & self._mask
+        self.stats = Stats()
+
+    def allocate(self) -> int:
+        """Return a fresh physical frame number."""
+        if self._next >= self.num_frames:
+            raise OutOfPhysicalMemory(
+                f"exhausted {self.num_frames} physical frames"
+            )
+        i = self._next
+        self._next += 1
+        self.stats.add("frames_allocated")
+        if not self._scramble:
+            return i
+        return ((i * self._ODD_MULTIPLIER) + self._salt) & self._mask
+
+    @property
+    def allocated(self) -> int:
+        return self._next
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FrameAllocator(allocated={self._next}/{self.num_frames}, "
+            f"scramble={self._scramble})"
+        )

@@ -1,0 +1,99 @@
+"""Page-walk caches (PWCs): fully-associative caches of partial walks.
+
+Table I: "3 levels, fully associative, Entries: 4 (L1), 8 (L2), 16 (L3),
+Lat. (cycles): 1 (L1), 1 (L2), 2 (L3)".
+
+Conventionally (Bhattacharjee, MICRO'13) the L1 PWC caches page-directory
+entries — a hit resolves the top *three* radix levels so the walk needs a
+single memory access (the PTE). The L2 PWC resolves the top two levels and
+the L3 PWC the top one. Lookups try L1 first; the deepest hit wins; all
+levels are refilled when a walk completes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.stats import Stats
+from repro.vm.pagetable import LEVEL_BITS, NUM_LEVELS
+
+
+class _FullyAssocLru:
+    """A tiny fully-associative LRU cache of tags (no payload needed)."""
+
+    __slots__ = ("capacity", "_stamps", "_clock")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._stamps: Dict[int, int] = {}
+        self._clock = 0
+
+    def lookup(self, tag: int) -> bool:
+        if tag in self._stamps:
+            self._clock += 1
+            self._stamps[tag] = self._clock
+            return True
+        return False
+
+    def fill(self, tag: int) -> None:
+        self._clock += 1
+        if tag not in self._stamps and len(self._stamps) >= self.capacity:
+            victim = min(self._stamps, key=self._stamps.__getitem__)
+            del self._stamps[victim]
+        self._stamps[tag] = self._clock
+
+    def __len__(self) -> int:
+        return len(self._stamps)
+
+
+class PageWalkCaches:
+    """The 3-level PWC stack consulted before a page walk.
+
+    :meth:`consult` returns how many radix levels are already resolved
+    (0..3) and the lookup latency paid. A walk that resolves ``k`` levels
+    from the PWCs performs ``4 - k`` memory accesses, giving the paper's
+    "1 to 3 memory accesses (on a hit to PWC)" range.
+    """
+
+    def __init__(
+        self,
+        entries: Tuple[int, int, int] = (4, 8, 16),
+        latencies: Tuple[int, int, int] = (1, 1, 2),
+    ):
+        if len(entries) != 3 or len(latencies) != 3:
+            raise ValueError("PWC needs exactly 3 levels of entries/latencies")
+        # _levels[0] = L1 PWC (resolves 3 levels) ... _levels[2] = L3 PWC.
+        self._levels = [_FullyAssocLru(n) for n in entries]
+        self._latencies = list(latencies)
+        self.stats = Stats()
+
+    @staticmethod
+    def _tag(vpn: int, levels_resolved: int) -> int:
+        """Tag covering the top ``levels_resolved`` radix levels of ``vpn``."""
+        return vpn >> (LEVEL_BITS * (NUM_LEVELS - levels_resolved))
+
+    def consult(self, vpn: int) -> Tuple[int, int]:
+        """Returns ``(levels_resolved, lookup_latency)``.
+
+        Tries the L1 PWC (3 levels resolved) down to the L3 PWC (1 level);
+        latency accumulates over the levels actually probed.
+        """
+        latency = 0
+        for i, resolved in enumerate((3, 2, 1)):
+            latency += self._latencies[i]
+            if self._levels[i].lookup(self._tag(vpn, resolved)):
+                self.stats.add(f"pwc_l{i + 1}_hits")
+                return resolved, latency
+        self.stats.add("pwc_misses")
+        return 0, latency
+
+    def fill(self, vpn: int) -> None:
+        """Install the completed walk's partial translations at every level."""
+        for i, resolved in enumerate((3, 2, 1)):
+            self._levels[i].fill(self._tag(vpn, resolved))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sizes = ", ".join(str(lvl.capacity) for lvl in self._levels)
+        return f"PageWalkCaches(entries=[{sizes}])"

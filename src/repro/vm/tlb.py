@@ -1,0 +1,229 @@
+"""Set-associative TLB model with predictor hooks.
+
+Used for the L1 I-TLB, L1 D-TLB, and the L2 TLB (the paper's LLT). The
+LLT attaches a :class:`TlbListener` — dpPred, or one of the adapted cache
+dead-block predictors (SHiP-TLB, AIP-TLB) — which can observe hits,
+evictions and fills, bypass an incoming translation, demote an insertion to
+the LRU/distant position, or serve a miss from a victim buffer (dpPred's
+shadow table).
+
+Per-entry metadata is exactly what the paper adds: an ``Accessed`` bit set
+on the first hit, and a small hash of the PC of the instruction that
+brought the entry in (stored at fill time; Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.bitops import is_power_of_two
+from repro.common.residency import ResidencyTracker
+from repro.common.stats import Stats
+from repro.mem.replacement import ReplacementPolicy, make_policy
+
+FILL_ALLOCATE = "allocate"
+FILL_BYPASS = "bypass"
+FILL_DISTANT = "distant"
+
+
+class TlbEntry:
+    """One TLB entry: translation plus the paper's predictor metadata."""
+
+    __slots__ = ("vpn", "pfn", "pc_hash", "accessed", "aux")
+
+    def __init__(self, vpn: int, pfn: int, pc_hash: int):
+        self.vpn = vpn
+        self.pfn = pfn
+        self.pc_hash = pc_hash
+        self.accessed = False
+        self.aux = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TlbEntry(vpn={self.vpn:#x}, pfn={self.pfn:#x}, "
+            f"pc_hash={self.pc_hash:#x}, accessed={self.accessed})"
+        )
+
+
+class TlbListener:
+    """Predictor-side hooks; the default implementation is a no-op."""
+
+    def on_lookup(self, tlb: "Tlb", set_idx: int, now: int) -> None:
+        """Any lookup touched ``set_idx`` (hit or miss). Used by interval-
+        counting predictors such as AIP."""
+
+    def on_hit(self, tlb: "Tlb", entry: TlbEntry, now: int) -> None:
+        """A lookup hit ``entry``."""
+
+    def on_miss(self, tlb: "Tlb", vpn: int, now: int) -> Optional[int]:
+        """A lookup missed. May return a PFN served from a victim buffer
+        (shadow table); returning a PFN suppresses the page walk."""
+        return None
+
+    def on_fill(
+        self, tlb: "Tlb", vpn: int, pfn: int, pc_hash: int, now: int
+    ) -> str:
+        """An incoming translation is about to be installed.
+
+        Returns ``"allocate"``, ``"bypass"``, or ``"distant"``.
+        """
+        return FILL_ALLOCATE
+
+    def filled(self, tlb: "Tlb", entry: TlbEntry, now: int) -> None:
+        """``entry`` was installed (not called on bypass)."""
+
+    def on_evict(self, tlb: "Tlb", entry: TlbEntry, now: int) -> None:
+        """``entry`` is being evicted (training opportunity)."""
+
+    def choose_victim(
+        self, tlb: "Tlb", set_idx: int, entries: List[Optional[TlbEntry]], now: int
+    ) -> Optional[int]:
+        """Override victim selection for a full set (see CacheListener)."""
+        return None
+
+
+class Tlb:
+    """A set-associative TLB."""
+
+    def __init__(
+        self,
+        name: str,
+        num_entries: int,
+        assoc: int,
+        policy: str = "lru",
+        listener: Optional[TlbListener] = None,
+        track_residency: bool = False,
+    ):
+        if num_entries % assoc != 0:
+            raise ValueError(
+                f"{name}: entries {num_entries} not divisible by assoc {assoc}"
+            )
+        num_sets = num_entries // assoc
+        if not is_power_of_two(num_sets):
+            raise ValueError(
+                f"{name}: num_sets {num_sets} must be a power of two"
+            )
+        self.name = name
+        self.num_entries = num_entries
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self._set_mask = num_sets - 1
+        self.policy: ReplacementPolicy = make_policy(policy, num_sets, assoc)
+        self.listener = listener or TlbListener()
+        self._entries: List[List[Optional[TlbEntry]]] = [
+            [None] * assoc for _ in range(num_sets)
+        ]
+        self._tags: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
+        self.stats = Stats()
+        self.residency: Optional[ResidencyTracker] = (
+            ResidencyTracker() if track_residency else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Access path
+    # ------------------------------------------------------------------ #
+    def probe(self, vpn: int) -> Optional[TlbEntry]:
+        """Tag check with no side effects."""
+        set_idx = vpn & self._set_mask
+        way = self._tags[set_idx].get(vpn)
+        return None if way is None else self._entries[set_idx][way]
+
+    def lookup(self, vpn: int, now: int) -> Optional[int]:
+        """Translate ``vpn``. Returns the PFN on a hit (including a hit in
+        the listener's victim buffer) or None on a genuine miss."""
+        set_idx = vpn & self._set_mask
+        self.listener.on_lookup(self, set_idx, now)
+        way = self._tags[set_idx].get(vpn)
+        if way is not None:
+            entry = self._entries[set_idx][way]
+            self.stats.add("hits")
+            entry.accessed = True
+            self.policy.on_hit(set_idx, way)
+            if self.residency is not None:
+                self.residency.hit((set_idx, way), now)
+            self.listener.on_hit(self, entry, now)
+            return entry.pfn
+        self.stats.add("misses")
+        buffered = self.listener.on_miss(self, vpn, now)
+        if buffered is not None:
+            self.stats.add("victim_buffer_hits")
+        return buffered
+
+    def fill(self, vpn: int, pfn: int, pc_hash: int, now: int) -> Optional[TlbEntry]:
+        """Install a completed translation; returns the evicted entry."""
+        set_idx = vpn & self._set_mask
+        tags = self._tags[set_idx]
+        if vpn in tags:
+            return None
+        decision = self.listener.on_fill(self, vpn, pfn, pc_hash, now)
+        if decision == FILL_BYPASS:
+            self.stats.add("bypasses")
+            return None
+
+        entries = self._entries[set_idx]
+        victim: Optional[TlbEntry] = None
+        way = None
+        for w in range(self.assoc):
+            if entries[w] is None:
+                way = w
+                break
+        if way is None:
+            way = self.listener.choose_victim(self, set_idx, entries, now)
+            if way is None:
+                way = self.policy.victim(set_idx)
+            victim = self._evict_way(set_idx, way, now)
+
+        entry = TlbEntry(vpn, pfn, pc_hash)
+        entries[way] = entry
+        tags[vpn] = way
+        self.policy.on_fill(set_idx, way, distant=(decision == FILL_DISTANT))
+        self.stats.add("fills")
+        if self.residency is not None:
+            self.residency.fill((set_idx, way), now)
+        self.listener.filled(self, entry, now)
+        return victim
+
+    def invalidate(self, vpn: int, now: int) -> Optional[TlbEntry]:
+        """Remove ``vpn`` if present (shootdown / test helper)."""
+        set_idx = vpn & self._set_mask
+        way = self._tags[set_idx].get(vpn)
+        if way is None:
+            return None
+        self.stats.add("invalidations")
+        return self._evict_way(set_idx, way, now, external=True)
+
+    def _evict_way(
+        self, set_idx: int, way: int, now: int, external: bool = False
+    ) -> TlbEntry:
+        entry = self._entries[set_idx][way]
+        assert entry is not None
+        del self._tags[set_idx][entry.vpn]
+        self._entries[set_idx][way] = None
+        self.stats.add("evictions")
+        if self.residency is not None:
+            self.residency.evict((set_idx, way), now)
+        if external:
+            self.policy.on_invalidate(set_idx, way)
+        self.listener.on_evict(self, entry, now)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def occupancy(self) -> int:
+        return sum(len(t) for t in self._tags)
+
+    def resident_vpns(self) -> List[int]:
+        return [
+            e.vpn for ways in self._entries for e in ways if e is not None
+        ]
+
+    def flush_residency(self, now: int) -> None:
+        if self.residency is not None:
+            self.residency.flush(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Tlb({self.name}, entries={self.num_entries}, "
+            f"assoc={self.assoc}, policy={self.policy.name()})"
+        )

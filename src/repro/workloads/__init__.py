@@ -1,0 +1,33 @@
+"""Workload substrate: traces, synthetic kernels, the Table II suite."""
+
+from repro.workloads.suite import (
+    DEFAULT_BUDGET,
+    WORKLOAD_CLASSES,
+    clear_trace_cache,
+    get_trace,
+    make_workload,
+    workload_names,
+)
+from repro.workloads.synthetic import (
+    AddressSpace,
+    RandomWorkload,
+    StreamWorkload,
+    Workload,
+)
+from repro.workloads.trace import Trace, TraceBuilder, pc_for_site
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "WORKLOAD_CLASSES",
+    "clear_trace_cache",
+    "get_trace",
+    "make_workload",
+    "workload_names",
+    "AddressSpace",
+    "RandomWorkload",
+    "StreamWorkload",
+    "Workload",
+    "Trace",
+    "TraceBuilder",
+    "pc_for_site",
+]

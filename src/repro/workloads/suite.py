@@ -1,0 +1,89 @@
+"""The 14-workload evaluation suite (paper Table II), plus trace caching.
+
+Traces are deterministic in (workload, seed, budget) and are memoised
+process-wide so the many configurations of an experiment share one trace.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Type
+
+from repro.workloads.graphs import (
+    BetweennessCentrality,
+    Bfs,
+    ConnectedComponents,
+    Graph500,
+    KCore,
+    MaximalIndependentSet,
+    PageRank,
+    Sssp,
+    TriangleCounting,
+)
+from repro.workloads.spec_like import (
+    CactusAdm,
+    Canneal,
+    ConjugateGradient,
+    Lbm,
+    Mcf,
+)
+from repro.workloads.synthetic import Workload
+from repro.workloads.trace import Trace
+
+#: Table II order.
+WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
+    "cactusADM": CactusAdm,
+    "cc": ConnectedComponents,
+    "cg.B": ConjugateGradient,
+    "sssp": Sssp,
+    "lbm": Lbm,
+    "Triangle": TriangleCounting,
+    "KCore": KCore,
+    "canneal": Canneal,
+    "pr": PageRank,
+    "graph500": Graph500,
+    "bfs": Bfs,
+    "bc": BetweennessCentrality,
+    "mis": MaximalIndependentSet,
+    "mcf": Mcf,
+}
+
+#: Default per-run access budget for the fast profile. Large enough to
+#: reach predictor steady state on the scaled structures, small enough
+#: that a full 14-workload experiment runs in minutes of pure Python.
+#: Override with the REPRO_BUDGET environment variable.
+DEFAULT_BUDGET = int(os.environ.get("REPRO_BUDGET", "120000"))
+
+_trace_cache: Dict[tuple, Trace] = {}
+
+
+def workload_names() -> List[str]:
+    """All 14 workloads in Table II order."""
+    return list(WORKLOAD_CLASSES)
+
+
+def make_workload(name: str, seed: int = 42) -> Workload:
+    try:
+        cls = WORKLOAD_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {workload_names()}"
+        ) from None
+    # Decorrelate workloads sharing a generator family: each gets its own
+    # stream of graph/table randomness derived from the suite seed.
+    index = list(WORKLOAD_CLASSES).index(name)
+    return cls(seed=seed + 101 * index)
+
+
+def get_trace(name: str, budget: int = DEFAULT_BUDGET, seed: int = 42) -> Trace:
+    """Deterministic, memoised trace for ``name``."""
+    key = (name, budget, seed)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        trace = make_workload(name, seed).generate(budget)
+        _trace_cache[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    _trace_cache.clear()

@@ -1,0 +1,156 @@
+"""Workload framework: address-space layout, access primitives, base class.
+
+Each workload is an *instrumented kernel*: it executes (a scaled version
+of) the real algorithm in Python/numpy and emits the memory references its
+core data structures would generate. DESIGN.md §3 explains why this
+substitution preserves the dead-page/dead-block behaviour the paper
+studies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+import numpy as np
+
+from repro.workloads.trace import Trace, TraceBuilder, pc_for_site
+
+#: Base of the synthetic data segment.
+DATA_BASE = 0x1000_0000
+#: Alignment/padding between regions (2 MB) so regions never share pages.
+REGION_ALIGN = 1 << 21
+
+
+class AddressSpace:
+    """Lays out named data regions in the virtual address space."""
+
+    def __init__(self, base: int = DATA_BASE):
+        self._next = base
+        self._regions: Dict[str, tuple] = {}
+
+    def region(self, name: str, size_bytes: int) -> int:
+        """Reserve ``size_bytes`` for ``name``; returns the base address."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size_bytes <= 0:
+            raise ValueError(f"region size must be positive, got {size_bytes}")
+        base = self._next
+        self._regions[name] = (base, size_bytes)
+        padded = -(-size_bytes // REGION_ALIGN) * REGION_ALIGN
+        self._next += padded
+        return base
+
+    def base(self, name: str) -> int:
+        return self._regions[name][0]
+
+    @property
+    def footprint_bytes(self) -> int:
+        return sum(size for _, size in self._regions.values())
+
+
+def addresses(base: int, indices: np.ndarray, element_size: int) -> np.ndarray:
+    """Virtual addresses of ``indices`` into an array at ``base``."""
+    return base + indices.astype(np.uint64) * np.uint64(element_size)
+
+
+def sequential_indices(count: int, start: int = 0) -> np.ndarray:
+    return np.arange(start, start + count, dtype=np.uint64)
+
+
+def mix_pcs(
+    rng: np.random.RandomState,
+    primary_pc: int,
+    shared_pc: int,
+    count: int,
+    shared_fraction: float,
+) -> np.ndarray:
+    """PC array where a fraction of accesses issue from a *shared* PC.
+
+    Real applications touch several data structures through common inlined
+    helpers (iterators, memcpy, hash probes), so one PC's fills mix hot and
+    cold pages. This is the regime the paper's two-dimensional PC x VPN
+    pHIST index is designed for — and where PC-only signatures (SHiP)
+    mispredict (paper Table VI's low SHiP-TLB accuracies).
+    """
+    pcs = np.full(count, primary_pc, dtype=np.uint64)
+    if shared_fraction > 0:
+        mask = rng.rand(count) < shared_fraction
+        pcs[mask] = shared_pc
+    return pcs
+
+
+def strided_indices(count: int, stride: int, start: int = 0) -> np.ndarray:
+    return (start + np.arange(count, dtype=np.uint64) * stride)
+
+
+class Workload(ABC):
+    """A named, seeded, budgeted trace generator."""
+
+    #: Short identifier matching the paper's Table II row.
+    name: str = "abstract"
+    #: One-line description (mirrors Table II's Description column).
+    description: str = ""
+
+    def __init__(self, seed: int = 42):
+        self.seed = seed
+
+    @abstractmethod
+    def generate(self, budget: int) -> Trace:
+        """Produce a trace with at most ``budget`` memory accesses."""
+
+    def _builder(self, budget: int) -> TraceBuilder:
+        return TraceBuilder(self.name, budget)
+
+    def _rng(self) -> np.random.RandomState:
+        return np.random.RandomState(self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(seed={self.seed})"
+
+
+class StreamWorkload(Workload):
+    """A pure streaming sweep — the simplest possible workload, used in
+    tests and the quickstart example. Every page is touched once per sweep;
+    with a footprint far beyond the LLT reach all pages are DOA."""
+
+    name = "stream"
+    description = "sequential sweep over a large array"
+
+    def __init__(self, seed: int = 42, array_bytes: int = 1 << 22, stride: int = 64):
+        super().__init__(seed)
+        self.array_bytes = array_bytes
+        self.stride = stride
+
+    def generate(self, budget: int) -> Trace:
+        builder = self._builder(budget)
+        space = AddressSpace()
+        base = space.region("stream", self.array_bytes)
+        elems = self.array_bytes // self.stride
+        pc = pc_for_site(0)
+        while not builder.full:
+            idx = sequential_indices(min(elems, builder.remaining))
+            builder.emit_chunk(pc, addresses(base, idx, self.stride), gap=3)
+        return builder.build()
+
+
+class RandomWorkload(Workload):
+    """Uniform random accesses — unpredictable by construction; used in
+    tests to probe predictor worst cases."""
+
+    name = "urandom"
+    description = "uniform random accesses over a large array"
+
+    def __init__(self, seed: int = 42, array_bytes: int = 1 << 22):
+        super().__init__(seed)
+        self.array_bytes = array_bytes
+
+    def generate(self, budget: int) -> Trace:
+        builder = self._builder(budget)
+        space = AddressSpace()
+        base = space.region("rand", self.array_bytes)
+        rng = self._rng()
+        elems = self.array_bytes // 8
+        idx = rng.randint(0, elems, size=budget).astype(np.uint64)
+        builder.emit_chunk(pc_for_site(0), addresses(base, idx, 8), gap=3)
+        return builder.build()

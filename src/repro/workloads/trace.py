@@ -1,0 +1,183 @@
+"""Memory-reference traces and the builder the workload kernels emit into.
+
+A trace is four parallel numpy arrays — PC, virtual address, write flag,
+and the count of non-memory instructions preceding the access ("gap") —
+which is exactly what a Pin-style tool would hand Sniper. Kernels emit
+accesses through :class:`TraceBuilder`, usually in vectorised chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+#: Synthetic code region where workload "instructions" live. Keeping all
+#: PCs inside a few pages makes the I-TLB behave like a real kernel's.
+CODE_BASE = 0x0040_0000
+#: Byte spacing between synthetic instruction sites.
+PC_STRIDE = 4
+
+
+def pc_for_site(site: int) -> int:
+    """Program counter for the ``site``-th static access site."""
+    return CODE_BASE + site * PC_STRIDE
+
+
+@dataclass
+class Trace:
+    """An immutable memory-reference trace."""
+
+    name: str
+    pcs: np.ndarray
+    vaddrs: np.ndarray
+    writes: np.ndarray
+    gaps: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.pcs)
+        if not (len(self.vaddrs) == len(self.writes) == len(self.gaps) == n):
+            raise ValueError("trace arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def num_instructions(self) -> int:
+        return int(self.gaps.sum()) + len(self.gaps)
+
+    @property
+    def footprint_pages(self) -> int:
+        """Distinct 4 KB data pages touched."""
+        return len(np.unique(self.vaddrs >> 12))
+
+    def iter_records(self) -> Iterator[Tuple[int, int, bool, int]]:
+        """Yield ``(pc, vaddr, is_write, gap)`` as native Python values."""
+        return zip(
+            self.pcs.tolist(),
+            self.vaddrs.tolist(),
+            self.writes.tolist(),
+            self.gaps.tolist(),
+        )
+
+    def truncated(self, max_accesses: int) -> "Trace":
+        """A prefix of this trace (used to cap run lengths)."""
+        if max_accesses >= len(self):
+            return self
+        return Trace(
+            self.name,
+            self.pcs[:max_accesses],
+            self.vaddrs[:max_accesses],
+            self.writes[:max_accesses],
+            self.gaps[:max_accesses],
+        )
+
+    def save(self, path) -> None:
+        """Persist the trace as a compressed ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            name=np.asarray(self.name),
+            pcs=self.pcs,
+            vaddrs=self.vaddrs,
+            writes=self.writes,
+            gaps=self.gaps,
+        )
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(path) as data:
+            return cls(
+                str(data["name"]),
+                data["pcs"],
+                data["vaddrs"],
+                data["writes"],
+                data["gaps"],
+            )
+
+
+class TraceBuilder:
+    """Accumulates accesses (scalars or vectorised chunks) into a Trace."""
+
+    def __init__(self, name: str, budget: int):
+        if budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        self.name = name
+        self.budget = budget
+        self._count = 0
+        self._pcs: List[np.ndarray] = []
+        self._vaddrs: List[np.ndarray] = []
+        self._writes: List[np.ndarray] = []
+        self._gaps: List[np.ndarray] = []
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - self._count
+
+    @property
+    def full(self) -> bool:
+        return self._count >= self.budget
+
+    def emit(self, pc: int, vaddr: int, write: bool = False, gap: int = 2) -> None:
+        """Append a single access."""
+        self.emit_chunk(pc, np.asarray([vaddr], dtype=np.uint64), write, gap)
+
+    def emit_chunk(
+        self,
+        pc: int,
+        vaddrs: np.ndarray,
+        write: bool = False,
+        gap: int = 2,
+    ) -> None:
+        """Append a chunk of accesses sharing one PC / write flag / gap.
+
+        Chunks beyond the remaining budget are silently truncated; check
+        :attr:`full` in kernel loops to stop early.
+        """
+        room = self.remaining
+        if room <= 0:
+            return
+        if len(vaddrs) > room:
+            vaddrs = vaddrs[:room]
+        n = len(vaddrs)
+        if n == 0:
+            return
+        self._pcs.append(np.full(n, pc, dtype=np.uint64))
+        self._vaddrs.append(np.asarray(vaddrs, dtype=np.uint64))
+        self._writes.append(np.full(n, write, dtype=bool))
+        self._gaps.append(np.full(n, gap, dtype=np.uint16))
+        self._count += n
+
+    def emit_interleaved(
+        self,
+        pcs: np.ndarray,
+        vaddrs: np.ndarray,
+        writes: np.ndarray,
+        gaps: np.ndarray,
+    ) -> None:
+        """Append pre-assembled parallel arrays (for mixed-PC chunks)."""
+        room = self.remaining
+        if room <= 0:
+            return
+        n = min(room, len(vaddrs))
+        self._pcs.append(np.asarray(pcs[:n], dtype=np.uint64))
+        self._vaddrs.append(np.asarray(vaddrs[:n], dtype=np.uint64))
+        self._writes.append(np.asarray(writes[:n], dtype=bool))
+        self._gaps.append(np.asarray(gaps[:n], dtype=np.uint16))
+        self._count += n
+
+    def build(self) -> Trace:
+        if self._count == 0:
+            raise ValueError(f"trace {self.name!r} is empty")
+        return Trace(
+            self.name,
+            np.concatenate(self._pcs),
+            np.concatenate(self._vaddrs),
+            np.concatenate(self._writes),
+            np.concatenate(self._gaps),
+        )

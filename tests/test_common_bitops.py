@@ -1,0 +1,105 @@
+"""Tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import (
+    align_down,
+    bits_to_bytes,
+    fold_xor,
+    is_power_of_two,
+    log2_exact,
+    mask,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(12) == 0xFFF
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestFoldXor:
+    def test_identity_for_small_values(self):
+        # A value that fits in the width folds to itself.
+        assert fold_xor(0b1011, 6) == 0b1011
+
+    def test_folds_two_blocks(self):
+        # 0b1010 and 0b0101 in adjacent 4-bit blocks XOR to 0b1111.
+        assert fold_xor(0b1010_0101, 4) == 0b1111
+
+    def test_zero(self):
+        assert fold_xor(0, 6) == 0
+
+    def test_respects_input_bits(self):
+        # Bits above input_bits are discarded before folding.
+        value = (1 << 40) | 0b11
+        assert fold_xor(value, 4, input_bits=8) == 0b11
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            fold_xor(5, 0)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(1, 16))
+    def test_result_always_in_range(self, value, width):
+        assert 0 <= fold_xor(value, width) < (1 << width)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(1, 16))
+    def test_deterministic(self, value, width):
+        assert fold_xor(value, width) == fold_xor(value, width)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(1, 12))
+    def test_xor_homomorphic(self, value, width):
+        # fold(a ^ b) == fold(a) ^ fold(b): the defining property of
+        # a fold-XOR hash. Checked with b = value rotated.
+        other = (value * 3) & (2**32 - 1)
+        assert fold_xor(value ^ other, width) == (
+            fold_xor(value, width) ^ fold_xor(other, width)
+        )
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(1024) == 10
+
+    def test_log2_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)
+
+    @given(st.integers(0, 40))
+    def test_log2_roundtrip(self, e):
+        assert log2_exact(1 << e) == e
+
+
+class TestAlignDown:
+    def test_basic(self):
+        assert align_down(0x1234, 0x1000) == 0x1000
+
+    def test_already_aligned(self):
+        assert align_down(0x2000, 0x1000) == 0x2000
+
+    def test_rejects_non_power_alignment(self):
+        with pytest.raises(ValueError):
+            align_down(100, 12)
+
+
+def test_bits_to_bytes():
+    assert bits_to_bytes(8) == 1.0
+    assert bits_to_bytes(7 * 1024) == 896.0

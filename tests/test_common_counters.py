@@ -1,0 +1,110 @@
+"""Tests for repro.common.counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import CounterArray, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_starts_at_initial(self):
+        assert SaturatingCounter(3).value == 0
+        assert SaturatingCounter(3, initial=5).value == 5
+
+    def test_saturates_high(self):
+        c = SaturatingCounter(3)
+        for _ in range(20):
+            c.increment()
+        assert c.value == 7
+
+    def test_saturates_low(self):
+        c = SaturatingCounter(3, initial=1)
+        c.decrement()
+        c.decrement()
+        assert c.value == 0
+
+    def test_clear(self):
+        c = SaturatingCounter(3, initial=6)
+        c.clear()
+        assert c.value == 0
+
+    def test_is_above_threshold(self):
+        c = SaturatingCounter(3, initial=7)
+        assert c.is_above(6)
+        assert not c.is_above(7)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(2, initial=4)
+
+    @given(st.integers(1, 8), st.lists(st.booleans(), max_size=200))
+    def test_always_in_range(self, width, ops):
+        c = SaturatingCounter(width)
+        for up in ops:
+            c.increment() if up else c.decrement()
+            assert 0 <= c.value <= c.max_value
+
+
+class TestCounterArray:
+    def test_all_start_at_initial(self):
+        arr = CounterArray(16, width=3, initial=2)
+        assert all(arr.get(i) == 2 for i in range(16))
+
+    def test_len(self):
+        assert len(CounterArray(10, width=3)) == 10
+
+    def test_increment_saturates(self):
+        arr = CounterArray(4, width=3)
+        for _ in range(10):
+            arr.increment(1)
+        assert arr.get(1) == 7
+        assert arr.get(0) == 0  # neighbours untouched
+
+    def test_decrement_saturates(self):
+        arr = CounterArray(4, width=3, initial=1)
+        arr.decrement(2)
+        arr.decrement(2)
+        assert arr.get(2) == 0
+
+    def test_clear_single(self):
+        arr = CounterArray(4, width=3, initial=5)
+        arr.clear(0)
+        assert arr.get(0) == 0
+        assert arr.get(1) == 5
+
+    def test_clear_all(self):
+        arr = CounterArray(4, width=3, initial=5)
+        arr.clear_all()
+        assert all(arr.get(i) == 0 for i in range(4))
+
+    def test_is_above(self):
+        arr = CounterArray(2, width=3, initial=7)
+        assert arr.is_above(0, 6)
+        assert not arr.is_above(0, 7)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CounterArray(0, width=3)
+
+    @given(
+        st.integers(1, 6),
+        st.lists(
+            st.tuples(st.integers(0, 7), st.sampled_from(["inc", "dec", "clr"])),
+            max_size=300,
+        ),
+    )
+    def test_array_values_always_in_range(self, width, ops):
+        arr = CounterArray(8, width=width)
+        for idx, op in ops:
+            if op == "inc":
+                arr.increment(idx)
+            elif op == "dec":
+                arr.decrement(idx)
+            else:
+                arr.clear(idx)
+            assert 0 <= arr.get(idx) <= arr.max_value

@@ -1,0 +1,142 @@
+"""Tests for the residency tracker behind Figures 1-4."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.residency import ResidencyTracker
+
+
+def run_residency(events):
+    """Apply (op, key, time) events and return the tracker."""
+    t = ResidencyTracker()
+    for op, key, now in events:
+        getattr(t, op)(key, now)
+    return t
+
+
+class TestEvictionClassification:
+    def test_doa_residency(self):
+        # Filled at 0, never hit, evicted at 100 -> DOA, fully dead.
+        t = run_residency([("fill", "a", 0), ("evict", "a", 100)])
+        s = t.summary
+        assert s.residencies == 1
+        assert s.doa_evictions == 1
+        assert s.dead_fraction == 1.0
+        assert s.doa_fraction == 1.0
+        assert s.doa_eviction_fraction == 1.0
+
+    def test_mostly_dead_residency(self):
+        # Hit early (t=10), evicted late (t=100): dead 90 > live 10.
+        t = run_residency(
+            [("fill", "a", 0), ("hit", "a", 10), ("evict", "a", 100)]
+        )
+        s = t.summary
+        assert s.doa_evictions == 0
+        assert s.mostly_dead_evictions == 1
+        assert s.dead_fraction == 0.9
+        assert s.doa_fraction == 0.0
+
+    def test_mostly_live_residency(self):
+        # Hit at t=90, evicted at t=100: live 90 > dead 10.
+        t = run_residency(
+            [("fill", "a", 0), ("hit", "a", 90), ("evict", "a", 100)]
+        )
+        s = t.summary
+        assert s.mostly_live_evictions == 1
+        assert s.dead_eviction_fraction == 0.0
+        assert abs(s.dead_fraction - 0.1) < 1e-12
+
+    def test_boundary_dead_equals_live_is_mostly_live(self):
+        t = run_residency(
+            [("fill", "a", 0), ("hit", "a", 50), ("evict", "a", 100)]
+        )
+        assert t.summary.mostly_live_evictions == 1
+
+
+class TestAggregation:
+    def test_two_entries_mixed(self):
+        t = run_residency(
+            [
+                ("fill", "a", 0),
+                ("fill", "b", 0),
+                ("hit", "b", 80),
+                ("evict", "a", 100),  # DOA
+                ("evict", "b", 100),  # mostly live
+            ]
+        )
+        s = t.summary
+        assert s.residencies == 2
+        assert s.doa_eviction_fraction == 0.5
+        # dead time: a fully (100) + b (20) = 120 over 200 total.
+        assert abs(s.dead_fraction - 0.6) < 1e-12
+
+    def test_key_reuse_after_evict(self):
+        # The same (set, way) key hosts two different residencies.
+        t = run_residency(
+            [
+                ("fill", "w0", 0),
+                ("evict", "w0", 10),
+                ("fill", "w0", 10),
+                ("hit", "w0", 15),
+                ("evict", "w0", 20),
+            ]
+        )
+        assert t.summary.residencies == 2
+        assert t.summary.doa_evictions == 1
+
+    def test_evict_unknown_key_is_noop(self):
+        t = ResidencyTracker()
+        t.evict("ghost", 5)
+        assert t.summary.residencies == 0
+
+    def test_hit_unknown_key_is_noop(self):
+        t = ResidencyTracker()
+        t.hit("ghost", 5)
+        assert t.live_count == 0
+
+    def test_flush_closes_all(self):
+        t = ResidencyTracker()
+        t.fill("a", 0)
+        t.fill("b", 0)
+        t.hit("a", 5)
+        t.flush(10)
+        assert t.summary.residencies == 2
+        assert t.live_count == 0
+
+    def test_empty_summary_fractions_are_zero(self):
+        s = ResidencyTracker().summary
+        assert s.dead_fraction == 0.0
+        assert s.doa_eviction_fraction == 0.0
+        assert s.dead_eviction_fraction == 0.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.booleans()),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_invariants_under_random_schedules(schedule):
+    """Dead time never exceeds total time; DOA is a subset of dead."""
+    t = ResidencyTracker()
+    now = 0
+    live = set()
+    for key, do_hit in schedule:
+        now += 1
+        if key not in live:
+            t.fill(key, now)
+            live.add(key)
+        elif do_hit:
+            t.hit(key, now)
+        else:
+            t.evict(key, now)
+            live.discard(key)
+    t.flush(now + 1)
+    s = t.summary
+    assert 0 <= s.dead_time <= s.total_time
+    assert 0 <= s.doa_time <= s.dead_time
+    assert (
+        s.doa_evictions + s.mostly_dead_evictions + s.mostly_live_evictions
+        == s.residencies
+    )

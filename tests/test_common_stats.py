@@ -1,0 +1,106 @@
+"""Tests for repro.common.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    Stats,
+    arithmetic_mean,
+    format_mapping,
+    geometric_mean,
+    percent,
+    safe_reduction,
+)
+
+
+class TestStats:
+    def test_default_zero(self):
+        assert Stats().get("anything") == 0
+
+    def test_add_accumulates(self):
+        s = Stats()
+        s.add("hits")
+        s.add("hits", 4)
+        assert s.get("hits") == 5
+
+    def test_ratio(self):
+        s = Stats()
+        s.add("hits", 3)
+        s.add("lookups", 4)
+        assert s.ratio("hits", "lookups") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        assert Stats().ratio("a", "b") == 0.0
+
+    def test_snapshot_is_copy(self):
+        s = Stats()
+        s.add("x")
+        snap = s.snapshot()
+        snap["x"] = 99
+        assert s.get("x") == 1
+
+    def test_merge(self):
+        a, b = Stats(), Stats()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert abs(geometric_mean([2.0, 8.0]) - 4.0) < 1e-12
+
+    def test_geometric_mean_single(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_arithmetic_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    def test_geomean_bounded_by_extremes(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(0.1, 10.0), min_size=2, max_size=20))
+    def test_geomean_le_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= arithmetic_mean(values) + 1e-9
+
+
+class TestHelpers:
+    def test_percent(self):
+        assert percent(0.5) == 50.0
+
+    def test_safe_reduction_improvement(self):
+        assert safe_reduction(10.0, 9.0) == pytest.approx(10.0)
+
+    def test_safe_reduction_regression_is_negative(self):
+        assert safe_reduction(10.0, 11.0) == pytest.approx(-10.0)
+
+    def test_safe_reduction_zero_baseline(self):
+        assert safe_reduction(0.0, 5.0) == 0.0
+
+    def test_format_mapping(self):
+        out = format_mapping({"abc": 1.5, "d": 2.25})
+        assert "abc : 1.50" in out
+        assert "d   : 2.25" in out
+
+    def test_format_mapping_empty(self):
+        assert format_mapping({}) == "(empty)"

@@ -1,0 +1,153 @@
+"""Behavioural tests for cbPred attached to an LLC."""
+
+import pytest
+
+from repro.core.cbpred import (
+    BLOCKS_PER_PAGE_SHIFT,
+    CbPredConfig,
+    CorrelatingDeadBlockPredictor,
+)
+from repro.mem.cache import SetAssocCache
+
+
+def make_llc(pred, num_sets=16, assoc=2):
+    return SetAssocCache("LLC", num_sets, assoc, listener=pred)
+
+
+def block_of(pfn, block_in_page=0):
+    return (pfn << BLOCKS_PER_PAGE_SHIFT) | block_in_page
+
+
+class TestPfqFilter:
+    def test_block_off_doa_page_is_untouched(self):
+        pred = CorrelatingDeadBlockPredictor()
+        llc = make_llc(pred)
+        llc.fill(block_of(5), now=0)
+        line = llc.probe(block_of(5))
+        assert line is not None and not line.dp
+        assert pred.stats.get("pfq_matches") == 0
+
+    def test_block_on_doa_page_gets_dp_bit(self):
+        pred = CorrelatingDeadBlockPredictor()
+        llc = make_llc(pred)
+        pred.notify_doa_page(5)
+        llc.fill(block_of(5), now=0)
+        assert llc.probe(block_of(5)).dp
+        assert pred.stats.get("pfq_matches") == 1
+
+    def test_pfq_disabled_marks_everything(self):
+        pred = CorrelatingDeadBlockPredictor(CbPredConfig(use_pfq=False))
+        llc = make_llc(pred)
+        llc.fill(block_of(5), now=0)
+        assert llc.probe(block_of(5)).dp
+
+
+class TestTraining:
+    def test_dp_doa_eviction_trains(self):
+        pred = CorrelatingDeadBlockPredictor()
+        llc = make_llc(pred)
+        pred.notify_doa_page(5)
+        b = block_of(5)
+        llc.fill(b, now=0)
+        llc.invalidate(b, now=1)  # evicted untouched
+        assert pred.bhist.value(b) == 1
+
+    def test_dp_hit_eviction_clears(self):
+        pred = CorrelatingDeadBlockPredictor()
+        llc = make_llc(pred)
+        pred.notify_doa_page(5)
+        b = block_of(5)
+        for _ in range(3):
+            llc.fill(b, now=0)
+            llc.invalidate(b, now=1)
+        llc.fill(b, now=2)
+        llc.lookup(b, now=3)
+        llc.invalidate(b, now=4)
+        assert pred.bhist.value(b) == 0
+
+    def test_non_dp_eviction_ignored(self):
+        pred = CorrelatingDeadBlockPredictor()
+        llc = make_llc(pred)
+        b = block_of(5)
+        llc.fill(b, now=0)
+        llc.invalidate(b, now=1)
+        assert pred.bhist.value(b) == 0
+
+
+class TestPrediction:
+    def train(self, pred, llc, b, times):
+        pred.notify_doa_page(b >> BLOCKS_PER_PAGE_SHIFT)
+        for i in range(times):
+            llc.fill(b, now=2 * i)
+            llc.invalidate(b, now=2 * i + 1)
+
+    def test_bypass_after_threshold(self):
+        pred = CorrelatingDeadBlockPredictor()
+        llc = make_llc(pred)
+        b = block_of(5)
+        self.train(pred, llc, b, 7)
+        llc.fill(b, now=100)
+        assert llc.probe(b) is None
+        assert llc.stats.get("bypasses") == 1
+        assert pred.stats.get("doa_predictions") == 1
+
+    def test_no_bypass_below_threshold(self):
+        pred = CorrelatingDeadBlockPredictor()
+        llc = make_llc(pred)
+        b = block_of(5)
+        self.train(pred, llc, b, 6)
+        llc.fill(b, now=100)
+        assert llc.probe(b) is not None
+
+    def test_no_bypass_when_page_left_pfq(self):
+        pred = CorrelatingDeadBlockPredictor(CbPredConfig(pfq_entries=1))
+        llc = make_llc(pred)
+        b = block_of(5)
+        self.train(pred, llc, b, 7)
+        pred.notify_doa_page(9)  # displaces pfn 5 from the 1-entry PFQ
+        llc.fill(b, now=100)
+        assert llc.probe(b) is not None  # allocated: filter says non-DOA page
+        assert not llc.probe(b).dp
+
+    def test_observer_called_only_on_pfq_match(self):
+        seen = []
+        pred = CorrelatingDeadBlockPredictor(
+            prediction_observer=lambda b, doa: seen.append((b, doa))
+        )
+        llc = make_llc(pred)
+        llc.fill(block_of(3), now=0)
+        assert seen == []
+        pred.notify_doa_page(5)
+        llc.fill(block_of(5), now=1)
+        assert seen == [(block_of(5), False)]
+
+
+class TestDpBitScoping:
+    def test_dp_flag_does_not_leak_to_next_fill(self):
+        pred = CorrelatingDeadBlockPredictor()
+        llc = make_llc(pred)
+        pred.notify_doa_page(5)
+        llc.fill(block_of(5), now=0)  # DP set
+        llc.fill(block_of(3), now=1)  # different page, no PFQ match
+        assert not llc.probe(block_of(3)).dp
+
+
+class TestStorage:
+    def test_paper_storage_budget(self):
+        """Section V-D: ~9.54 KB for a 2MB LLC (32768 blocks)."""
+        pred = CorrelatingDeadBlockPredictor()
+        bits = pred.storage_bits(llc_blocks=32768)
+        assert bits == 2 * 32768 + 3 * 4096 + 39 * 8
+        assert abs(bits / 8 / 1024 - 9.54) < 0.05
+
+
+class TestConfigValidation:
+    def test_threshold_must_fit(self):
+        with pytest.raises(ValueError):
+            CorrelatingDeadBlockPredictor(
+                CbPredConfig(counter_bits=3, threshold=9)
+            )
+
+    def test_bhist_entries_power_of_two(self):
+        with pytest.raises(ValueError):
+            CorrelatingDeadBlockPredictor(CbPredConfig(bhist_entries=1000))

@@ -1,0 +1,86 @@
+"""Tests for dpPred's demote ablation mode and trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.dppred import (
+    ACTION_BYPASS,
+    ACTION_DEMOTE,
+    DeadPagePredictor,
+    DpPredConfig,
+)
+from repro.vm.tlb import Tlb
+from repro.workloads.trace import Trace
+
+
+def train_doa(tlb, vpn, pc, times):
+    for i in range(times):
+        tlb.fill(vpn, vpn + 1000, pc, now=i)
+        tlb.invalidate(vpn, now=i)
+
+
+class TestDemoteMode:
+    def test_demote_allocates_at_lru(self):
+        pred = DeadPagePredictor(DpPredConfig(action=ACTION_DEMOTE))
+        tlb = Tlb("LLT", num_entries=2, assoc=2, listener=pred)
+        train_doa(tlb, 0x10, 5, 7)
+        tlb.fill(0, 100, 9, now=50)
+        tlb.fill(0x10, 1, 5, now=100)  # predicted DOA -> demoted, not gone
+        assert tlb.probe(0x10) is not None
+        assert tlb.stats.get("bypasses") == 0
+        # The demoted entry is the next victim despite being newest.
+        victim = tlb.fill(2, 102, 9, now=101)
+        assert victim.vpn == 0x10
+
+    def test_demote_skips_shadow(self):
+        pred = DeadPagePredictor(DpPredConfig(action=ACTION_DEMOTE))
+        tlb = Tlb("LLT", num_entries=2, assoc=2, listener=pred)
+        train_doa(tlb, 0x10, 5, 7)
+        tlb.fill(0x10, 1, 5, now=100)
+        assert 0x10 not in pred.shadow
+
+    def test_demote_still_feeds_pfq(self):
+        sunk = []
+        pred = DeadPagePredictor(
+            DpPredConfig(action=ACTION_DEMOTE), pfn_sink=sunk.append
+        )
+        tlb = Tlb("LLT", num_entries=2, assoc=2, listener=pred)
+        train_doa(tlb, 0x10, 5, 7)
+        tlb.fill(0x10, 0x77, 5, now=100)
+        assert sunk == [0x77]
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            DeadPagePredictor(DpPredConfig(action="evict"))
+
+    def test_bypass_is_default(self):
+        assert DpPredConfig().action == ACTION_BYPASS
+
+
+class TestDemoteEndToEnd:
+    def test_machine_accepts_demote_config(self):
+        from repro.sim import fast_config
+        from repro.sim.machine import Machine
+
+        m = Machine(fast_config(tlb_predictor="dppred_demote"))
+        m.access(0x400000, 0x10000000, False, 3)
+        assert m.tlb_predictor.config.action == ACTION_DEMOTE
+
+
+class TestTracePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace(
+            "demo",
+            np.arange(10, dtype=np.uint64),
+            np.arange(10, dtype=np.uint64) * 4096,
+            np.asarray([i % 2 == 0 for i in range(10)]),
+            np.full(10, 3, dtype=np.uint16),
+        )
+        path = tmp_path / "demo.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "demo"
+        assert np.array_equal(loaded.pcs, trace.pcs)
+        assert np.array_equal(loaded.vaddrs, trace.vaddrs)
+        assert np.array_equal(loaded.writes, trace.writes)
+        assert np.array_equal(loaded.gaps, trace.gaps)

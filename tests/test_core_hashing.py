@@ -1,0 +1,50 @@
+"""Tests for the predictor hash functions."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hashing import (
+    DEFAULT_BLOCK_HASH_BITS,
+    DEFAULT_PC_HASH_BITS,
+    DEFAULT_VPN_HASH_BITS,
+    block_hash,
+    pc_hash,
+    vpn_hash,
+)
+
+
+def test_paper_default_widths():
+    assert DEFAULT_PC_HASH_BITS == 6
+    assert DEFAULT_VPN_HASH_BITS == 4
+    assert DEFAULT_BLOCK_HASH_BITS == 12
+
+
+@given(st.integers(0, 2**64 - 1))
+def test_pc_hash_range(pc):
+    assert 0 <= pc_hash(pc) < 64
+
+
+@given(st.integers(0, 2**36 - 1))
+def test_vpn_hash_range(vpn):
+    assert 0 <= vpn_hash(vpn) < 16
+
+
+@given(st.integers(0, 2**45 - 1))
+def test_block_hash_range(block):
+    assert 0 <= block_hash(block) < 4096
+
+
+def test_custom_widths():
+    assert 0 <= pc_hash(0xDEADBEEF, bits=10) < 1024
+    assert 0 <= vpn_hash(0xDEADBEEF, bits=5) < 32
+
+
+def test_hashes_spread_sequential_pages():
+    """Nearby VPNs must not all collapse to one hash bucket."""
+    hashes = {vpn_hash(v) for v in range(64)}
+    assert len(hashes) > 8
+
+
+def test_hashes_spread_strided_pcs():
+    hashes = {pc_hash(0x400000 + 4 * i) for i in range(64)}
+    assert len(hashes) > 8

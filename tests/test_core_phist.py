@@ -1,0 +1,115 @@
+"""Tests for the two-dimensional page history table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.phist import PageHistoryTable
+
+
+class TestGeometry:
+    def test_paper_default_is_1024_entries(self):
+        t = PageHistoryTable(pc_hash_bits=6, vpn_hash_bits=4)
+        assert t.num_entries == 1024
+        assert t.num_rows == 64
+        assert t.num_cols == 16
+
+    def test_pure_pc_variant(self):
+        t = PageHistoryTable(pc_hash_bits=10, vpn_hash_bits=0)
+        assert t.num_entries == 1024
+        assert t.num_cols == 1
+
+    def test_storage_bits(self):
+        t = PageHistoryTable(6, 4, counter_bits=3)
+        assert t.storage_bits() == 3 * 1024  # 384 bytes, per Section V-D
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            PageHistoryTable(pc_hash_bits=0)
+        with pytest.raises(ValueError):
+            PageHistoryTable(pc_hash_bits=6, vpn_hash_bits=-1)
+
+
+class TestTraining:
+    def test_doa_training_raises_counter(self):
+        t = PageHistoryTable()
+        for _ in range(7):
+            t.train_doa(5, 3)
+        assert t.value(5, 3) == 7
+        assert t.predicts_doa(5, 3, threshold=6)
+
+    def test_threshold_is_strict(self):
+        t = PageHistoryTable()
+        for _ in range(6):
+            t.train_doa(5, 3)
+        assert not t.predicts_doa(5, 3, threshold=6)
+
+    def test_not_doa_clears(self):
+        t = PageHistoryTable()
+        for _ in range(7):
+            t.train_doa(5, 3)
+        t.train_not_doa(5, 3)
+        assert t.value(5, 3) == 0
+
+    def test_cells_are_independent(self):
+        t = PageHistoryTable()
+        t.train_doa(1, 1)
+        assert t.value(1, 2) == 0
+        assert t.value(2, 1) == 0
+
+    def test_counter_saturates(self):
+        t = PageHistoryTable(counter_bits=3)
+        for _ in range(100):
+            t.train_doa(0, 0)
+        assert t.value(0, 0) == 7
+
+
+class TestColumnFlush:
+    def test_flush_clears_whole_column(self):
+        t = PageHistoryTable(pc_hash_bits=3, vpn_hash_bits=2)
+        for pc_h in range(8):
+            for _ in range(5):
+                t.train_doa(pc_h, 1)
+        t.flush_column(1)
+        assert all(t.value(pc_h, 1) == 0 for pc_h in range(8))
+
+    def test_flush_leaves_other_columns(self):
+        t = PageHistoryTable(pc_hash_bits=3, vpn_hash_bits=2)
+        t.train_doa(0, 1)
+        t.train_doa(0, 2)
+        t.flush_column(1)
+        assert t.value(0, 2) == 1
+
+    def test_flush_counted(self):
+        t = PageHistoryTable()
+        t.flush_column(0)
+        assert t.stats.get("column_flushes") == 1
+
+
+class TestAliasing:
+    def test_out_of_range_hashes_wrap(self):
+        t = PageHistoryTable(pc_hash_bits=3, vpn_hash_bits=2)
+        t.train_doa(8, 4)  # wraps to (0, 0)
+        assert t.value(0, 0) == 1
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 63),
+            st.integers(0, 15),
+            st.sampled_from(["doa", "not_doa", "flush"]),
+        ),
+        max_size=300,
+    )
+)
+def test_counters_always_in_range(ops):
+    t = PageHistoryTable()
+    for pc_h, vpn_h, op in ops:
+        if op == "doa":
+            t.train_doa(pc_h, vpn_h)
+        elif op == "not_doa":
+            t.train_not_doa(pc_h, vpn_h)
+        else:
+            t.flush_column(vpn_h)
+        assert 0 <= t.value(pc_h, vpn_h) <= 7

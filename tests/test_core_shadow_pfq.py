@@ -1,0 +1,105 @@
+"""Tests for the shadow table and the PFN filter queue."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pfq import PfnFilterQueue
+from repro.core.shadow import ShadowTable
+
+
+class TestShadowTable:
+    def test_insert_lookup_consumes(self):
+        s = ShadowTable(2)
+        s.insert(0x10, 0x99, 5)
+        assert s.lookup(0x10) == (0x99, 5)
+        assert s.lookup(0x10) is None  # consumed
+
+    def test_fifo_eviction(self):
+        s = ShadowTable(2)
+        s.insert(1, 101, 0)
+        s.insert(2, 102, 0)
+        s.insert(3, 103, 0)  # evicts 1
+        assert s.lookup(1) is None
+        assert s.lookup(2) == (102, 0)
+        assert s.lookup(3) == (103, 0)
+
+    def test_reinsert_refreshes(self):
+        s = ShadowTable(2)
+        s.insert(1, 101, 0)
+        s.insert(2, 102, 0)
+        s.insert(1, 101, 0)  # refresh 1; 2 becomes oldest
+        s.insert(3, 103, 0)  # evicts 2
+        assert 1 in s
+        assert 2 not in s
+
+    def test_len_and_contains(self):
+        s = ShadowTable(2)
+        assert len(s) == 0
+        s.insert(7, 1, 0)
+        assert len(s) == 1
+        assert 7 in s
+
+    def test_stats(self):
+        s = ShadowTable(2)
+        s.insert(1, 1, 0)
+        s.lookup(1)
+        s.lookup(2)
+        assert s.stats.get("hits") == 1
+        assert s.stats.get("misses") == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ShadowTable(0)
+
+    def test_storage_bits(self):
+        # Paper: 2 entries x ~13 bytes = 26 bytes.
+        assert ShadowTable(2).storage_bits() == 2 * 13 * 8
+
+    @given(st.lists(st.integers(0, 9), max_size=200))
+    def test_capacity_never_exceeded(self, vpns):
+        s = ShadowTable(2)
+        for v in vpns:
+            s.insert(v, v + 100, 0)
+            assert len(s) <= 2
+
+
+class TestPfnFilterQueue:
+    def test_membership(self):
+        q = PfnFilterQueue(8)
+        q.insert(42)
+        assert 42 in q
+        assert 43 not in q
+
+    def test_fifo_eviction(self):
+        q = PfnFilterQueue(2)
+        q.insert(1)
+        q.insert(2)
+        q.insert(3)
+        assert 1 not in q
+        assert 2 in q and 3 in q
+
+    def test_duplicate_insert_ignored(self):
+        q = PfnFilterQueue(2)
+        q.insert(1)
+        q.insert(1)
+        q.insert(2)
+        q.insert(3)  # evicts 1 (inserted once)
+        assert 1 not in q
+        assert len(q) == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PfnFilterQueue(0)
+
+    def test_storage_bits(self):
+        # Paper: 8 entries x 39-bit PFN = 312 bits = 39 bytes.
+        assert PfnFilterQueue(8).storage_bits() == 312
+
+    @given(st.lists(st.integers(0, 30), max_size=300))
+    def test_invariants(self, pfns):
+        q = PfnFilterQueue(8)
+        for p in pfns:
+            q.insert(p)
+            assert len(q) <= 8
+            assert p in q  # most recent insert always resident

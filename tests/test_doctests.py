@@ -1,0 +1,20 @@
+"""Run the doctest examples embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.common.bitops
+import repro.common.counters
+import repro.common.stats
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.common.bitops, repro.common.counters, repro.common.stats],
+    ids=lambda m: m.__name__,
+)
+def test_doctests(module):
+    failures, tests = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert tests > 0, f"{module.__name__} has no doctests"
+    assert failures == 0

@@ -1,0 +1,31 @@
+"""Tests for the experiment CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table4" in out and "storage" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+    def test_storage_experiment(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "10.81" in out
+        assert "[storage completed" in out
+
+    def test_budget_flag(self, capsys):
+        assert main(["table3", "--budget", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "DOA" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            main(["fig99"])

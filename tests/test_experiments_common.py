@@ -1,0 +1,76 @@
+"""Tests for the shared experiment machinery."""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import SuiteResults, run_suite
+from repro.sim.results import SimResult
+
+BUDGET = 3000
+
+
+class TestNamedConfigs:
+    def test_baseline_has_no_predictors(self):
+        cfg = common.baseline()
+        assert cfg.tlb_predictor == "none"
+        assert cfg.llc_predictor == "none"
+
+    def test_characterization_tracks(self):
+        cfg = common.characterization()
+        assert cfg.track_residency and cfg.track_correlation
+
+    def test_combined_couples_predictors(self):
+        cfg = common.combined()
+        assert cfg.tlb_predictor == "dppred"
+        assert cfg.llc_predictor == "cbpred"
+        cfg.validate()
+
+    def test_every_named_config_validates(self):
+        for factory in (
+            common.baseline, common.characterization, common.dppred,
+            common.dppred_no_shadow, common.ship_tlb, common.aip_tlb,
+            common.oracle_tlb, common.iso_storage, common.combined,
+            common.combined_no_pfq, common.ship_llc, common.aip_llc,
+            common.ship_both, common.aip_both,
+        ):
+            factory().validate()
+
+
+class TestRunSuite:
+    def test_runs_selected_workloads(self):
+        suite = run_suite(
+            {"base": common.baseline()}, BUDGET, workloads=["mcf", "pr"]
+        )
+        assert set(suite.results) == {"mcf", "pr"}
+        assert isinstance(suite.result("mcf", "base"), SimResult)
+
+    def test_progress_callback(self):
+        seen = []
+        run_suite(
+            {"base": common.baseline()},
+            BUDGET,
+            workloads=["mcf"],
+            progress=seen.append,
+        )
+        assert seen == ["mcf / base"]
+
+    def test_reduction_helpers(self):
+        suite = run_suite(
+            {"base": common.baseline(), "dp": common.dppred(track=False)},
+            BUDGET,
+            workloads=["cactusADM"],
+        )
+        red = suite.llt_mpki_reduction("cactusADM", "dp", "base")
+        assert isinstance(red, float)
+        assert suite.llc_mpki_reduction("cactusADM", "base", "base") == 0.0
+        assert suite.ipc_vs("cactusADM", "base", "base") == 1.0
+
+
+class TestSuiteResults:
+    def test_zero_baseline_mpki(self):
+        suite = SuiteResults(configs=["a", "b"])
+        a = SimResult("w", "a", instructions=1000, cycles=100.0)
+        b = SimResult("w", "b", instructions=1000, cycles=100.0,
+                      llt_misses=5)
+        suite.results["w"] = {"a": a, "b": b}
+        assert suite.llt_mpki_reduction("w", "b", "a") == 0.0

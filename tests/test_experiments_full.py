@@ -1,0 +1,125 @@
+"""Smoke + invariant tests for every experiment function (tiny budgets).
+
+Full-budget outputs live in EXPERIMENTS.md; here each experiment must run,
+render, and satisfy the structural properties its paper artifact implies.
+"""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.workloads.suite import workload_names
+
+BUDGET = 2500
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """Run every experiment once at a tiny budget (results are cached
+    process-wide, so the matrix is shared across tests)."""
+    out = {}
+    for exp_id in EXPERIMENTS:
+        if exp_id == "storage":
+            out[exp_id] = run_experiment(exp_id)
+        else:
+            out[exp_id] = run_experiment(exp_id, budget=BUDGET)
+    return out
+
+
+def test_all_reports_render(reports):
+    for exp_id, report in reports.items():
+        text = report.render()
+        assert text.startswith(f"== {exp_id}:")
+        assert len(text.splitlines()) > 5
+
+
+@pytest.mark.parametrize(
+    "exp_id",
+    ["fig1", "fig2", "fig3", "fig4", "table3", "fig9", "table4",
+     "table5", "table6", "table7", "fig10"],
+)
+def test_per_workload_experiments_list_all_workloads(reports, exp_id):
+    text = reports[exp_id].render()
+    for wl in workload_names():
+        assert wl in text, f"{exp_id} missing {wl}"
+
+
+def test_fig1_fractions_in_range(reports):
+    text = reports["fig1"].render()
+    # Every numeric percentage cell must be 0..100; spot-check the average.
+    avg_line = [l for l in text.splitlines() if l.startswith("AVERAGE")][0]
+    dead = float(avg_line.split("|")[1])
+    assert 0 <= dead <= 100
+
+
+def test_fig2_doa_share_reported(reports):
+    assert "DOA share of dead %" in reports["fig2"].render()
+
+
+def test_table3_has_paper_column(reports):
+    text = reports["table3"].render()
+    assert "paper %" in text
+    assert "72.70" in text  # the paper's average
+
+def test_fig9_has_all_four_configs(reports):
+    text = reports["fig9"].render()
+    for col in ("AIP-TLB", "SHiP-TLB", "dpPred", "iso-storage"):
+        assert col in text
+
+
+def test_table4_includes_oracle(reports):
+    assert "Oracle" in reports["table4"].render()
+
+
+def test_fig10_has_five_configs(reports):
+    text = reports["fig10"].render()
+    for col in ("AIP-LLC", "SHiP-LLC", "AIP-TLB+LLC", "SHiP-TLB+LLC",
+                "dpPred+cbPred"):
+        assert col in text
+
+
+def test_table6_has_ablation_columns(reports):
+    text = reports["table6"].render()
+    for col in ("dp acc", "dp-SH acc", "SHiP acc"):
+        assert col in text
+
+
+def test_table7_has_ablation_columns(reports):
+    text = reports["table7"].render()
+    for col in ("cb acc", "cb-PFQ acc", "SHiP acc"):
+        assert col in text
+
+
+@pytest.mark.parametrize(
+    "exp_id,labels",
+    [
+        ("fig11a", ["64 entries", "128 entries", "192 entries"]),
+        ("fig11b", ["6b PC + 5b VPN", "6b PC + 4b VPN", "10b PC only"]),
+        ("fig11c", ["2-entry shadow", "4-entry shadow"]),
+        ("fig11d", ["8-entry PFQ", "64-entry PFQ"]),
+        ("fig11e", ["256KB (2MB/8)", "384KB (3MB/8)"]),
+        ("fig11f", ["SRRIP LLT", "SRRIP+dpPred", "SRRIP LLT+LLC",
+                    "SRRIP+dp+cb"]),
+    ],
+)
+def test_sensitivity_variants_present(reports, exp_id, labels):
+    text = reports[exp_id].render()
+    for label in labels:
+        assert label in text, f"{exp_id} missing {label}"
+
+
+def test_storage_matches_paper_exactly(reports):
+    text = reports["storage"].render()
+    assert "10.81" in text
+    assert "9.54" in text
+    assert "1.28" in text  # dpPred ~1306 bytes = 1.28 KB
+
+
+def test_ablation_action_reports_both_modes(reports):
+    text = reports["ablation_action"].render()
+    assert "bypass IPCx" in text and "demote IPCx" in text
+
+
+def test_ablation_threshold_sweeps(reports):
+    text = reports["ablation_threshold"].render()
+    for t in (1, 3, 5, 6, 7):
+        assert f"threshold {t}" in text

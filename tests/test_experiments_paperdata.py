@@ -1,0 +1,60 @@
+"""Consistency tests for the transcribed paper data."""
+
+import pytest
+
+from repro.experiments import paperdata
+from repro.workloads.suite import workload_names
+
+
+class TestWorkloadCoverage:
+    def test_paper_workload_order_matches_suite(self):
+        assert paperdata.WORKLOADS == workload_names()
+
+    @pytest.mark.parametrize(
+        "table",
+        [
+            paperdata.TABLE3_DOA_BLOCKS_ON_DOA_PAGE,
+            paperdata.TABLE4_LLT_MPKI_REDUCTION,
+            paperdata.TABLE5_LLC_MPKI_REDUCTION,
+            paperdata.TABLE6_TLB_ACC_COV,
+            paperdata.TABLE7_LLC_ACC_COV,
+        ],
+    )
+    def test_every_table_covers_all_workloads(self, table):
+        assert set(table) == set(workload_names())
+
+
+class TestValueRanges:
+    def test_table3_percentages(self):
+        for v in paperdata.TABLE3_DOA_BLOCKS_ON_DOA_PAGE.values():
+            assert 0 <= v <= 100
+
+    def test_table4_tuples(self):
+        for row in paperdata.TABLE4_LLT_MPKI_REDUCTION.values():
+            assert len(row) == 5
+            assert all(-100 <= v <= 100 for v in row)
+
+    def test_table6_acc_cov_pairs(self):
+        for row in paperdata.TABLE6_TLB_ACC_COV.values():
+            assert len(row) == 3
+            for acc, cov in row:
+                assert 0 <= acc <= 100 and 0 <= cov <= 100
+
+    def test_table7_cbpred_accuracy_at_least_98(self):
+        """The claim cbPred's design rests on (Section VI-C)."""
+        for (acc, _), _, _ in paperdata.TABLE7_LLC_ACC_COV.values():
+            assert acc >= 98
+
+    def test_headline_averages(self):
+        assert paperdata.TABLE4_AVG_DPPRED == 9.65
+        assert paperdata.TABLE4_AVG_ORACLE == 22.19
+        assert paperdata.TABLE5_AVG_CBPRED == 4.24
+        assert paperdata.FIG10_AVG_COMBINED_IPC_GAIN == 8.3
+        assert paperdata.STORAGE_TOTAL_KB == 10.81
+
+    def test_storage_consistency(self):
+        assert (
+            paperdata.STORAGE_DPPRED_BYTES / 1024
+            + paperdata.STORAGE_CBPRED_KB
+            == pytest.approx(paperdata.STORAGE_TOTAL_KB, abs=0.01)
+        )

@@ -1,0 +1,75 @@
+"""Tests for report rendering and the experiment registry."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentReport, render_bar, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(
+            ["name", "value"], [("workload-x", 1.5), ("y", 22.25)]
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # All rows share the same width and the numeric column is
+        # right-aligned.
+        assert len(set(len(line) for line in lines)) == 1
+        assert lines[2].endswith("1.50")
+        assert lines[3].endswith("22.25")
+
+    def test_title(self):
+        out = render_table(["a"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_none_rendered_as_dash(self):
+        out = render_table(["a", "b"], [(None, 2)])
+        assert "-" in out.splitlines()[-1]
+
+    def test_floats_two_decimals(self):
+        out = render_table(["a"], [(3.14159,)])
+        assert "3.14" in out
+        assert "3.142" not in out
+
+
+class TestRenderBar:
+    def test_basic(self):
+        assert render_bar(10, scale=1, width=30) == "#" * 10
+
+    def test_clamped(self):
+        assert render_bar(100, scale=1, width=5) == "#####"
+        assert render_bar(-3, scale=1) == ""
+
+
+class TestExperimentReport:
+    def test_render_includes_sections(self):
+        report = ExperimentReport("figX", "Demo")
+        report.add_table(["a"], [(1,)])
+        report.add_note("a note")
+        out = report.render()
+        assert "== figX: Demo ==" in out
+        assert "a note" in out
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {
+            "fig1", "fig2", "fig3", "fig4", "table3",
+            "fig9", "table4", "table6",
+            "fig10", "table5", "table7",
+            "fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f",
+            "storage",
+            "ablation_action", "ablation_threshold",
+            "extension_prefetch",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+    def test_storage_runs_instantly(self):
+        report = run_experiment("storage")
+        out = report.render()
+        assert "10.81" in out  # the paper's headline total

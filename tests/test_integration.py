@@ -1,0 +1,130 @@
+"""End-to-end integration tests: the paper's qualitative claims must hold
+on small-budget runs of the real pipeline.
+
+These use a reduced access budget (REPRO_BUDGET-independent) so the whole
+module stays fast; the full-budget numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.common import run_suite
+from repro.experiments import common
+from repro.sim import fast_config, run_cached
+from repro.workloads import workload_names
+
+BUDGET = 12_000
+
+STENCILS = ["cactusADM", "lbm", "cg.B"]
+
+
+@pytest.fixture(scope="module")
+def headline():
+    """Baseline + combined-predictor runs for a few workloads."""
+    configs = {
+        "base": common.baseline(),
+        "dppred": common.dppred(),
+        "combined": common.combined(),
+    }
+    return run_suite(configs, BUDGET, workloads=STENCILS + ["mcf", "pr"])
+
+
+class TestHeadlineClaims:
+    def test_dppred_reduces_llt_mpki_on_stencils(self, headline):
+        """The paper's big winners must show double-digit reductions."""
+        for wl in STENCILS:
+            red = headline.llt_mpki_reduction(wl, "dppred", "base")
+            assert red > 10.0, f"{wl}: only {red:.1f}%"
+
+    def test_dppred_improves_ipc_on_stencils(self, headline):
+        for wl in STENCILS:
+            assert headline.ipc_vs(wl, "dppred", "base") > 1.0
+
+    def test_combined_never_catastrophic(self, headline):
+        """Figure 10: dpPred+cbPred improves (or at worst ~matches) every
+        application; it must never tank one."""
+        for wl in STENCILS + ["mcf", "pr"]:
+            assert headline.ipc_vs(wl, "combined", "base") > 0.99
+
+    def test_dppred_accuracy_high_on_streams(self, headline):
+        for wl in ("cactusADM", "lbm"):
+            acc = headline.result(wl, "dppred").tlb_accuracy
+            assert acc is not None and acc > 0.9
+
+    def test_cbpred_accuracy_very_high(self, headline):
+        """Table VII: PFQ pre-filtering gives cbPred ~>=98% accuracy."""
+        for wl in STENCILS:
+            acc = headline.result(wl, "combined").llc_accuracy
+            if acc is not None:
+                assert acc > 0.9, f"{wl}: {acc:.2f}"
+
+    def test_bypasses_happen(self, headline):
+        total = sum(
+            headline.result(wl, "dppred").llt_bypasses for wl in STENCILS
+        )
+        assert total > 100
+
+
+class TestOrderingClaims:
+    def test_aip_tlb_near_useless(self):
+        """Table IV: AIP-TLB gives ~0% MPKI reduction (DOA-blind)."""
+        for wl in ("cactusADM", "mcf"):
+            base = run_cached(wl, fast_config(), BUDGET)
+            aip = run_cached(wl, common.aip_tlb(), BUDGET)
+            red = 100 * (base.llt_mpki - aip.llt_mpki) / base.llt_mpki
+            assert abs(red) < 5.0
+
+    def test_oracle_upper_bounds_dppred(self):
+        for wl in ("cactusADM", "mcf"):
+            base = run_cached(wl, fast_config(), BUDGET)
+            dp = run_cached(wl, common.dppred(), BUDGET)
+            oracle = run_cached(wl, common.oracle_tlb(), BUDGET)
+            assert oracle.llt_misses <= dp.llt_misses * 1.05
+            assert oracle.llt_misses <= base.llt_misses
+
+    def test_shadow_table_raises_accuracy(self):
+        """Table VI: dpPred-SH (no shadow) must not beat dpPred accuracy
+        on the unpredictable workloads."""
+        wl = "mcf"
+        dp = run_cached(wl, common.dppred(), BUDGET)
+        dp_sh = run_cached(wl, common.dppred_no_shadow(), BUDGET)
+        if dp.tlb_accuracy is not None and dp_sh.tlb_accuracy is not None:
+            assert dp.tlb_accuracy >= dp_sh.tlb_accuracy - 0.02
+
+
+class TestCharacterizationClaims:
+    def test_llt_mostly_dead(self):
+        """Figure 1: the LLT is overwhelmingly dead for these workloads."""
+        cfg = common.characterization()
+        deads = []
+        for wl in ("pr", "mcf", "canneal"):
+            result = run_cached(wl, cfg, BUDGET)
+            deads.append(result.llt_residency.dead_fraction)
+        assert sum(deads) / len(deads) > 0.6
+
+    def test_doa_dominates_dead_evictions(self):
+        """Figure 2: DOA entries dominate dead LLT evictions."""
+        cfg = common.characterization()
+        result = run_cached("mcf", cfg, BUDGET)
+        s = result.llt_residency
+        assert s.doa_eviction_fraction > s.mostly_dead_eviction_fraction
+
+    def test_doa_blocks_concentrate_on_doa_pages(self):
+        """Table III: most DOA LLC blocks fall on DOA pages."""
+        cfg = common.characterization()
+        fractions = []
+        for wl in ("cactusADM", "lbm", "mcf"):
+            result = run_cached(wl, cfg, BUDGET)
+            if result.doa_blocks_classified > 50:
+                fractions.append(result.doa_block_on_doa_page_fraction)
+        assert fractions, "no classifiable DOA blocks"
+        assert sum(fractions) / len(fractions) > 0.5
+
+
+class TestFullSuiteSmoke:
+    def test_every_workload_simulates(self):
+        cfg = fast_config()
+        for wl in workload_names():
+            result = run_cached(wl, cfg, 3000)
+            assert result.instructions > 0
+            assert result.ipc > 0
+            assert result.llt_misses >= 0

@@ -1,0 +1,197 @@
+"""Tests for the generic set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import (
+    FILL_BYPASS,
+    FILL_DISTANT,
+    CacheListener,
+    SetAssocCache,
+)
+
+
+def make_cache(**kw):
+    defaults = dict(name="test", num_sets=4, assoc=2)
+    defaults.update(kw)
+    return SetAssocCache(**defaults)
+
+
+class TestBasics:
+    def test_miss_then_fill_then_hit(self):
+        c = make_cache()
+        assert not c.lookup(0x10, now=0)
+        c.fill(0x10, now=1)
+        assert c.lookup(0x10, now=2)
+        assert c.stats.get("hits") == 1
+        assert c.stats.get("misses") == 1
+
+    def test_probe_has_no_side_effects(self):
+        c = make_cache()
+        c.fill(0x10, now=0)
+        line = c.probe(0x10)
+        assert line is not None and line.tag == 0x10
+        assert c.probe(0x20) is None
+        assert c.stats.get("hits") == 0
+
+    def test_set_mapping(self):
+        c = make_cache(num_sets=4)
+        assert c.set_index(0x13) == 3
+        assert c.set_index(0x10) == 0
+
+    def test_capacity(self):
+        assert make_cache(num_sets=4, assoc=2).capacity_blocks == 8
+
+    def test_fill_present_block_is_noop(self):
+        c = make_cache()
+        c.fill(0x10, now=0)
+        assert c.fill(0x10, now=1) is None
+        assert c.occupancy() == 1
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            make_cache(num_sets=3)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ValueError):
+            make_cache(assoc=0)
+
+
+class TestEviction:
+    def test_lru_eviction_within_set(self):
+        c = make_cache(num_sets=1, assoc=2)
+        c.fill(1, now=0)
+        c.fill(2, now=1)
+        c.lookup(1, now=2)  # promote 1
+        victim = c.fill(3, now=3)
+        assert victim is not None and victim.tag == 2
+        assert c.lookup(1, now=4)
+        assert not c.lookup(2, now=5)
+
+    def test_eviction_only_when_set_full(self):
+        c = make_cache(num_sets=1, assoc=4)
+        for b in range(4):
+            assert c.fill(b, now=b) is None
+        assert c.fill(4, now=5) is not None
+
+    def test_dirty_victim_reported(self):
+        c = make_cache(num_sets=1, assoc=1)
+        c.fill(1, now=0, is_write=True)
+        victim = c.fill(2, now=1)
+        assert victim.dirty
+        assert c.stats.get("writebacks") == 1
+
+    def test_write_hit_sets_dirty(self):
+        c = make_cache(num_sets=1, assoc=1)
+        c.fill(1, now=0)
+        c.lookup(1, now=1, is_write=True)
+        assert c.probe(1).dirty
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self):
+        c = make_cache()
+        c.fill(0x10, now=0)
+        line = c.invalidate(0x10, now=1)
+        assert line.tag == 0x10
+        assert not c.lookup(0x10, now=2)
+
+    def test_invalidate_absent_returns_none(self):
+        assert make_cache().invalidate(0x99, now=0) is None
+
+
+class RecordingListener(CacheListener):
+    def __init__(self, decision="allocate"):
+        self.decision = decision
+        self.hits = []
+        self.fills = []
+        self.evicts = []
+
+    def on_hit(self, cache, line, now):
+        self.hits.append(line.tag)
+
+    def on_fill(self, cache, block, now):
+        self.fills.append(block)
+        return self.decision
+
+    def on_evict(self, cache, line, now):
+        self.evicts.append(line.tag)
+
+
+class TestListener:
+    def test_bypass_prevents_allocation(self):
+        listener = RecordingListener(decision=FILL_BYPASS)
+        c = make_cache(listener=listener)
+        assert c.fill(0x10, now=0) is None
+        assert c.occupancy() == 0
+        assert c.stats.get("bypasses") == 1
+        assert listener.fills == [0x10]
+
+    def test_distant_insertion_is_next_victim(self):
+        listener = RecordingListener()
+        c = make_cache(num_sets=1, assoc=2, listener=listener)
+        c.fill(1, now=0)
+        listener.decision = FILL_DISTANT
+        c.fill(2, now=1)
+        listener.decision = "allocate"
+        victim = c.fill(3, now=2)
+        assert victim.tag == 2
+
+    def test_evict_hook_sees_accessed_bit(self):
+        listener = RecordingListener()
+        c = make_cache(num_sets=1, assoc=1, listener=listener)
+        c.fill(1, now=0)
+        c.lookup(1, now=1)
+        c.fill(2, now=2)
+        assert listener.evicts == [1]
+        assert listener.hits == [1]
+
+    def test_accessed_bit_lifecycle(self):
+        c = make_cache(num_sets=1, assoc=1)
+        c.fill(1, now=0)
+        assert not c.probe(1).accessed
+        c.lookup(1, now=1)
+        assert c.probe(1).accessed
+
+
+class TestResidencyIntegration:
+    def test_doa_block_counted(self):
+        c = make_cache(num_sets=1, assoc=1, track_residency=True)
+        c.fill(1, now=0)
+        c.fill(2, now=10)  # evicts 1 untouched -> DOA
+        c.lookup(2, now=15)
+        c.flush_residency(now=20)
+        s = c.residency.summary
+        assert s.residencies == 2
+        assert s.doa_evictions == 1
+
+
+@settings(max_examples=50)
+@given(
+    blocks=st.lists(st.integers(0, 63), min_size=1, max_size=300),
+)
+def test_occupancy_never_exceeds_capacity(blocks):
+    """Property: occupancy <= capacity; resident blocks are unique."""
+    c = SetAssocCache("prop", num_sets=4, assoc=2)
+    now = 0
+    for b in blocks:
+        now += 1
+        if not c.lookup(b, now):
+            c.fill(b, now)
+        assert c.occupancy() <= c.capacity_blocks
+    resident = c.resident_blocks()
+    assert len(resident) == len(set(resident))
+
+
+@settings(max_examples=50)
+@given(blocks=st.lists(st.integers(0, 63), min_size=1, max_size=300))
+def test_hit_follows_fill_until_capacity_pressure(blocks):
+    """A just-filled block always hits immediately afterwards."""
+    c = SetAssocCache("prop", num_sets=2, assoc=4)
+    now = 0
+    for b in blocks:
+        now += 1
+        if not c.lookup(b, now):
+            c.fill(b, now)
+            assert c.probe(b) is not None

@@ -1,0 +1,125 @@
+"""Tests for the three-level inclusive cache hierarchy."""
+
+import pytest
+
+from repro.mem.cache import SetAssocCache
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.mainmem import MainMemory
+
+
+def make_hierarchy(l1_sets=2, l2_sets=4, llc_sets=8, assoc=2, mem_latency=191):
+    l1 = SetAssocCache("L1D", l1_sets, assoc)
+    l2 = SetAssocCache("L2", l2_sets, assoc)
+    llc = SetAssocCache("LLC", llc_sets, assoc, track_residency=True)
+    return CacheHierarchy(l1, l2, llc, MainMemory(mem_latency))
+
+
+class TestLatencies:
+    def test_cold_miss_pays_memory(self):
+        h = make_hierarchy()
+        assert h.access(0x100, now=0) == (h.llc_latency + h.memory.latency, "mem")
+
+    def test_l1_hit_after_fill(self):
+        h = make_hierarchy()
+        h.access(0x100, now=0)
+        assert h.access(0x100, now=1) == (h.l1_latency, "l1")
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy(l1_sets=1, assoc=1, l2_sets=4, llc_sets=8)
+        h.access(0x100, now=0)
+        h.access(0x101, now=1)  # evicts 0x100 from the 1-entry L1
+        assert h.access(0x100, now=2) == (h.l2_latency, "l2")
+
+    def test_llc_hit_latency(self):
+        h = make_hierarchy(l1_sets=1, assoc=1, l2_sets=1, llc_sets=8)
+        h.access(0x100, now=0)
+        h.access(0x101, now=1)
+        h.access(0x102, now=2)  # pushes 0x100 out of L1 and L2
+        assert h.access(0x100, now=3) == (h.llc_latency, "llc")
+
+
+class TestInclusion:
+    def test_llc_eviction_back_invalidates(self):
+        # LLC with a single set of 2 ways; L1/L2 big enough to retain.
+        l1 = SetAssocCache("L1D", 8, 4)
+        l2 = SetAssocCache("L2", 8, 4)
+        llc = SetAssocCache("LLC", 1, 2)
+        h = CacheHierarchy(l1, l2, llc, MainMemory())
+        h.access(1, now=0)
+        h.access(2, now=1)
+        h.access(3, now=2)  # LLC evicts block 1 -> must vanish everywhere
+        assert llc.probe(1) is None
+        assert l1.probe(1) is None
+        assert l2.probe(1) is None
+        assert h.stats.get("inclusion_victims") >= 1
+
+    def test_inclusion_holds_after_many_accesses(self):
+        h = make_hierarchy(l1_sets=2, l2_sets=2, llc_sets=4, assoc=2)
+        for i in range(100):
+            h.access(i % 23, now=i)
+        for block in h.l1.resident_blocks() + h.l2.resident_blocks():
+            assert h.llc.probe(block) is not None, f"{block} violates inclusion"
+
+
+class TestWriteback:
+    def test_dirty_llc_victim_writes_to_memory(self):
+        llc = SetAssocCache("LLC", 1, 1)
+        h = CacheHierarchy(
+            SetAssocCache("L1D", 4, 2), SetAssocCache("L2", 4, 2), llc, MainMemory()
+        )
+        h.access(1, now=0, is_write=True)
+        writes_before = h.memory.stats.get("writes")
+        h.access(2, now=1)  # evicts dirty block 1 from LLC
+        assert h.memory.stats.get("writes") == writes_before + 1
+
+    def test_dirty_l1_victim_marks_l2_dirty(self):
+        l1 = SetAssocCache("L1D", 1, 1)
+        l2 = SetAssocCache("L2", 8, 2)
+        h = CacheHierarchy(l1, l2, SetAssocCache("LLC", 8, 2), MainMemory())
+        h.access(1, now=0, is_write=True)
+        h.access(2, now=1)  # evicts dirty 1 from L1; L2 copy must be dirty
+        assert l2.probe(1).dirty
+
+
+class TestWalkPath:
+    def test_walk_access_skips_l1(self):
+        h = make_hierarchy()
+        h.walk_access(0x200, now=0)
+        assert h.l1.probe(0x200) is None
+        assert h.l2.probe(0x200) is not None
+        assert h.llc.probe(0x200) is not None
+
+    def test_walk_access_latencies(self):
+        h = make_hierarchy()
+        cold = h.walk_access(0x200, now=0)
+        warm = h.walk_access(0x200, now=1)
+        assert cold == h.llc_latency + h.memory.latency
+        assert warm == h.l2_latency
+
+    def test_walk_llc_hit(self):
+        h = make_hierarchy(l2_sets=1, assoc=1)
+        h.walk_access(0x200, now=0)
+        h.walk_access(0x201, now=1)  # evicts 0x200 from the tiny L2
+        assert h.walk_access(0x200, now=2) == h.llc_latency
+
+
+class TestCounters:
+    def test_demand_misses_counted(self):
+        h = make_hierarchy()
+        h.access(1, now=0)
+        h.access(1, now=1)
+        assert h.stats.get("llc_demand_misses") == 1
+        assert h.stats.get("accesses") == 2
+
+    def test_mpki_counters_exposed(self):
+        h = make_hierarchy()
+        h.access(1, now=0)
+        counters = h.llc_mpki_counters()
+        assert counters["llc_misses"] == 1
+        assert counters["llc_hits"] == 0
+
+    def test_finalize_flushes_residency(self):
+        h = make_hierarchy()
+        h.access(1, now=0)
+        h.finalize(now=10)
+        assert h.llc.residency.summary.residencies >= 1

@@ -1,0 +1,154 @@
+"""Tests for replacement policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    SrripPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_victim_is_least_recent_fill(self):
+        p = LruPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way)
+        assert p.victim(0) == 0
+
+    def test_hit_promotes(self):
+        p = LruPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way)
+        p.on_hit(0, 0)
+        assert p.victim(0) == 1
+
+    def test_distant_fill_becomes_next_victim(self):
+        p = LruPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way)
+        p.on_fill(0, 2, distant=True)
+        assert p.victim(0) == 2
+
+    def test_sets_are_independent(self):
+        p = LruPolicy(2, 2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_fill(1, 1)
+        p.on_fill(1, 0)
+        assert p.victim(0) == 0
+        assert p.victim(1) == 1
+
+
+class TestFifo:
+    def test_hit_does_not_promote(self):
+        p = FifoPolicy(1, 3)
+        for way in range(3):
+            p.on_fill(0, way)
+        p.on_hit(0, 0)
+        assert p.victim(0) == 0
+
+    def test_fill_order_respected(self):
+        p = FifoPolicy(1, 3)
+        p.on_fill(0, 2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        assert p.victim(0) == 2
+
+    def test_distant_jumps_queue(self):
+        p = FifoPolicy(1, 3)
+        for way in range(3):
+            p.on_fill(0, way)
+        p.on_fill(0, 1, distant=True)
+        assert p.victim(0) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(1, 8, seed=7)
+        b = RandomPolicy(1, 8, seed=7)
+        seq_a = [a.victim(0) for _ in range(20)]
+        seq_b = [b.victim(0) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_victims_in_range(self):
+        p = RandomPolicy(1, 4)
+        assert all(0 <= p.victim(0) < 4 for _ in range(100))
+
+    def test_distant_preferred(self):
+        p = RandomPolicy(1, 4)
+        p.on_fill(0, 3, distant=True)
+        assert p.victim(0) == 3
+
+    def test_hit_clears_distant(self):
+        p = RandomPolicy(1, 4)
+        p.on_fill(0, 3, distant=True)
+        p.on_hit(0, 3)
+        # No distant entry left; the victim is pseudo-random but valid.
+        assert 0 <= p.victim(0) < 4
+
+
+class TestSrrip:
+    def test_fill_long_hit_promotes(self):
+        p = SrripPolicy(1, 2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_hit(0, 0)
+        # way1 still at rrpv max-1; aging reaches it before way0.
+        assert p.victim(0) == 1
+
+    def test_distant_fill_is_immediate_victim(self):
+        p = SrripPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way)
+        p.on_fill(0, 2, distant=True)
+        assert p.victim(0) == 2
+
+    def test_aging_terminates(self):
+        p = SrripPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way)
+            p.on_hit(0, way)
+        assert 0 <= p.victim(0) < 4
+
+    def test_rejects_zero_rrpv_bits(self):
+        with pytest.raises(ValueError):
+            SrripPolicy(1, 4, rrpv_bits=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LruPolicy), ("fifo", FifoPolicy), ("random", RandomPolicy), ("srrip", SrripPolicy)],
+    )
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4, 2), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU", 4, 2), LruPolicy)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("belady", 4, 2)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0, 4)
+
+
+@pytest.mark.parametrize("name", ["lru", "fifo", "random", "srrip"])
+@given(ops=st.lists(st.tuples(st.integers(0, 3), st.booleans()), max_size=100))
+def test_policy_victims_always_valid(name, ops):
+    """Any policy, any schedule: victim() returns a legal way."""
+    p = make_policy(name, 2, 4)
+    for way, hit in ops:
+        if hit:
+            p.on_hit(0, way)
+        else:
+            p.on_fill(0, way)
+    assert 0 <= p.victim(0) < 4
+    assert 0 <= p.victim(1) < 4

@@ -1,0 +1,127 @@
+"""Tests for the two-pass oracle DOA predictor."""
+
+from repro.predictors.oracle import DoaRecordingListener, OracleTlbListener
+from repro.vm.tlb import Tlb
+
+
+def run_pass1(accesses, entries=2, assoc=2):
+    recorder = DoaRecordingListener()
+    tlb = Tlb("LLT", num_entries=entries, assoc=assoc, listener=recorder)
+    now = 0
+    for vpn in accesses:
+        now += 1
+        if tlb.lookup(vpn, now) is None:
+            tlb.fill(vpn, vpn + 100, 0, now)
+    return recorder, tlb
+
+
+class TestRecording:
+    def test_doa_outcome_recorded(self):
+        # vpn 0 filled, never hit, evicted by pressure.
+        recorder, _ = run_pass1([0, 2, 4])  # one set (assoc 2): evicts 0
+        assert recorder.outcomes[(0, 0)] is True
+
+    def test_reused_outcome_recorded(self):
+        recorder, _ = run_pass1([0, 0, 2, 4])
+        assert recorder.outcomes[(0, 0)] is False
+
+    def test_occurrences_tracked_separately(self):
+        # vpn 0 evicted twice: first DOA, second reused.
+        recorder, _ = run_pass1([0, 2, 4, 0, 0, 2, 4])
+        assert recorder.outcomes[(0, 0)] is True
+        assert recorder.outcomes[(0, 1)] is False
+
+
+class TestOraclePass:
+    def test_oracle_bypasses_recorded_doas(self):
+        accesses = [0, 2, 4, 0]
+        recorder, _ = run_pass1(accesses)
+        oracle = OracleTlbListener(recorder.outcomes)
+        tlb = Tlb("LLT", num_entries=2, assoc=2, listener=oracle)
+        now = 0
+        for vpn in accesses:
+            now += 1
+            if tlb.lookup(vpn, now) is None:
+                tlb.fill(vpn, vpn + 100, 0, now)
+        assert oracle.stats.get("oracle_bypasses") >= 1
+
+    def test_oracle_never_increases_misses_on_replay(self):
+        """The defining oracle property on an identical replay."""
+        import random
+
+        rng = random.Random(7)
+        accesses = [rng.randrange(12) for _ in range(600)]
+        recorder, base_tlb = run_pass1(accesses, entries=4, assoc=2)
+        base_misses = base_tlb.stats.get("misses")
+
+        oracle = OracleTlbListener(recorder.outcomes)
+        tlb = Tlb("LLT", num_entries=4, assoc=2, listener=oracle)
+        now = 0
+        for vpn in accesses:
+            now += 1
+            if tlb.lookup(vpn, now) is None:
+                tlb.fill(vpn, vpn + 100, 0, now)
+        assert tlb.stats.get("misses") <= base_misses
+
+    def test_unknown_occurrence_allocates(self):
+        oracle = OracleTlbListener({})
+        tlb = Tlb("LLT", num_entries=2, assoc=2, listener=oracle)
+        tlb.fill(0, 100, 0, now=0)
+        assert tlb.probe(0) is not None
+
+
+class TestLlcOracle:
+    def make_llc(self, listener, num_sets=1, assoc=2):
+        from repro.mem.cache import SetAssocCache
+
+        return SetAssocCache("LLC", num_sets, assoc, listener=listener)
+
+    def drive(self, llc, blocks):
+        now = 0
+        for b in blocks:
+            now += 1
+            if not llc.lookup(b, now):
+                llc.fill(b, now)
+
+    def test_recording_and_replay(self):
+        from repro.predictors.oracle import (
+            DoaRecordingCacheListener,
+            OracleCacheListener,
+        )
+
+        blocks = [0, 2, 4, 0]  # one set, assoc 2: block 0 dies, refills
+        recorder = DoaRecordingCacheListener()
+        base = self.make_llc(recorder)
+        self.drive(base, blocks)
+        assert recorder.outcomes[(0, 0)] is True
+        base_misses = base.stats.get("misses")
+
+        oracle = OracleCacheListener(recorder.outcomes)
+        llc = self.make_llc(oracle)
+        self.drive(llc, blocks)
+        assert oracle.stats.get("oracle_bypasses") >= 1
+        assert llc.stats.get("misses") <= base_misses
+
+    def test_end_to_end_llc_oracle_never_worse(self):
+        import numpy as np
+
+        from repro.sim import fast_config, run_trace
+        from repro.workloads.trace import Trace
+
+        rng = np.random.RandomState(3)
+        n = 3000
+        vaddrs = (
+            0x10000000
+            + rng.randint(0, 300, n).astype(np.uint64) * 4096
+            + rng.randint(0, 64, n).astype(np.uint64) * 64
+        )
+        trace = Trace(
+            "t",
+            np.full(n, 0x400000, dtype=np.uint64),
+            vaddrs,
+            np.zeros(n, dtype=bool),
+            np.full(n, 3, dtype=np.uint16),
+        )
+        base = run_trace(trace, fast_config())
+        orc = run_trace(trace, fast_config(llc_predictor="oracle"))
+        assert orc.llc_misses <= base.llc_misses * 1.02

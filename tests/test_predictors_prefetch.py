@@ -1,0 +1,116 @@
+"""Tests for the distance-based TLB prefetcher baseline."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.prefetch import (
+    DistancePrefetcherConfig,
+    DistanceTlbPrefetcher,
+)
+from repro.sim.config import fast_config
+from repro.sim.runner import run_trace
+from repro.vm.tlb import Tlb
+from repro.workloads.trace import Trace
+
+
+def make_tlb(resolver=None, **cfg):
+    pred = DistanceTlbPrefetcher(
+        DistancePrefetcherConfig(**cfg), resolver=resolver
+    )
+    tlb = Tlb("LLT", num_entries=16, assoc=4, listener=pred)
+    return tlb, pred
+
+
+def demand(tlb, vpn, now):
+    if tlb.lookup(vpn, now) is None:
+        tlb.fill(vpn, vpn + 1000, 0, now)
+
+
+class TestTraining:
+    def test_learns_constant_stride(self):
+        tlb, pred = make_tlb(resolver=lambda v: v + 1000)
+        for i, vpn in enumerate([10, 11, 12, 13]):
+            demand(tlb, vpn, now=i)
+        # After seeing d=1 twice, vpn 14 should have been prefetched.
+        assert tlb.probe(14) is not None
+        assert pred.stats.get("prefetches_issued") >= 1
+
+    def test_large_jumps_not_trained(self):
+        tlb, pred = make_tlb(resolver=lambda v: v + 1000, max_distance=8)
+        for i, vpn in enumerate([10, 5000, 11, 9000]):
+            demand(tlb, vpn, now=i)
+        assert pred.stats.get("trainings") == 0
+
+    def test_unmapped_pages_not_prefetched(self):
+        tlb, pred = make_tlb(resolver=lambda v: None)
+        for i, vpn in enumerate([10, 11, 12, 13]):
+            demand(tlb, vpn, now=i)
+        assert pred.stats.get("prefetches_issued") == 0
+
+    def test_no_resolver_is_safe(self):
+        tlb, pred = make_tlb(resolver=None)
+        for i, vpn in enumerate([10, 11, 12]):
+            demand(tlb, vpn, now=i)
+        assert pred.stats.get("prefetches_issued") == 0
+
+
+class TestUsefulness:
+    def test_useful_prefetch_counted(self):
+        tlb, pred = make_tlb(resolver=lambda v: v + 1000)
+        for i, vpn in enumerate([10, 11, 12, 13, 14]):
+            demand(tlb, vpn, now=i)
+        assert pred.stats.get("useful_prefetches") >= 1
+        assert 0 < pred.usefulness <= 1
+
+    def test_wasted_prefetch_counted_on_eviction(self):
+        tlb, pred = make_tlb(resolver=lambda v: v + 1000)
+        for i, vpn in enumerate([10, 11, 12]):
+            demand(tlb, vpn, now=i)
+        # Evict the prefetched entry (13) before any hit.
+        if tlb.probe(13) is not None:
+            tlb.invalidate(13, now=99)
+            assert pred.stats.get("wasted_prefetches") == 1
+
+    def test_usefulness_zero_without_issues(self):
+        _, pred = make_tlb(resolver=None)
+        assert pred.usefulness == 0.0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistancePrefetcherConfig(table_entries=0).validate()
+        with pytest.raises(ValueError):
+            DistancePrefetcherConfig(prefetch_degree=0).validate()
+        with pytest.raises(ValueError):
+            DistancePrefetcherConfig(max_distance=-1).validate()
+
+
+class TestEndToEnd:
+    def test_prefetcher_wins_on_repeated_sweep(self):
+        """Second sweep of a mapped region: distances are learnable and
+        the pages are mapped, so prefetching cuts misses."""
+        pages = 512  # 4x the 128-entry LLT: every sweep misses everywhere
+        sweeps = 4
+        vaddrs = np.tile(
+            np.arange(pages, dtype=np.uint64) * 4096, sweeps
+        ) + 0x10000000
+        trace = Trace(
+            "resweep",
+            np.full(len(vaddrs), 0x400000, dtype=np.uint64),
+            vaddrs,
+            np.zeros(len(vaddrs), dtype=bool),
+            np.full(len(vaddrs), 3, dtype=np.uint16),
+        )
+        base = run_trace(trace, fast_config())
+        pf = run_trace(
+            trace, fast_config(tlb_predictor="distance_prefetch")
+        )
+        assert pf.llt_misses < base.llt_misses
+
+    def test_machine_wires_resolver(self):
+        from repro.sim.machine import Machine
+
+        m = Machine(fast_config(tlb_predictor="distance_prefetch"))
+        assert m.tlb_predictor.resolver is not None
+        m.access(0x400000, 0x10000000, False, 2)

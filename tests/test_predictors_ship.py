@@ -1,0 +1,108 @@
+"""Tests for the SHiP baseline predictor (TLB and LLC variants)."""
+
+import pytest
+
+from repro.mem.cache import SetAssocCache
+from repro.predictors.base import AccessContext
+from repro.predictors.ship import ShipCachePredictor, ShipConfig, ShipTlbPredictor
+from repro.vm.tlb import Tlb
+
+
+def make_ship_tlb(**cfg):
+    pred = ShipTlbPredictor(ShipConfig(signature_bits=8, **cfg))
+    tlb = Tlb("LLT", num_entries=4, assoc=2, listener=pred)
+    return tlb, pred
+
+
+class TestShipTlb:
+    def test_dead_evictions_train_distant(self):
+        tlb, pred = make_ship_tlb()
+        pc = 0x400100
+        # Two dead generations drive the 2-bit counter from 1 to 0.
+        for i in range(2):
+            tlb.fill(i, 100 + i, pc, now=i)
+            tlb.invalidate(i, now=i)
+        sig = pred.core.signature(pc)
+        assert pred.core.predicts_distant(sig)
+
+    def test_distant_insertion_becomes_victim(self):
+        tlb, pred = make_ship_tlb()
+        pc_dead = 0x400100
+        pc_live = 0x400200
+        for i in range(2):
+            tlb.fill(i * 2, 100, pc_dead, now=i)
+            tlb.invalidate(i * 2, now=i)
+        # Set 0: fill a live entry then a predicted-distant one.
+        tlb.fill(0, 100, pc_live, now=10)
+        tlb.fill(2, 101, pc_dead, now=11)  # same set, predicted distant
+        victim = tlb.fill(4, 102, pc_live, now=12)
+        assert victim.vpn == 2  # the distant entry went first
+
+    def test_hits_train_reusable(self):
+        tlb, pred = make_ship_tlb()
+        pc = 0x400300
+        tlb.fill(0, 100, pc, now=0)
+        tlb.lookup(0, now=1)
+        sig = pred.core.signature(pc)
+        assert not pred.core.predicts_distant(sig)
+        assert pred.core.stats.get("hit_trainings") == 1
+
+    def test_observer_called(self):
+        seen = []
+        pred = ShipTlbPredictor(
+            ShipConfig(signature_bits=8),
+            prediction_observer=lambda vpn, d: seen.append((vpn, d)),
+        )
+        tlb = Tlb("LLT", num_entries=4, assoc=2, listener=pred)
+        tlb.fill(0, 100, 0x400000, now=0)
+        assert seen == [(0, False)]
+
+    def test_storage_accounting(self):
+        pred = ShipTlbPredictor(ShipConfig(signature_bits=8))
+        # 256-entry 2-bit SHCT + 9 bits per entry.
+        assert pred.storage_bits(1024) == 256 * 2 + 9 * 1024
+
+    def test_invalid_initial_counter(self):
+        with pytest.raises(ValueError):
+            ShipTlbPredictor(ShipConfig(counter_bits=2, initial_counter=4))
+
+
+class TestShipCache:
+    def test_dead_blocks_train_distant(self):
+        ctx = AccessContext()
+        pred = ShipCachePredictor(ctx, ShipConfig(signature_bits=8))
+        llc = SetAssocCache("LLC", 4, 2, listener=pred)
+        ctx.pc = 0x400100
+        for i in range(2):
+            llc.fill(4 * i, now=i)
+            llc.invalidate(4 * i, now=i)
+        sig = pred.core.signature(ctx.pc)
+        assert pred.core.predicts_distant(sig)
+
+    def test_context_pc_determines_signature(self):
+        ctx = AccessContext()
+        pred = ShipCachePredictor(ctx, ShipConfig(signature_bits=8))
+        llc = SetAssocCache("LLC", 4, 2, listener=pred)
+        ctx.pc = 0x400100
+        llc.fill(0, now=0)
+        assert llc.probe(0).aux == pred.core.signature(0x400100)
+
+    def test_distant_fill_marked(self):
+        ctx = AccessContext()
+        pred = ShipCachePredictor(ctx, ShipConfig(signature_bits=8))
+        llc = SetAssocCache("LLC", 1, 2, listener=pred)
+        ctx.pc = 0x400100
+        for i in range(2):
+            llc.fill(i + 10, now=i)
+            llc.invalidate(i + 10, now=i)
+        llc.fill(1, now=10)
+        assert pred.stats.get("distant_predictions") >= 1
+
+    def test_hit_promotes_signature(self):
+        ctx = AccessContext()
+        pred = ShipCachePredictor(ctx, ShipConfig(signature_bits=8))
+        llc = SetAssocCache("LLC", 4, 2, listener=pred)
+        ctx.pc = 0x400400
+        llc.fill(0, now=0)
+        llc.lookup(0, now=1)
+        assert not pred.core.predicts_distant(pred.core.signature(0x400400))

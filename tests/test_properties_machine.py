@@ -1,0 +1,107 @@
+"""Property-based tests over random access streams at machine level.
+
+These pin the structural invariants the whole evaluation rests on: LLC
+inclusion, translation stability, conservation of eviction classes, and
+that predictor bypassing never corrupts architectural state (the returned
+translation/data path), only placement.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import fast_config
+from repro.sim.machine import Machine
+
+# Small page pool so streams exercise eviction paths quickly.
+PAGES = st.integers(0, 600)
+STREAMS = st.lists(
+    st.tuples(PAGES, st.booleans(), st.integers(0, 3)),
+    min_size=20,
+    max_size=250,
+)
+
+
+def drive(machine, stream):
+    for page, write, site in stream:
+        machine.access(
+            0x400000 + site * 4, 0x10000000 + page * 4096, write, 2
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(stream=STREAMS)
+def test_inclusion_invariant(stream):
+    """Every L1/L2-resident block is LLC-resident (inclusive hierarchy)."""
+    m = Machine(fast_config())
+    drive(m, stream)
+    for block in m.l1d.resident_blocks() + m.l2.resident_blocks():
+        assert m.llc.probe(block) is not None
+
+
+@settings(max_examples=15, deadline=None)
+@given(stream=STREAMS)
+def test_translation_stability(stream):
+    """A VPN always translates to the same PFN, whatever the TLB state."""
+    m = Machine(fast_config(tlb_predictor="dppred"))
+    drive(m, stream)
+    seen = {}
+    for vpn, pfn in ((v, m.page_table.lookup(v)) for v in set(
+        0x10000 + p for p, _, _ in stream
+    )):
+        if pfn is not None:
+            assert seen.setdefault(vpn, pfn) == pfn
+
+
+@settings(max_examples=15, deadline=None)
+@given(stream=STREAMS)
+def test_llt_occupancy_bounded_under_bypass(stream):
+    m = Machine(fast_config(tlb_predictor="dppred"))
+    drive(m, stream)
+    assert m.l2_tlb.occupancy() <= m.config.l2_tlb.entries
+
+
+@settings(max_examples=15, deadline=None)
+@given(stream=STREAMS)
+def test_tlb_stats_conservation(stream):
+    """hits + misses == lookups; fills - evictions == occupancy."""
+    m = Machine(fast_config())
+    drive(m, stream)
+    s = m.l2_tlb.stats
+    assert (
+        s.get("fills") - s.get("evictions") - s.get("invalidations")
+        == m.l2_tlb.occupancy()
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(stream=STREAMS)
+def test_bypass_only_changes_placement_not_results(stream):
+    """With and without dpPred, the same instruction/access counts are
+    processed and memory contents (translations) agree — the predictor may
+    only change WHERE things are cached."""
+    base = Machine(fast_config(), seed=1)
+    pred = Machine(fast_config(tlb_predictor="dppred"), seed=1)
+    drive(base, stream)
+    drive(pred, stream)
+    assert base.instructions == pred.instructions
+    assert base.now == pred.now
+    # Same demand pages were mapped, to the same frames (same allocator
+    # seed and same first-touch order).
+    assert base.page_table.pages_mapped == pred.page_table.pages_mapped
+
+
+@settings(max_examples=10, deadline=None)
+@given(stream=STREAMS, entries=st.sampled_from([2, 4, 8]))
+def test_shadow_table_never_holds_llt_resident_vpn(stream, entries):
+    """A VPN is in the LLT or the shadow table, never both (it is removed
+    from the shadow on refill)."""
+    cfg = fast_config(
+        tlb_predictor="dppred", dppred_shadow_entries=entries
+    )
+    m = Machine(cfg)
+    drive(m, stream)
+    shadow = m.tlb_predictor.shadow
+    if shadow is not None:
+        for vpn in list(shadow._entries):
+            assert m.l2_tlb.probe(vpn) is None

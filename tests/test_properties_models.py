@@ -1,0 +1,92 @@
+"""Model-equivalence property tests.
+
+The set-associative cache and TLB are checked access-for-access against a
+tiny executable specification (an OrderedDict-per-set LRU model). If these
+hold, every higher-level result rests on correct LRU bookkeeping.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import SetAssocCache
+from repro.vm.tlb import Tlb
+
+
+class LruModel:
+    """Executable specification of a set-associative LRU structure."""
+
+    def __init__(self, num_sets, assoc):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def access(self, key):
+        """Returns True on hit; fills (with LRU eviction) on miss."""
+        s = self.sets[key % self.num_sets]
+        if key in s:
+            s.move_to_end(key)
+            return True
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[key] = True
+        return False
+
+    def resident(self):
+        return sorted(k for s in self.sets for k in s)
+
+
+KEYS = st.integers(0, 96)
+
+
+@settings(max_examples=40)
+@given(keys=st.lists(KEYS, min_size=1, max_size=400))
+def test_cache_matches_lru_model(keys):
+    cache = SetAssocCache("c", num_sets=4, assoc=4)
+    model = LruModel(4, 4)
+    for now, key in enumerate(keys):
+        model_hit = model.access(key)
+        cache_hit = cache.lookup(key, now)
+        if not cache_hit:
+            cache.fill(key, now)
+        assert cache_hit == model_hit, f"diverged at access {now} ({key})"
+    assert sorted(cache.resident_blocks()) == model.resident()
+
+
+@settings(max_examples=40)
+@given(keys=st.lists(KEYS, min_size=1, max_size=400))
+def test_tlb_matches_lru_model(keys):
+    tlb = Tlb("t", num_entries=16, assoc=4)
+    model = LruModel(4, 4)
+    for now, key in enumerate(keys):
+        model_hit = model.access(key)
+        tlb_hit = tlb.lookup(key, now) is not None
+        if not tlb_hit:
+            tlb.fill(key, key + 100, 0, now)
+        assert tlb_hit == model_hit, f"diverged at access {now} ({key})"
+    assert sorted(tlb.resident_vpns()) == model.resident()
+
+
+@settings(max_examples=40)
+@given(
+    keys=st.lists(KEYS, min_size=1, max_size=300),
+    invalidations=st.lists(KEYS, max_size=30),
+)
+def test_cache_model_with_invalidations(keys, invalidations):
+    """Interleaved invalidations keep the cache aligned with the model."""
+    cache = SetAssocCache("c", num_sets=2, assoc=4)
+    model = LruModel(2, 4)
+    inv = list(invalidations)
+    for now, key in enumerate(keys):
+        model_hit = model.access(key)
+        cache_hit = cache.lookup(key, now)
+        if not cache_hit:
+            cache.fill(key, now)
+        assert cache_hit == model_hit
+        if inv and now % 7 == 3:
+            victim = inv.pop()
+            cache.invalidate(victim, now)
+            s = model.sets[victim % model.num_sets]
+            s.pop(victim, None)
+    assert sorted(cache.resident_blocks()) == model.resident()

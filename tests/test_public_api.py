@@ -1,0 +1,66 @@
+"""Public-API contract tests: the README's promises must hold."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_readme_quickstart_snippet(self):
+        """The exact flow the README shows."""
+        from repro.sim import fast_config, run_trace
+        from repro.workloads import get_trace
+
+        trace = get_trace("mcf", 2000)
+        baseline = run_trace(trace, fast_config())
+        improved = run_trace(
+            trace,
+            fast_config(tlb_predictor="dppred", llc_predictor="cbpred"),
+        )
+        assert improved.speedup_over(baseline) > 0
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.common
+        import repro.core
+        import repro.mem
+        import repro.predictors
+        import repro.sim
+        import repro.vm
+        import repro.workloads
+
+        for module in (
+            repro.common, repro.core, repro.mem, repro.predictors,
+            repro.sim, repro.vm, repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+@pytest.mark.parametrize(
+    "script,args",
+    [
+        ("examples/quickstart.py", ["mcf", "2500"]),
+        ("examples/custom_workload.py", ["2500"]),
+    ],
+)
+def test_examples_run(script, args):
+    """The runnable examples must stay runnable."""
+    result = subprocess.run(
+        [sys.executable, script, *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd="/root/repo",
+    )
+    assert result.returncode == 0, result.stderr
+    assert "IPC" in result.stdout

@@ -1,0 +1,130 @@
+"""Tests for the full machine model."""
+
+import pytest
+
+from repro.sim.config import fast_config
+from repro.sim.machine import Machine
+from repro.vm.physmem import PAGE_SIZE
+
+
+def tiny_config(**kw):
+    return fast_config(**kw)
+
+
+class TestAccessPath:
+    def test_first_access_walks_and_fills(self):
+        m = Machine(tiny_config())
+        m.access(pc=0x400000, vaddr=0x10000000, is_write=False, gap=3)
+        assert m.walker.stats.get("walks") >= 1  # data (+ instruction) walk
+        assert m.l2_tlb.occupancy() >= 1
+        assert m.l1_dtlb.occupancy() == 1
+
+    def test_repeat_access_hits_everywhere(self):
+        m = Machine(tiny_config())
+        m.access(0x400000, 0x10000000, False, 3)
+        walks = m.walker.stats.get("walks")
+        hits = m.l1_dtlb.stats.get("hits")
+        m.access(0x400000, 0x10000000, False, 3)
+        assert m.walker.stats.get("walks") == walks
+        assert m.l1_dtlb.stats.get("hits") == hits + 1
+
+    def test_instructions_accumulate_gap(self):
+        m = Machine(tiny_config())
+        m.access(0x400000, 0x10000000, False, 3)
+        m.access(0x400000, 0x10001000, False, 5)
+        assert m.instructions == (3 + 1) + (5 + 1)
+
+    def test_cycles_increase_with_misses(self):
+        m1 = Machine(tiny_config())
+        m2 = Machine(tiny_config())
+        m1.access(0x400000, 0x10000000, False, 3)
+        m1.access(0x400000, 0x10000000, False, 3)  # hit
+        m2.access(0x400000, 0x10000000, False, 3)
+        m2.access(0x400000, 0x20000000, False, 3)  # fresh page: walk
+        assert m2.cycles > m1.cycles
+
+    def test_same_page_different_blocks(self):
+        m = Machine(tiny_config())
+        m.access(0x400000, 0x10000000, False, 3)
+        walks = m.walker.stats.get("walks")
+        m.access(0x400000, 0x10000040, False, 3)  # next cache block
+        assert m.walker.stats.get("walks") == walks  # TLB hit
+        assert m.l1d.occupancy() == 2
+
+    def test_write_propagates_dirty(self):
+        m = Machine(tiny_config())
+        m.access(0x400000, 0x10000000, True, 3)
+        blocks = m.l1d.resident_blocks()
+        assert len(blocks) == 1
+        assert m.l1d.probe(blocks[0]).dirty
+
+    def test_translation_is_consistent(self):
+        """The same VA always maps to the same PA block."""
+        m = Machine(tiny_config())
+        m.access(0x400000, 0x10000000, False, 3)
+        blocks_before = set(m.llc.resident_blocks())
+        for _ in range(5):
+            m.access(0x400000, 0x10000000, False, 3)
+        # No new blocks appeared for the same VA (page-table blocks were
+        # all fetched during the first access's walks).
+        data_blocks = set(m.llc.resident_blocks())
+        assert blocks_before == data_blocks
+
+
+class TestPredictorWiring:
+    def test_dppred_attached(self):
+        m = Machine(tiny_config(tlb_predictor="dppred"))
+        from repro.core.dppred import DeadPagePredictor
+
+        assert isinstance(m.tlb_predictor, DeadPagePredictor)
+
+    def test_cbpred_coupled_to_dppred(self):
+        m = Machine(
+            tiny_config(tlb_predictor="dppred", llc_predictor="cbpred")
+        )
+        assert m.tlb_predictor.pfn_sink is not None
+        # A predicted-DOA PFN must land in the PFQ.
+        m.tlb_predictor.pfn_sink(42)
+        assert 42 in m.llc_predictor.pfq
+
+    def test_cbpred_without_dppred_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(tiny_config(llc_predictor="cbpred"))
+
+    def test_reference_observers_attached(self):
+        m = Machine(
+            tiny_config(tlb_predictor="dppred", track_reference=True)
+        )
+        assert m.tlb_predictor.prediction_observer is not None
+        assert m.ref_llt is not None
+
+    def test_correlation_requires_baseline(self):
+        with pytest.raises(ValueError):
+            Machine(
+                tiny_config(tlb_predictor="dppred", track_correlation=True)
+            )
+
+
+class TestFinalize:
+    def test_result_fields(self):
+        m = Machine(tiny_config(track_residency=True))
+        for i in range(50):
+            m.access(0x400000, 0x10000000 + i * PAGE_SIZE, False, 3)
+        result = m.finalize("unit")
+        assert result.workload == "unit"
+        assert result.instructions == 200
+        assert result.ipc > 0
+        assert result.llt_misses > 0
+        assert result.llt_mpki > 0
+        assert result.llt_residency is not None
+        assert "llt" in result.raw
+
+    def test_llt_misses_equal_walks(self):
+        """A shadow-table hit avoids the walk, so the reported LLT miss
+        count must equal the walker's walk count exactly."""
+        cfg = tiny_config(tlb_predictor="dppred")
+        m = Machine(cfg)
+        for i in range(200):
+            m.access(0x400000, 0x10000000 + (i % 40) * PAGE_SIZE, False, 2)
+        result = m.finalize("unit")
+        assert result.llt_misses == m.walker.stats.get("walks")

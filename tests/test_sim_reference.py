@@ -1,0 +1,98 @@
+"""Tests for the ground-truth reference structure (accuracy/coverage)."""
+
+import pytest
+
+from repro.sim.reference import ReferenceStructure
+
+
+def make_ref(entries=4, assoc=2):
+    return ReferenceStructure("ref", entries, assoc)
+
+
+class TestTruth:
+    def test_doa_counted_on_eviction(self):
+        ref = make_ref(entries=2, assoc=2)
+        ref.access(0, 0)
+        ref.access(2, 1)
+        ref.access(4, 2)  # evicts 0 (never re-accessed): true DOA
+        assert ref.stats.get("true_doas") == 1
+
+    def test_reused_not_doa(self):
+        ref = make_ref(entries=2, assoc=2)
+        ref.access(0, 0)
+        ref.access(0, 1)
+        ref.access(2, 2)
+        ref.access(4, 3)  # evicts someone; 0 was reused
+        ref.finalize()
+        assert ref.stats.get("true_doas") == ref.stats.get("residencies") - 1
+
+    def test_finalize_settles_residents(self):
+        ref = make_ref()
+        ref.access(0, 0)
+        ref.access(2, 1)
+        ref.finalize()
+        assert ref.stats.get("residencies") == 2
+        assert ref.stats.get("true_doas") == 2
+
+
+class TestPredictionScoring:
+    def test_correct_doa_prediction(self):
+        ref = make_ref(entries=2, assoc=2)
+        ref.access(0, 0)
+        ref.record_prediction(0, True)
+        ref.access(2, 1)
+        ref.access(4, 2)  # evicts 0, truly DOA
+        ref.finalize()
+        assert ref.stats.get("correct_doa_predictions") == 1
+        assert ref.accuracy == 1.0
+        assert ref.coverage == pytest.approx(1 / 3)
+
+    def test_wrong_doa_prediction(self):
+        ref = make_ref(entries=2, assoc=2)
+        ref.access(0, 0)
+        ref.record_prediction(0, True)
+        ref.access(0, 1)  # reused: the prediction was wrong
+        ref.finalize()
+        assert ref.accuracy == 0.0
+
+    def test_not_doa_predictions_ignored_for_accuracy(self):
+        ref = make_ref()
+        ref.access(0, 0)
+        ref.record_prediction(0, False)
+        ref.finalize()
+        assert ref.accuracy is None  # no DOA predictions made
+        assert ref.stats.get("predictions") == 1
+
+    def test_prediction_before_access_is_buffered(self):
+        """Fill hooks can fire ahead of the reference feed."""
+        ref = make_ref(entries=2, assoc=2)
+        ref.record_prediction(0, True)
+        ref.access(0, 0)
+        ref.access(2, 1)
+        ref.access(4, 2)
+        ref.finalize()
+        assert ref.stats.get("correct_doa_predictions") == 1
+
+    def test_coverage_none_without_true_doas(self):
+        ref = make_ref()
+        ref.access(0, 0)
+        ref.access(0, 1)
+        # Entry still resident and reused; no DOAs yet.
+        assert ref.coverage is None
+
+
+class TestGeometry:
+    def test_lru_within_set(self):
+        ref = ReferenceStructure("ref", 2, 2)  # one set
+        ref.access(0, 0)
+        ref.access(2, 1)
+        ref.access(0, 2)  # promote 0
+        ref.access(4, 3)  # evicts 2
+        ref.access(2, 4)  # refill: 2 had been evicted
+        assert ref.stats.get("residencies") >= 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ReferenceStructure("bad", 10, 4)
+        with pytest.raises(ValueError):
+            ReferenceStructure("bad", 12, 4)

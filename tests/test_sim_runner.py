@@ -1,0 +1,107 @@
+"""Tests for run orchestration and caching."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import fast_config
+from repro.sim.runner import (
+    baseline_and,
+    clear_run_cache,
+    run_cached,
+    run_trace,
+)
+from repro.workloads.trace import Trace
+
+
+def make_trace(n=400, pages=60, seed=3):
+    rng = np.random.RandomState(seed)
+    vaddrs = (0x10000000 + rng.randint(0, pages, n) * 4096).astype(np.uint64)
+    return Trace(
+        "synthetic",
+        np.full(n, 0x400000, dtype=np.uint64),
+        vaddrs,
+        np.zeros(n, dtype=bool),
+        np.full(n, 3, dtype=np.uint16),
+    )
+
+
+class TestRunTrace:
+    def test_basic_run(self):
+        result = run_trace(make_trace(), fast_config())
+        assert result.instructions == 400 * 4
+        assert result.ipc > 0
+
+    def test_deterministic(self):
+        trace = make_trace()
+        a = run_trace(trace, fast_config())
+        b = run_trace(trace, fast_config())
+        assert a.cycles == b.cycles
+        assert a.llt_misses == b.llt_misses
+
+    def test_oracle_two_pass(self):
+        trace = make_trace(n=800, pages=40)
+        base = run_trace(trace, fast_config())
+        oracle = run_trace(trace, fast_config(tlb_predictor="oracle"))
+        assert oracle.llt_misses <= base.llt_misses
+
+    def test_oracle_strictly_wins_on_hot_plus_stream(self):
+        # A hot set that marginally fits plus a cold DOA stream: the DOA
+        # oracle bypasses the stream, letting the hot set stay resident.
+        rng = np.random.RandomState(11)
+        n = 4000
+        hot = (np.arange(n, dtype=np.uint64) % 64) * 4096
+        cold = (rng.randint(4096, 1 << 20, size=n).astype(np.uint64)) * 4096
+        vaddrs = np.where(np.arange(n) % 2 == 0, hot, cold) + 0x10000000
+        trace = Trace(
+            "hot+stream",
+            np.full(n, 0x400000, dtype=np.uint64),
+            vaddrs.astype(np.uint64),
+            np.zeros(n, dtype=bool),
+            np.full(n, 3, dtype=np.uint16),
+        )
+        base = run_trace(trace, fast_config())
+        oracle = run_trace(trace, fast_config(tlb_predictor="oracle"))
+        assert oracle.llt_misses < base.llt_misses
+
+
+class TestRunCached:
+    def test_cache_returns_same_object(self):
+        clear_run_cache()
+        a = run_cached("mcf", fast_config(), budget=3000)
+        b = run_cached("mcf", fast_config(), budget=3000)
+        assert a is b
+
+    def test_cache_distinguishes_configs(self):
+        clear_run_cache()
+        a = run_cached("mcf", fast_config(), budget=3000)
+        b = run_cached(
+            "mcf", fast_config(tlb_predictor="dppred"), budget=3000
+        )
+        assert a is not b
+
+    def test_baseline_and(self):
+        clear_run_cache()
+        base, pred = baseline_and(
+            "mcf", fast_config(tlb_predictor="dppred"), budget=3000
+        )
+        assert base.config_name.endswith("tlb=none/llc=none")
+        assert pred.config_name.endswith("tlb=dppred/llc=none")
+
+
+class TestMultiSeed:
+    def test_run_many_distinct_seeds(self):
+        from repro.sim.runner import run_many, summarize_runs
+
+        results = run_many(
+            "mcf", fast_config(), seeds=[1, 2, 3], budget=3000
+        )
+        assert len(results) == 3
+        summary = summarize_runs(results)
+        assert summary["runs"] == 3
+        assert summary["ipc"]["min"] <= summary["ipc"]["mean"] <= summary["ipc"]["max"]
+
+    def test_summarize_empty_rejected(self):
+        from repro.sim.runner import summarize_runs
+
+        with pytest.raises(ValueError):
+            summarize_runs([])

@@ -1,0 +1,101 @@
+"""Tests for the mechanistic timing model's qualitative properties.
+
+The substitution argument (DESIGN.md §3) only needs IPC to be a monotone
+function of the miss events the predictors change; these tests pin that.
+"""
+
+import numpy as np
+
+from repro.sim.config import TimingConfig, fast_config
+from repro.sim.machine import Machine
+from repro.sim.runner import run_trace
+from repro.workloads.trace import Trace
+
+
+def make_trace(vaddrs, gap=3):
+    n = len(vaddrs)
+    return Trace(
+        "t",
+        np.full(n, 0x400000, dtype=np.uint64),
+        np.asarray(vaddrs, dtype=np.uint64),
+        np.zeros(n, dtype=bool),
+        np.full(n, gap, dtype=np.uint16),
+    )
+
+
+def hot_trace(n=400):
+    """All accesses hit one page/block after warm-up."""
+    return make_trace([0x10000000] * n)
+
+
+def thrash_trace(n=400, pages=4096):
+    rng = np.random.RandomState(5)
+    return make_trace(
+        0x10000000 + rng.randint(0, pages, n).astype(np.uint64) * 4096
+    )
+
+
+class TestMonotonicity:
+    def test_hits_faster_than_misses(self):
+        hot = run_trace(hot_trace(), fast_config())
+        cold = run_trace(thrash_trace(), fast_config())
+        assert hot.ipc > cold.ipc
+
+    def test_ipc_bounded_by_ideal(self):
+        cfg = fast_config()
+        hot = run_trace(hot_trace(), cfg)
+        assert hot.ipc <= 1.0 / cfg.timing.base_cpi + 1e-9
+
+    def test_walks_cost_more_than_tlb_hits(self):
+        cfg = fast_config()
+        m1 = Machine(cfg)
+        m2 = Machine(cfg)
+        # Same number of accesses; m2 touches fresh pages (walks).
+        for i in range(64):
+            m1.access(0x400000, 0x10000000, False, 3)
+            m2.access(0x400000, 0x10000000 + i * 4096 * 17, False, 3)
+        assert m2.cycles > m1.cycles
+
+    def test_higher_gap_raises_ipc(self):
+        """More non-memory instructions amortise memory penalties."""
+        cfg = fast_config()
+        low = run_trace(make_trace([0x10000000] * 200, gap=1), cfg)
+        high = run_trace(make_trace([0x10000000] * 200, gap=9), cfg)
+        assert high.ipc > low.ipc
+
+
+class TestTimingConfig:
+    def test_mem_divisor_models_mlp(self):
+        fast_mlp = fast_config(
+            timing=TimingConfig(mem_divisor=8.0)
+        )
+        slow_mlp = fast_config(
+            timing=TimingConfig(mem_divisor=1.0)
+        )
+        trace = thrash_trace()
+        assert run_trace(trace, fast_mlp).ipc > run_trace(trace, slow_mlp).ipc
+
+    def test_walk_exposure_scales_walk_cost(self):
+        exposed = fast_config(timing=TimingConfig(walk_exposure=1.0))
+        hidden = fast_config(timing=TimingConfig(walk_exposure=0.0))
+        trace = thrash_trace()
+        assert run_trace(trace, hidden).ipc > run_trace(trace, exposed).ipc
+
+    def test_defaults(self):
+        t = TimingConfig()
+        assert t.base_cpi == 0.4
+        assert t.walk_exposure == 1.0
+        assert t.mem_divisor == 8.0
+
+
+class TestMissAccounting:
+    def test_avg_walk_latency_in_plausible_range(self):
+        result = run_trace(thrash_trace(800), fast_config())
+        # A walk costs at least the PWC probes + one L2 hit, at most
+        # 4 memory accesses.
+        assert 2 <= result.avg_walk_latency <= 4 * (40 + 191) + 10
+
+    def test_mpki_scales_with_instructions(self):
+        r = run_trace(make_trace([0x10000000] * 100, gap=0), fast_config())
+        assert r.instructions == 100
+        assert r.llt_mpki == 1000.0 * r.llt_misses / 100

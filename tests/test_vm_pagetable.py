@@ -1,0 +1,107 @@
+"""Tests for the four-level radix page table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.pagetable import (
+    ENTRIES_PER_NODE,
+    NUM_LEVELS,
+    PTE_SIZE,
+    VPN_BITS,
+    RadixPageTable,
+)
+from repro.vm.physmem import PAGE_SIZE, FrameAllocator
+
+
+class TestTranslation:
+    def test_demand_allocation(self):
+        pt = RadixPageTable()
+        assert pt.lookup(0x1234) is None
+        pfn = pt.translate(0x1234)
+        assert pt.lookup(0x1234) == pfn
+
+    def test_translation_is_stable(self):
+        pt = RadixPageTable()
+        assert pt.translate(42) == pt.translate(42)
+
+    def test_distinct_vpns_distinct_pfns(self):
+        pt = RadixPageTable()
+        pfns = [pt.translate(v) for v in range(100)]
+        assert len(set(pfns)) == 100
+
+    def test_rejects_out_of_range_vpn(self):
+        pt = RadixPageTable()
+        with pytest.raises(ValueError):
+            pt.translate(1 << VPN_BITS)
+        with pytest.raises(ValueError):
+            pt.translate(-1)
+
+    def test_pages_mapped_counter(self):
+        pt = RadixPageTable()
+        pt.translate(1)
+        pt.translate(2)
+        pt.translate(1)
+        assert pt.pages_mapped == 2
+
+
+class TestWalkPath:
+    def test_path_has_four_levels(self):
+        pt = RadixPageTable()
+        _, path = pt.walk_path(0xABCDE)
+        assert len(path) == NUM_LEVELS
+
+    def test_path_addresses_within_frames(self):
+        pt = RadixPageTable(FrameAllocator(scramble=False))
+        _, path = pt.walk_path(0xABCDE)
+        for addr in path:
+            offset = addr % PAGE_SIZE
+            assert offset % PTE_SIZE == 0
+            assert offset < ENTRIES_PER_NODE * PTE_SIZE
+
+    def test_same_region_shares_upper_levels(self):
+        pt = RadixPageTable()
+        _, path_a = pt.walk_path(0x1000)
+        _, path_b = pt.walk_path(0x1001)  # same PT node, next index
+        assert path_a[:3] == path_b[:3]
+        assert path_a[3] != path_b[3]
+
+    def test_distant_vpns_diverge_at_root(self):
+        pt = RadixPageTable()
+        _, path_a = pt.walk_path(0)
+        _, path_b = pt.walk_path((1 << VPN_BITS) - 1)
+        # Root node frame is shared, so the page is the same; the entry
+        # offset inside the root differs.
+        assert path_a[0] // PAGE_SIZE == path_b[0] // PAGE_SIZE
+        assert path_a[0] != path_b[0]
+
+    def test_level_index_decomposition(self):
+        vpn = 0x123456789
+        rebuilt = 0
+        for level in range(NUM_LEVELS):
+            rebuilt = (rebuilt << 9) | RadixPageTable.level_index(vpn, level)
+        assert rebuilt == vpn & ((1 << VPN_BITS) - 1)
+
+
+class TestFrameDiscipline:
+    def test_page_frames_never_collide_with_node_frames(self):
+        pt = RadixPageTable(FrameAllocator(num_frames=1 << 16))
+        vpns = [i * 7919 for i in range(200)]
+        pfns = {pt.translate(v) for v in vpns}
+        node_frames = set()
+        for v in vpns:
+            _, path = pt.walk_path(v)
+            node_frames.update(a // PAGE_SIZE for a in path)
+        assert pfns.isdisjoint(node_frames)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, (1 << VPN_BITS) - 1), min_size=1, max_size=60))
+def test_lookup_matches_translate(vpns):
+    pt = RadixPageTable()
+    expected = {}
+    for v in vpns:
+        expected[v] = pt.translate(v)
+    for v, pfn in expected.items():
+        assert pt.lookup(v) == pfn
+        assert pt.translate(v) == pfn

@@ -1,0 +1,71 @@
+"""Tests for the physical frame allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.physmem import PAGE_SIZE, FrameAllocator, OutOfPhysicalMemory
+
+
+class TestAllocation:
+    def test_sequential_mode(self):
+        a = FrameAllocator(num_frames=16, scramble=False)
+        assert [a.allocate() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_scrambled_frames_unique(self):
+        a = FrameAllocator(num_frames=256, scramble=True)
+        frames = [a.allocate() for _ in range(256)]
+        assert len(set(frames)) == 256
+        assert all(0 <= f < 256 for f in frames)
+
+    def test_scramble_not_sequential(self):
+        a = FrameAllocator(num_frames=1 << 16, scramble=True)
+        frames = [a.allocate() for _ in range(8)]
+        deltas = {frames[i + 1] - frames[i] for i in range(7)}
+        assert deltas != {1}
+
+    def test_deterministic_per_seed(self):
+        a = FrameAllocator(num_frames=64, seed=3)
+        b = FrameAllocator(num_frames=64, seed=3)
+        assert [a.allocate() for _ in range(10)] == [
+            b.allocate() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = FrameAllocator(num_frames=1 << 12, seed=1)
+        b = FrameAllocator(num_frames=1 << 12, seed=2)
+        assert [a.allocate() for _ in range(4)] != [
+            b.allocate() for _ in range(4)
+        ]
+
+    def test_exhaustion_raises(self):
+        a = FrameAllocator(num_frames=2)
+        a.allocate()
+        a.allocate()
+        with pytest.raises(OutOfPhysicalMemory):
+            a.allocate()
+
+    def test_rejects_non_power_of_two_pool(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(num_frames=100)
+
+    def test_allocated_counter(self):
+        a = FrameAllocator(num_frames=8)
+        a.allocate()
+        a.allocate()
+        assert a.allocated == 2
+        assert a.stats.get("frames_allocated") == 2
+
+
+def test_page_size_constant():
+    assert PAGE_SIZE == 4096
+
+
+@settings(max_examples=20)
+@given(seed=st.integers(0, 2**16), n=st.integers(1, 512))
+def test_scramble_is_bijective_prefix(seed, n):
+    """Any allocation prefix yields distinct in-range frames."""
+    a = FrameAllocator(num_frames=512, scramble=True, seed=seed)
+    frames = [a.allocate() for _ in range(n)]
+    assert len(set(frames)) == n
+    assert all(0 <= f < 512 for f in frames)

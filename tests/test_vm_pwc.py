@@ -1,0 +1,97 @@
+"""Tests for the page-walk caches."""
+
+import pytest
+
+from repro.vm.pwc import PageWalkCaches, _FullyAssocLru
+
+
+class TestFullyAssocLru:
+    def test_hit_after_fill(self):
+        c = _FullyAssocLru(2)
+        c.fill(1)
+        assert c.lookup(1)
+        assert not c.lookup(2)
+
+    def test_lru_eviction(self):
+        c = _FullyAssocLru(2)
+        c.fill(1)
+        c.fill(2)
+        c.lookup(1)  # promote
+        c.fill(3)  # evicts 2
+        assert c.lookup(1)
+        assert not c.lookup(2)
+        assert c.lookup(3)
+
+    def test_refill_does_not_grow(self):
+        c = _FullyAssocLru(2)
+        c.fill(1)
+        c.fill(1)
+        c.fill(2)
+        assert len(c) == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            _FullyAssocLru(0)
+
+
+class TestPageWalkCaches:
+    def test_cold_miss_resolves_nothing(self):
+        pwc = PageWalkCaches()
+        resolved, latency = pwc.consult(0x12345)
+        assert resolved == 0
+        assert latency == 1 + 1 + 2  # probed all three levels
+        assert pwc.stats.get("pwc_misses") == 1
+
+    def test_fill_then_l1_hit(self):
+        pwc = PageWalkCaches()
+        pwc.fill(0x12345)
+        resolved, latency = pwc.consult(0x12345)
+        assert resolved == 3  # only the PTE load remains
+        assert latency == 1
+        assert pwc.stats.get("pwc_l1_hits") == 1
+
+    def test_neighbour_page_shares_pde(self):
+        # VPNs in the same 512-page region share the L1 PWC entry.
+        pwc = PageWalkCaches()
+        pwc.fill(0x12345)
+        resolved, _ = pwc.consult(0x12345 ^ 0x1)
+        assert resolved == 3
+
+    def test_l2_hit_when_l1_evicted(self):
+        pwc = PageWalkCaches(entries=(1, 8, 16))
+        pwc.fill(0x0_000_00)
+        # A second fill from a different 2MB region evicts the 1-entry L1
+        # PWC but the L2 entry for the first region's upper levels remains.
+        pwc.fill(1 << 9)  # different PDE region, same PDPTE region
+        resolved, latency = pwc.consult(0)
+        assert resolved == 2
+        assert latency == 1 + 1
+        assert pwc.stats.get("pwc_l2_hits") == 1
+
+    def test_l3_hit(self):
+        pwc = PageWalkCaches(entries=(1, 1, 16))
+        pwc.fill(0)
+        pwc.fill(1 << 18)  # same top level, different middle levels
+        resolved, latency = pwc.consult(0)
+        assert resolved == 1
+        assert latency == 1 + 1 + 2
+
+    def test_distinct_regions_do_not_alias(self):
+        pwc = PageWalkCaches()
+        pwc.fill(0)
+        resolved, _ = pwc.consult(1 << 27)  # different at every level
+        assert resolved == 0
+
+    def test_rejects_bad_level_count(self):
+        with pytest.raises(ValueError):
+            PageWalkCaches(entries=(4, 8))
+
+    def test_walk_access_range(self):
+        """A consult always leaves 1..4 memory accesses for the walk."""
+        pwc = PageWalkCaches()
+        for vpn in [0, 5, 1 << 9, 1 << 18, 1 << 27, 0x12345]:
+            resolved, _ = pwc.consult(vpn)
+            assert 0 <= resolved <= 3
+            pwc.fill(vpn)
+            resolved, _ = pwc.consult(vpn)
+            assert resolved == 3

@@ -1,0 +1,77 @@
+"""Tests for the page-table walker."""
+
+from repro.mem.cache import SetAssocCache
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.mainmem import MainMemory
+from repro.vm.pagetable import RadixPageTable
+from repro.vm.physmem import FrameAllocator
+from repro.vm.pwc import PageWalkCaches
+from repro.vm.walker import PageTableWalker
+
+
+def make_walker(pwc_entries=(4, 8, 16)):
+    hierarchy = CacheHierarchy(
+        SetAssocCache("L1D", 8, 2),
+        SetAssocCache("L2", 32, 4),
+        SetAssocCache("LLC", 64, 4),
+        MainMemory(191),
+    )
+    pt = RadixPageTable(FrameAllocator(num_frames=1 << 20))
+    return PageTableWalker(pt, PageWalkCaches(pwc_entries), hierarchy)
+
+
+class TestWalk:
+    def test_walk_returns_stable_pfn(self):
+        w = make_walker()
+        pfn1, _ = w.walk(0x1234, now=0)
+        pfn2, _ = w.walk(0x1234, now=1)
+        assert pfn1 == pfn2
+        assert pfn1 == w.page_table.lookup(0x1234)
+
+    def test_cold_walk_is_four_accesses(self):
+        w = make_walker()
+        w.walk(0x1234, now=0)
+        assert w.stats.get("walk_memory_accesses") == 4
+
+    def test_warm_walk_uses_pwc(self):
+        w = make_walker()
+        w.walk(0x1234, now=0)
+        before = w.stats.get("walk_memory_accesses")
+        w.walk(0x1234, now=1)
+        assert w.stats.get("walk_memory_accesses") - before == 1
+
+    def test_warm_walk_is_much_faster(self):
+        w = make_walker()
+        _, cold = w.walk(0x1234, now=0)
+        _, warm = w.walk(0x1234, now=1)
+        assert warm < cold
+
+    def test_walk_latency_varies_with_pwc(self):
+        """The paper's '1 to 3 memory accesses on a PWC hit' regime."""
+        w = make_walker()
+        w.walk(0, now=0)
+        # Same 2MB region: 1 access (PTE). Different region sharing upper
+        # levels: more accesses.
+        before = w.stats.get("walk_memory_accesses")
+        w.walk(1, now=1)
+        assert w.stats.get("walk_memory_accesses") - before == 1
+        before = w.stats.get("walk_memory_accesses")
+        w.walk(1 << 18, now=2)
+        accesses = w.stats.get("walk_memory_accesses") - before
+        assert 2 <= accesses <= 3
+
+    def test_page_table_cached_in_data_caches(self):
+        w = make_walker()
+        w.walk(0x9999, now=0)
+        assert w.hierarchy.stats.get("walk_accesses") == 4
+        # Re-walking after PWC pressure hits the caches, not memory.
+        mem_before = w.hierarchy.memory.stats.get("accesses")
+        w.walk(0x9999 ^ 0x1, now=1)  # same PT node
+        assert w.hierarchy.memory.stats.get("accesses") == mem_before
+
+    def test_walk_counter(self):
+        w = make_walker()
+        w.walk(1, now=0)
+        w.walk(2, now=1)
+        assert w.stats.get("walks") == 2
+        assert w.average_walk_latency > 0

@@ -1,0 +1,120 @@
+"""Deeper behavioural tests of the graph kernels' access structure."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    EDGE_SIZE,
+    OFFSET_SIZE,
+    VALUE_SIZE,
+    Bfs,
+    GraphWorkload,
+    PageRank,
+    TriangleCounting,
+)
+
+BUDGET = 6000
+
+
+class SmallPr(PageRank):
+    num_vertices = 500
+    avg_degree = 6
+
+
+class SmallBfs(Bfs):
+    num_vertices = 500
+    avg_degree = 6
+
+
+class TestVertexScanMotif:
+    def test_pr_interleaves_edges_and_gathers(self):
+        trace = SmallPr(seed=1).generate(BUDGET)
+        pcs = trace.pcs
+        # Find positions of edge reads; the next access is (almost always)
+        # a gather of the target's value.
+        edge_pos = np.where(pcs == GraphWorkload.PC_EDGES)[0]
+        edge_pos = edge_pos[edge_pos + 1 < len(pcs)]
+        followers = pcs[edge_pos + 1]
+        gather_follow = (followers == GraphWorkload.PC_GATHER).mean()
+        assert gather_follow > 0.95
+
+    def test_edge_reads_are_sequential(self):
+        trace = SmallPr(seed=1).generate(BUDGET)
+        mask = trace.pcs == GraphWorkload.PC_EDGES
+        eaddrs = trace.vaddrs[mask].astype(np.int64)
+        deltas = np.diff(eaddrs)
+        # Within a vertex the edge reads advance by EDGE_SIZE.
+        assert (deltas == EDGE_SIZE).mean() > 0.5
+
+    def test_gathers_match_graph_targets(self):
+        wl = SmallPr(seed=1)
+        trace = wl.generate(BUDGET)
+        g = wl._graph
+        rank_base = wl.space.base("rank")
+        mask = trace.pcs == GraphWorkload.PC_GATHER
+        gathered = (trace.vaddrs[mask] - rank_base) // VALUE_SIZE
+        # Every gathered vertex id is a real vertex.
+        assert (gathered < g.num_vertices).all()
+        # The multiset of early gathers equals the first vertices' targets.
+        n_check = min(50, len(gathered))
+        expected = g.targets[:n_check]
+        assert np.array_equal(
+            np.sort(gathered[:n_check]), np.sort(expected[:n_check])
+        )
+
+    def test_writes_only_on_write_pcs(self):
+        trace = SmallPr(seed=1).generate(BUDGET)
+        write_pcs = set(np.unique(trace.pcs[trace.writes]).tolist())
+        assert GraphWorkload.PC_EDGES not in write_pcs
+        assert GraphWorkload.PC_OFFSETS not in write_pcs
+
+
+class TestBfsSemantics:
+    def test_bfs_visits_each_vertex_once_per_source(self):
+        """Within one BFS, a vertex's parent is written at most once."""
+        wl = SmallBfs(seed=3)
+        trace = wl.generate(BUDGET)
+        parent_base = wl.space.base("parent")
+        mask = (trace.pcs == GraphWorkload.PC_WRITE) & trace.writes
+        written = (trace.vaddrs[mask] - parent_base) // VALUE_SIZE
+        # Writes can repeat across restarts, but within the first BFS
+        # (before any repeated vertex) they must be unique.
+        first_repeat = len(written)
+        seen = set()
+        for i, v in enumerate(written.tolist()):
+            if v in seen:
+                first_repeat = i
+                break
+            seen.add(v)
+        assert first_repeat > 0
+
+
+class TestTriangleProbes:
+    def test_probe_addresses_inside_edge_array(self):
+        class SmallTri(TriangleCounting):
+            num_vertices = 400
+            avg_degree = 6
+
+        wl = SmallTri(seed=2)
+        trace = wl.generate(BUDGET)
+        tg_base = wl.space.base("targets")
+        mask = trace.pcs == GraphWorkload.PC_AUX
+        assert mask.any()
+        probes = trace.vaddrs[mask]
+        assert (probes >= tg_base).all()
+        assert (probes < tg_base + wl._graph.num_edges * EDGE_SIZE).all()
+
+
+class TestLayout:
+    def test_regions_sized_to_graph(self):
+        wl = SmallPr(seed=1)
+        wl.generate(1000)
+        space = wl.space
+        n = wl._graph.num_vertices
+        assert space.base("targets") > space.base("offsets") + n * OFFSET_SIZE
+        assert space.base("rank") > space.base("targets")
+
+    def test_value_arrays_created_per_kernel(self):
+        wl = SmallPr(seed=1)
+        wl.generate(1000)
+        assert wl.space.base("rank_new") > wl.space.base("rank")

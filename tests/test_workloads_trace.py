@@ -1,0 +1,116 @@
+"""Tests for the trace infrastructure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.trace import Trace, TraceBuilder, pc_for_site
+
+
+class TestTraceBuilder:
+    def test_emit_single(self):
+        b = TraceBuilder("t", budget=10)
+        b.emit(0x400000, 0x1000, write=True, gap=5)
+        trace = b.build()
+        assert len(trace) == 1
+        assert trace.writes[0]
+        assert trace.gaps[0] == 5
+
+    def test_emit_chunk(self):
+        b = TraceBuilder("t", budget=10)
+        b.emit_chunk(0x400000, np.arange(5, dtype=np.uint64) * 64)
+        trace = b.build()
+        assert len(trace) == 5
+        assert (trace.pcs == 0x400000).all()
+
+    def test_budget_truncates_chunks(self):
+        b = TraceBuilder("t", budget=3)
+        b.emit_chunk(0x400000, np.arange(10, dtype=np.uint64))
+        assert b.full
+        assert len(b.build()) == 3
+
+    def test_emit_after_full_is_noop(self):
+        b = TraceBuilder("t", budget=1)
+        b.emit(0x400000, 0)
+        b.emit(0x400000, 1)
+        assert len(b.build()) == 1
+
+    def test_emit_interleaved(self):
+        b = TraceBuilder("t", budget=10)
+        b.emit_interleaved(
+            np.asarray([1, 2], dtype=np.uint64),
+            np.asarray([10, 20], dtype=np.uint64),
+            np.asarray([False, True]),
+            np.asarray([2, 3], dtype=np.uint16),
+        )
+        trace = b.build()
+        assert trace.pcs.tolist() == [1, 2]
+        assert trace.writes.tolist() == [False, True]
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder("t", budget=5).build()
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder("t", budget=0)
+
+
+class TestTrace:
+    def make(self, n=10):
+        return Trace(
+            "t",
+            np.arange(n, dtype=np.uint64),
+            np.arange(n, dtype=np.uint64) * 4096,
+            np.zeros(n, dtype=bool),
+            np.full(n, 2, dtype=np.uint16),
+        )
+
+    def test_num_instructions(self):
+        assert self.make(10).num_instructions == 30
+
+    def test_footprint_pages(self):
+        assert self.make(10).footprint_pages == 10
+
+    def test_iter_records_yields_python_types(self):
+        for pc, vaddr, write, gap in self.make(3).iter_records():
+            assert isinstance(pc, int)
+            assert isinstance(gap, int)
+
+    def test_truncated(self):
+        t = self.make(10).truncated(4)
+        assert len(t) == 4
+        assert self.make(10).truncated(100).num_accesses == 10
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                "bad",
+                np.arange(3, dtype=np.uint64),
+                np.arange(2, dtype=np.uint64),
+                np.zeros(3, dtype=bool),
+                np.zeros(3, dtype=np.uint16),
+            )
+
+
+def test_pc_for_site_distinct_and_stable():
+    pcs = {pc_for_site(i) for i in range(100)}
+    assert len(pcs) == 100
+    assert pc_for_site(3) == pc_for_site(3)
+
+
+@settings(max_examples=30)
+@given(
+    chunks=st.lists(
+        st.integers(1, 20), min_size=1, max_size=20
+    ),
+    budget=st.integers(1, 100),
+)
+def test_builder_never_exceeds_budget(chunks, budget):
+    b = TraceBuilder("prop", budget=budget)
+    for n in chunks:
+        b.emit_chunk(0x400000, np.arange(n, dtype=np.uint64))
+    trace = b.build() if b.remaining < budget else None
+    if trace is not None:
+        assert len(trace) <= budget
