@@ -1,0 +1,265 @@
+"""Runner-throughput benchmark: hot-path, fan-out, and disk-cache wins.
+
+Three measurements, each with a built-in correctness cross-check (the
+script exits non-zero on any simulator-output divergence, which is what
+CI's smoke invocation relies on):
+
+1. **Single-run fast path** — one baseline run executed twice: once on
+   the optimised path (no listeners attached, chunked ``iter_records``)
+   and once emulating the pre-optimisation dispatch behaviour (no-op
+   listeners attached to every cache and TLB, fully materialised record
+   lists). The no-op listeners cannot change simulation outcomes, so the
+   two runs must produce byte-identical metrics — and the time ratio is
+   the fast-path speedup.
+2. **Matrix fan-out** — a (workloads x {baseline, dpPred}) matrix run
+   serially and with ``--jobs`` worker processes; results must match
+   bit-for-bit.
+3. **Disk-cache replay** — the same matrix replayed from a freshly
+   populated on-disk cache; results must match bit-for-bit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runner_throughput.py
+    PYTHONPATH=src python benchmarks/bench_runner_throughput.py \
+        --budget 8000 --jobs 2 --workloads 4
+    ... --strict   # also fail if speedup targets are missed
+
+Note this file is a standalone script, not a pytest-benchmark target like
+its ``bench_fig*`` siblings — CI invokes it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+import repro.sim.diskcache as diskcache
+from repro.experiments.report import render_table
+from repro.mem.cache import CacheListener
+from repro.sim.config import fast_config
+from repro.sim.machine import Machine
+from repro.sim.parallel import RunRequest, run_matrix
+from repro.sim.runner import clear_run_cache, machine_seed_for, run_trace
+from repro.vm.tlb import TlbListener
+from repro.workloads.suite import clear_trace_cache, get_trace, workload_names
+
+#: Speedup targets enforced under --strict (see ISSUE/EXPERIMENTS.md).
+SINGLE_RUN_TARGET = 1.5
+PARALLEL_TARGET = 2.5
+
+
+def _fingerprint(result) -> bytes:
+    """Canonical bytes for divergence checks."""
+    return json.dumps(result.to_dict(), sort_keys=True).encode()
+
+
+class _MethodCallDict(dict):
+    """Counter dict that pays a Python method call per update, emulating
+    the per-event ``Stats.add`` dispatch the fast path eliminated."""
+
+    def __setitem__(self, key, value):
+        dict.__setitem__(self, key, value)
+
+
+def _slow_counters(structure):
+    """Route a structure's counter bumps through :class:`_MethodCallDict`."""
+    proxy = _MethodCallDict(structure.stats.counters)
+    structure.stats.counters = proxy
+    structure._stat = proxy
+
+
+def _legacy_run(trace, config, seed):
+    """Emulate the pre-fast-path runner: no-op listener dispatch on every
+    structure, generic replacement-policy dispatch instead of the fused
+    LRU path, no same-page TLB filter, per-event counter method calls,
+    and fully materialised record lists. None of these can change
+    simulation outcomes — which the divergence check below exploits."""
+    machine = Machine(config, seed=seed)
+    machine._page_filter = False
+    for cache in (machine.l1d, machine.l2, machine.llc):
+        if cache.listener is None:
+            cache.listener = CacheListener()
+        cache._lru = None
+        _slow_counters(cache)
+    for tlb in (machine.l1_itlb, machine.l1_dtlb, machine.l2_tlb):
+        if tlb.listener is None:
+            tlb.listener = TlbListener()
+        tlb._lru = None
+        _slow_counters(tlb)
+    for structure in (
+        machine.hierarchy,
+        machine.hierarchy.memory,
+        machine.walker,
+        machine.walker.pwc,
+    ):
+        _slow_counters(structure)
+    records = list(
+        zip(
+            trace.pcs.tolist(),
+            trace.vaddrs.tolist(),
+            trace.writes.tolist(),
+            trace.gaps.tolist(),
+        )
+    )
+    access = machine.access
+    for pc, vaddr, is_write, gap in records:
+        access(pc, vaddr, is_write, gap)
+    return machine.finalize(trace.name)
+
+
+def bench_single_run(budget: int, repeats: int = 3):
+    """Fast path vs emulated legacy dispatch on one baseline run."""
+    config = fast_config()
+    trace = get_trace("mcf", budget)
+    seed = machine_seed_for(42)
+
+    def best(fn):
+        times, result = [], None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - start)
+        return min(times), result
+
+    t_fast, r_fast = best(lambda: run_trace(trace, config, seed=seed))
+    t_legacy, r_legacy = best(lambda: _legacy_run(trace, config, seed))
+
+    diverged = _fingerprint(r_fast) != _fingerprint(r_legacy)
+    return {
+        "t_fast": t_fast,
+        "t_legacy": t_legacy,
+        "speedup": t_legacy / t_fast if t_fast else 0.0,
+        "accesses_per_sec": budget / t_fast if t_fast else 0.0,
+        "diverged": diverged,
+    }
+
+
+def _matrix(budget: int, num_workloads: int):
+    workloads = workload_names()[:num_workloads]
+    configs = [fast_config(), fast_config(tlb_predictor="dppred")]
+    return [
+        RunRequest(wl, cfg, budget) for wl in workloads for cfg in configs
+    ]
+
+
+def _timed_matrix(requests, jobs):
+    clear_run_cache()
+    clear_trace_cache()
+    start = time.perf_counter()
+    results = run_matrix(requests, jobs=jobs)
+    return time.perf_counter() - start, results
+
+
+def bench_matrix(budget: int, num_workloads: int, jobs: int):
+    """Serial vs parallel wall-clock on the declared run matrix."""
+    requests = _matrix(budget, num_workloads)
+    diskcache.disable()
+    t_serial, serial = _timed_matrix(requests, jobs=1)
+    t_parallel, parallel = _timed_matrix(requests, jobs=jobs)
+    diverged = any(
+        _fingerprint(serial[req]) != _fingerprint(parallel[req])
+        for req in requests
+    )
+    return {
+        "runs": len(requests),
+        "t_serial": t_serial,
+        "t_parallel": t_parallel,
+        "speedup": t_serial / t_parallel if t_parallel else 0.0,
+        "diverged": diverged,
+        "serial_results": serial,
+    }
+
+
+def bench_diskcache(budget: int, num_workloads: int, reference):
+    """Cold populate + warm replay of the matrix through the disk cache."""
+    requests = _matrix(budget, num_workloads)
+    with tempfile.TemporaryDirectory() as tmp:
+        diskcache.enable(tmp)
+        try:
+            t_cold, _ = _timed_matrix(requests, jobs=1)
+            t_warm, replayed = _timed_matrix(requests, jobs=1)
+        finally:
+            diskcache.disable()
+    diverged = any(
+        _fingerprint(replayed[req]) != _fingerprint(reference[req])
+        for req in requests
+    )
+    return {
+        "t_cold": t_cold,
+        "t_warm": t_warm,
+        "speedup": t_cold / t_warm if t_warm else 0.0,
+        "diverged": diverged,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the experiment runner's performance subsystem."
+    )
+    parser.add_argument("--budget", type=int, default=40000,
+                        help="accesses per run (default 40000)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel phase")
+    parser.add_argument("--workloads", type=int, default=14,
+                        help="suite prefix size for the matrix phases")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail if speedup targets are missed, not only "
+                             "on output divergence")
+    args = parser.parse_args(argv)
+
+    single = bench_single_run(args.budget)
+    matrix = bench_matrix(args.budget, args.workloads, args.jobs)
+    cache = bench_diskcache(
+        args.budget, args.workloads, matrix["serial_results"]
+    )
+
+    rows = [
+        ("single run (fast vs legacy dispatch)",
+         f"{single['t_legacy']:.2f}s", f"{single['t_fast']:.2f}s",
+         f"{single['speedup']:.2f}x",
+         "DIVERGED" if single["diverged"] else "identical"),
+        (f"matrix {matrix['runs']} runs (serial vs --jobs={args.jobs})",
+         f"{matrix['t_serial']:.2f}s", f"{matrix['t_parallel']:.2f}s",
+         f"{matrix['speedup']:.2f}x",
+         "DIVERGED" if matrix["diverged"] else "identical"),
+        ("disk cache (cold vs replay)",
+         f"{cache['t_cold']:.2f}s", f"{cache['t_warm']:.2f}s",
+         f"{cache['speedup']:.0f}x",
+         "DIVERGED" if cache["diverged"] else "identical"),
+    ]
+    print(render_table(
+        ["phase", "before", "after", "speedup", "outputs"],
+        rows,
+        title=f"runner throughput (budget={args.budget}, "
+              f"{single['accesses_per_sec']:,.0f} accesses/s single-run)",
+    ))
+
+    failures = []
+    for name, bench in (("single", single), ("matrix", matrix),
+                        ("diskcache", cache)):
+        if bench["diverged"]:
+            failures.append(f"{name}: simulator outputs diverged")
+    if args.strict:
+        if single["speedup"] < SINGLE_RUN_TARGET:
+            failures.append(
+                f"single-run speedup {single['speedup']:.2f}x "
+                f"< {SINGLE_RUN_TARGET}x target"
+            )
+        if matrix["speedup"] < PARALLEL_TARGET:
+            failures.append(
+                f"parallel speedup {matrix['speedup']:.2f}x "
+                f"< {PARALLEL_TARGET}x target (jobs={args.jobs})"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all phases produced identical simulator outputs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,34 +11,39 @@ class Stats:
 
     Structures own a :class:`Stats` and bump counters with :meth:`add`;
     experiments read them through :meth:`snapshot` or :meth:`ratio`.
+    Hot paths (cache/TLB lookups run millions of times per simulation) may
+    hoist :attr:`counters` once and update it inline — a method call per
+    bump is measurable there. Everyone else should go through the methods.
     """
 
-    __slots__ = ("_counters",)
+    __slots__ = ("counters",)
 
     def __init__(self) -> None:
-        self._counters: Dict[str, int] = {}
+        #: The live name -> count mapping. Mutating it directly is the
+        #: supported fast path; reads always see the current values.
+        self.counters: Dict[str, int] = {}
 
     def add(self, name: str, amount: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + amount
+        self.counters[name] = self.counters.get(name, 0) + amount
 
     def get(self, name: str) -> int:
-        return self._counters.get(name, 0)
+        return self.counters.get(name, 0)
 
     def ratio(self, numerator: str, denominator: str) -> float:
-        den = self._counters.get(denominator, 0)
+        den = self.counters.get(denominator, 0)
         if den == 0:
             return 0.0
-        return self._counters.get(numerator, 0) / den
+        return self.counters.get(numerator, 0) / den
 
     def snapshot(self) -> Dict[str, int]:
-        return dict(self._counters)
+        return dict(self.counters)
 
     def merge(self, other: "Stats") -> None:
-        for name, value in other._counters.items():
+        for name, value in other.counters.items():
             self.add(name, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
         return f"Stats({inner})"
 
 

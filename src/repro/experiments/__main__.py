@@ -5,7 +5,14 @@ Examples::
     python -m repro.experiments --list
     python -m repro.experiments fig9
     python -m repro.experiments table4 table5 --budget 60000
-    python -m repro.experiments all
+    python -m repro.experiments all --jobs 4
+    python -m repro.experiments fig10 --no-cache
+
+Performance knobs: ``--jobs N`` (or ``REPRO_JOBS``) fans the declared
+run matrix of each experiment out over a process pool; results are
+persisted under ``.repro_cache/`` (``REPRO_CACHE_DIR`` overrides the
+location, ``--no-cache`` disables persistence) so repeated invocations
+skip simulation entirely.
 """
 
 from __future__ import annotations
@@ -14,7 +21,9 @@ import argparse
 import sys
 import time
 
+import repro.sim.diskcache as diskcache
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.sim.parallel import set_default_jobs
 
 
 def main(argv=None) -> int:
@@ -34,6 +43,24 @@ def main(argv=None) -> int:
         help="per-run access budget (default: REPRO_BUDGET or 120000)",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for the run matrix "
+        "(default: REPRO_JOBS or 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent on-disk run/trace cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
@@ -43,6 +70,12 @@ def main(argv=None) -> int:
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{exp_id:8s} {doc}")
         return 0
+
+    if args.no_cache:
+        diskcache.disable()
+    else:
+        diskcache.enable(args.cache_dir)
+    set_default_jobs(args.jobs)
 
     ids = (
         list(EXPERIMENTS)

@@ -4,18 +4,24 @@ Every experiment is a matrix of (workload, configuration) runs normalised
 against the LRU baseline. The named configurations here are built once so
 that the process-wide run cache in :mod:`repro.sim.runner` is shared across
 experiments (the baseline run, for instance, feeds every figure).
+
+:func:`run_suite` declares its whole (workload x config) matrix up front
+and hands it to :func:`repro.sim.parallel.run_matrix`, so with
+``--jobs``/``REPRO_JOBS`` > 1 the independent runs fan out over a process
+pool; results land in the run cache and report assembly is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.sim.config import (
     SystemConfig,
     fast_config,
     iso_storage_config,
 )
+from repro.sim.parallel import MatrixPlan, run_matrix
 from repro.sim.results import SimResult
 from repro.sim.runner import run_cached
 from repro.workloads.suite import DEFAULT_BUDGET, workload_names
@@ -114,14 +120,32 @@ class SuiteResults:
         return 100.0 * (base - new) / base if base else 0.0
 
 
+def suite_matrix(
+    configs: Dict[str, SystemConfig],
+    budget: int = DEFAULT_BUDGET,
+    workloads: List[str] = None,
+) -> MatrixPlan:
+    """The declared (workload x config) run matrix behind an experiment."""
+    names = workloads if workloads is not None else workload_names()
+    return MatrixPlan().add_suite(names, list(configs.values()), budget)
+
+
 def run_suite(
     configs: Dict[str, SystemConfig],
     budget: int = DEFAULT_BUDGET,
     workloads: List[str] = None,
     progress: Callable[[str], None] = None,
+    jobs: Optional[int] = None,
 ) -> SuiteResults:
-    """Run every workload under every named configuration (cached)."""
+    """Run every workload under every named configuration (cached).
+
+    The full matrix is declared first and executed via
+    :func:`repro.sim.parallel.run_matrix` (serial unless ``jobs`` / the
+    ``--jobs`` CLI flag / ``REPRO_JOBS`` says otherwise), then assembled
+    from the warmed run cache.
+    """
     names = workloads if workloads is not None else workload_names()
+    run_matrix(suite_matrix(configs, budget, names).requests, jobs=jobs)
     suite = SuiteResults(configs=list(configs))
     for wl in names:
         suite.results[wl] = {}

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 from repro.common.bitops import is_power_of_two
 from repro.common.residency import ResidencyTracker
 from repro.common.stats import Stats
-from repro.mem.replacement import ReplacementPolicy, make_policy
+from repro.mem.replacement import LruPolicy, ReplacementPolicy, make_policy
 
 
 class CacheLine:
@@ -107,12 +107,34 @@ class SetAssocCache:
         self.assoc = assoc
         self._set_mask = num_sets - 1
         self.policy: ReplacementPolicy = make_policy(policy, num_sets, assoc)
-        self.listener = listener or CacheListener()
+        # None (the common, predictor-less case) lets the access path skip
+        # listener dispatch entirely instead of calling no-op hooks.
+        self.listener = listener
         self._lines: List[List[Optional[CacheLine]]] = [
             [None] * assoc for _ in range(num_sets)
         ]
         self._tags: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
         self.stats = Stats()
+        # Hot-path aliases: the live counter dict (bumped inline — a Stats
+        # method call per event is measurable at millions of events) and
+        # bound policy hooks (the policy never changes after construction).
+        # Counters are pre-seeded so bumps are plain `+= 1`, no .get().
+        self._stat = self.stats.counters
+        self._stat.update(dict.fromkeys(
+            ("hits", "misses", "fills", "evictions", "writebacks",
+             "bypasses", "invalidations"), 0,
+        ))
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_on_fill = self.policy.on_fill
+        self._policy_victim = self.policy.victim
+        # LRU (the default everywhere) gets its stamp updates fused into
+        # the access path — same state transitions, no method dispatch.
+        self._lru = (
+            self.policy if type(self.policy) is LruPolicy else None
+        )
+        self._lru_stamps = (
+            self._lru._stamp if self._lru is not None else None
+        )
         self.residency: Optional[ResidencyTracker] = (
             ResidencyTracker() if track_residency else None
         )
@@ -132,10 +154,11 @@ class SetAssocCache:
     # ------------------------------------------------------------------ #
     def probe(self, block: int) -> Optional[CacheLine]:
         """Tag check with no side effects (no promotion, no stats)."""
-        way = self._tags[block & self._set_mask].get(block)
+        set_idx = block & self._set_mask
+        way = self._tags[set_idx].get(block)
         if way is None:
             return None
-        return self._lines[block & self._set_mask][way]
+        return self._lines[set_idx][way]
 
     def lookup(self, block: int, now: int, is_write: bool = False) -> bool:
         """Full lookup: promotes on hit, updates stats and residency.
@@ -145,20 +168,29 @@ class SetAssocCache:
         bypass decision belongs.
         """
         set_idx = block & self._set_mask
-        self.listener.on_lookup(self, set_idx, now)
+        listener = self.listener
+        if listener is not None:
+            listener.on_lookup(self, set_idx, now)
+        stat = self._stat
         way = self._tags[set_idx].get(block)
         if way is None:
-            self.stats.add("misses")
+            stat["misses"] += 1
             return False
         line = self._lines[set_idx][way]
-        self.stats.add("hits")
+        stat["hits"] += 1
         line.accessed = True
         if is_write:
             line.dirty = True
-        self.policy.on_hit(set_idx, way)
+        lru = self._lru
+        if lru is not None:
+            lru._clock += 1
+            self._lru_stamps[set_idx][way] = lru._clock
+        else:
+            self._policy_on_hit(set_idx, way)
         if self.residency is not None:
             self.residency.hit((set_idx, way), now)
-        self.listener.on_hit(self, line, now)
+        if listener is not None:
+            listener.on_hit(self, line, now)
         return True
 
     def fill(
@@ -174,32 +206,50 @@ class SetAssocCache:
         tags = self._tags[set_idx]
         if block in tags:
             return None
-        decision = self.listener.on_fill(self, block, now)
-        if decision == FILL_BYPASS:
-            self.stats.add("bypasses")
-            return None
+        listener = self.listener
+        distant = False
+        if listener is not None:
+            decision = listener.on_fill(self, block, now)
+            if decision == FILL_BYPASS:
+                self._stat["bypasses"] += 1
+                return None
+            distant = decision == FILL_DISTANT
 
         lines = self._lines[set_idx]
         victim_line: Optional[CacheLine] = None
         way = None
-        for w in range(self.assoc):
-            if lines[w] is None:
-                way = w
-                break
+        # len(tags) counts the set's valid lines; a full set (the steady
+        # state) skips the free-way scan entirely.
+        if len(tags) < self.assoc:
+            for w, existing in enumerate(lines):
+                if existing is None:
+                    way = w
+                    break
+        lru = self._lru
         if way is None:
-            way = self.listener.choose_victim(self, set_idx, lines, now)
+            if listener is not None:
+                way = listener.choose_victim(self, set_idx, lines, now)
             if way is None:
-                way = self.policy.victim(set_idx)
+                if lru is not None:
+                    row = self._lru_stamps[set_idx]
+                    way = row.index(min(row))
+                else:
+                    way = self._policy_victim(set_idx)
             victim_line = self._evict_way(set_idx, way, now)
 
         line = CacheLine(block, is_write)
         lines[way] = line
         tags[block] = way
-        self.policy.on_fill(set_idx, way, distant=(decision == FILL_DISTANT))
-        self.stats.add("fills")
+        if lru is not None and not distant:
+            lru._clock += 1
+            self._lru_stamps[set_idx][way] = lru._clock
+        else:
+            self._policy_on_fill(set_idx, way, distant=distant)
+        self._stat["fills"] += 1
         if self.residency is not None:
             self.residency.fill((set_idx, way), now)
-        self.listener.filled(self, line, now)
+        if listener is not None:
+            listener.filled(self, line, now)
         return victim_line
 
     def invalidate(self, block: int, now: int) -> Optional[CacheLine]:
@@ -208,7 +258,7 @@ class SetAssocCache:
         way = self._tags[set_idx].get(block)
         if way is None:
             return None
-        self.stats.add("invalidations")
+        self._stat["invalidations"] += 1
         return self._evict_way(set_idx, way, now, external=True)
 
     def _evict_way(
@@ -218,14 +268,16 @@ class SetAssocCache:
         assert line is not None
         del self._tags[set_idx][line.tag]
         self._lines[set_idx][way] = None
-        self.stats.add("evictions")
+        stat = self._stat
+        stat["evictions"] += 1
         if line.dirty:
-            self.stats.add("writebacks")
+            stat["writebacks"] += 1
         if self.residency is not None:
             self.residency.evict((set_idx, way), now)
         if external:
             self.policy.on_invalidate(set_idx, way)
-        self.listener.on_evict(self, line, now)
+        if self.listener is not None:
+            self.listener.on_evict(self, line, now)
         return line
 
     # ------------------------------------------------------------------ #

@@ -41,6 +41,16 @@ class CacheHierarchy:
         self.l2_latency = l2_latency
         self.llc_latency = llc_latency
         self.stats = Stats()
+        # Hot-path aliases: the caches never change after construction, and
+        # the counter dict is bumped inline on the per-access path.
+        self._stat = self.stats.counters
+        self._stat.update(dict.fromkeys(
+            ("accesses", "llc_demand_misses", "walk_accesses",
+             "inclusion_victims", "orphan_writebacks"), 0,
+        ))
+        self._l1_lookup = l1.lookup
+        self._l2_lookup = l2.lookup
+        self._llc_lookup = llc.lookup
 
     # ------------------------------------------------------------------ #
     # Demand accesses (from the core, physical block address)
@@ -52,21 +62,22 @@ class CacheHierarchy:
         level that served the access; the timing model charges different
         exposed penalties per level.
         """
-        self.stats.add("accesses")
-        if self.l1.lookup(block, now, is_write):
+        stat = self._stat
+        stat["accesses"] += 1
+        if self._l1_lookup(block, now, is_write):
             return self.l1_latency, "l1"
 
-        if self.l2.lookup(block, now, is_write):
+        if self._l2_lookup(block, now, is_write):
             self._fill_l1(block, now, is_write)
             return self.l2_latency, "l2"
 
-        if self.llc.lookup(block, now, is_write):
+        if self._llc_lookup(block, now, is_write):
             self._fill_l2(block, now)
             self._fill_l1(block, now, is_write)
             return self.llc_latency, "llc"
 
         latency = self.llc_latency + self.memory.access(block, is_write)
-        self.stats.add("llc_demand_misses")
+        stat["llc_demand_misses"] += 1
         self._fill_llc(block, now)
         self._fill_l2(block, now)
         self._fill_l1(block, now, is_write)
@@ -77,10 +88,10 @@ class CacheHierarchy:
     # ------------------------------------------------------------------ #
     def walk_access(self, block: int, now: int) -> int:
         """One page-table load issued by the walker; returns latency."""
-        self.stats.add("walk_accesses")
-        if self.l2.lookup(block, now):
+        self._stat["walk_accesses"] += 1
+        if self._l2_lookup(block, now):
             return self.l2_latency
-        if self.llc.lookup(block, now):
+        if self._llc_lookup(block, now):
             self._fill_l2(block, now)
             return self.llc_latency
         latency = self.llc_latency + self.memory.access(block)
@@ -110,7 +121,7 @@ class CacheHierarchy:
             inner1 = self.l1.invalidate(victim.tag, now)
             inner2 = self.l2.invalidate(victim.tag, now)
             if inner1 is not None or inner2 is not None:
-                self.stats.add("inclusion_victims")
+                self._stat["inclusion_victims"] += 1
             if victim.dirty or (inner1 and inner1.dirty) or (inner2 and inner2.dirty):
                 self.memory.access(victim.tag, is_write=True)
 
@@ -126,7 +137,7 @@ class CacheHierarchy:
                 line.dirty = True
                 return
         self.memory.access(block, is_write=True)
-        self.stats.add("orphan_writebacks")
+        self._stat["orphan_writebacks"] += 1
 
     # ------------------------------------------------------------------ #
     # End-of-run bookkeeping

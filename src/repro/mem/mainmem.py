@@ -18,14 +18,14 @@ class MainMemory:
             raise ValueError(f"latency must be positive, got {latency}")
         self.latency = latency
         self.stats = Stats()
+        self._stat = self.stats.counters
+        self._stat.update(dict.fromkeys(("accesses", "reads", "writes"), 0))
 
     def access(self, block: int, is_write: bool = False) -> int:
         """Perform one access; returns its latency in cycles."""
-        self.stats.add("accesses")
-        if is_write:
-            self.stats.add("writes")
-        else:
-            self.stats.add("reads")
+        stat = self._stat
+        stat["accesses"] += 1
+        stat["writes" if is_write else "reads"] += 1
         return self.latency
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

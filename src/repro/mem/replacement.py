@@ -70,20 +70,17 @@ class LruPolicy(ReplacementPolicy):
             row = self._stamp[set_idx]
             row[way] = min(row) - 1
         else:
-            self._stamp[set_idx][way] = self._tick()
+            self._clock += 1
+            self._stamp[set_idx][way] = self._clock
 
     def on_hit(self, set_idx: int, way: int) -> None:
-        self._stamp[set_idx][way] = self._tick()
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
 
     def victim(self, set_idx: int) -> int:
+        # First way holding the minimum stamp; min()/index() run at C speed.
         row = self._stamp[set_idx]
-        best_way = 0
-        best = row[0]
-        for way in range(1, self.assoc):
-            if row[way] < best:
-                best = row[way]
-                best_way = way
-        return best_way
+        return row.index(min(row))
 
     def name(self) -> str:
         return "LRU"
@@ -107,7 +104,7 @@ class FifoPolicy(ReplacementPolicy):
 
     def victim(self, set_idx: int) -> int:
         row = self._stamp[set_idx]
-        return min(range(self.assoc), key=row.__getitem__)
+        return row.index(min(row))
 
     def name(self) -> str:
         return "FIFO"

@@ -1,0 +1,218 @@
+"""Persistent on-disk cache for simulation results and traces.
+
+The in-process memo caches (:data:`repro.sim.runner._run_cache`,
+:data:`repro.workloads.suite._trace_cache`) die with the process, so a
+fresh ``python -m repro.experiments`` invocation re-simulates the same
+LRU baseline for every figure. This module content-addresses
+
+* :class:`~repro.sim.results.SimResult` by
+  ``(config, workload, budget, seed, schema version)`` — stored as JSON
+  via ``SimResult.to_dict``;
+* :class:`~repro.workloads.trace.Trace` by
+  ``(workload, budget, seed, schema version)`` — stored as ``.npz`` via
+  the existing ``Trace.save``/``Trace.load``;
+
+under a cache directory (default ``.repro_cache/``, override with the
+``REPRO_CACHE_DIR`` environment variable), so repeated invocations skip
+simulation and trace generation entirely.
+
+The cache is *opt-in at the library level*: nothing is read or written
+until :func:`enable` is called (the experiment CLI enables it unless
+``--no-cache`` is passed; setting ``REPRO_CACHE_DIR`` enables it
+everywhere). Keys are content hashes of the full frozen
+:class:`~repro.sim.config.SystemConfig` repr, so any config field change
+misses cleanly. :data:`CACHE_SCHEMA_VERSION` must be bumped whenever
+simulator semantics change, invalidating all prior entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.workloads.trace import Trace
+
+#: Bump on any change to simulator semantics or the on-disk layout; old
+#: entries become unreachable (different key) rather than wrong.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_enabled: bool = bool(os.environ.get("REPRO_CACHE_DIR"))
+_cache_dir: Optional[Path] = None
+
+
+# ---------------------------------------------------------------------- #
+# Enable / disable / configure
+# ---------------------------------------------------------------------- #
+def enable(directory=None) -> Path:
+    """Turn the disk cache on, optionally pinning its directory."""
+    global _enabled, _cache_dir
+    _enabled = True
+    if directory is not None:
+        _cache_dir = Path(directory)
+    return cache_dir()
+
+
+def disable() -> None:
+    """Turn the disk cache off (existing files are left in place)."""
+    global _enabled, _cache_dir
+    _enabled = False
+    _cache_dir = None
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def cache_dir() -> Path:
+    """The active cache directory (without creating it)."""
+    if _cache_dir is not None:
+        return _cache_dir
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+# ---------------------------------------------------------------------- #
+# Content addressing
+# ---------------------------------------------------------------------- #
+def result_key(
+    workload: str, config: SystemConfig, budget: int, seed: int
+) -> str:
+    """Content hash identifying one simulation run.
+
+    The frozen dataclass repr covers every config field (including nested
+    geometry/timing dataclasses), so any parameter change changes the key.
+    """
+    text = (
+        f"schema={CACHE_SCHEMA_VERSION}|workload={workload}|"
+        f"budget={budget}|seed={seed}|config={config!r}"
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def trace_key(workload: str, budget: int, seed: int) -> str:
+    """Content hash identifying one generated trace."""
+    text = (
+        f"schema={CACHE_SCHEMA_VERSION}|trace|workload={workload}|"
+        f"budget={budget}|seed={seed}"
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _result_path(key: str) -> Path:
+    return cache_dir() / "results" / f"{key}.json"
+
+
+def _trace_path(key: str) -> Path:
+    return cache_dir() / "traces" / f"{key}.npz"
+
+
+def _write_atomic(path: Path, write_fn) -> None:
+    """Write via a temp file + rename so concurrent workers never observe
+    a partially written entry (renames are atomic within a directory)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            write_fn(f)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+# ---------------------------------------------------------------------- #
+# SimResult store
+# ---------------------------------------------------------------------- #
+def load_result(
+    workload: str, config: SystemConfig, budget: int, seed: int
+) -> Optional[SimResult]:
+    """Fetch a cached result, or None on miss / disabled cache."""
+    if not _enabled:
+        return None
+    path = _result_path(result_key(workload, config, budget, seed))
+    if not path.exists():
+        return None
+    try:
+        with open(path) as f:
+            return SimResult.from_dict(json.load(f))
+    except (ValueError, OSError, TypeError):
+        # A corrupt or stale entry is a miss, not an error.
+        return None
+
+
+def store_result(
+    workload: str, config: SystemConfig, budget: int, seed: int,
+    result: SimResult,
+) -> None:
+    """Persist a result (no-op when the cache is disabled)."""
+    if not _enabled:
+        return
+    path = _result_path(result_key(workload, config, budget, seed))
+    payload = json.dumps(result.to_dict(), sort_keys=True).encode()
+    _write_atomic(path, lambda f: f.write(payload))
+
+
+# ---------------------------------------------------------------------- #
+# Trace store
+# ---------------------------------------------------------------------- #
+def load_trace(workload: str, budget: int, seed: int) -> Optional[Trace]:
+    """Fetch a cached trace, or None on miss / disabled cache."""
+    if not _enabled:
+        return None
+    path = _trace_path(trace_key(workload, budget, seed))
+    if not path.exists():
+        return None
+    try:
+        return Trace.load(path)
+    except (ValueError, OSError, KeyError):
+        return None
+
+
+def store_trace(workload: str, budget: int, seed: int, trace: Trace) -> None:
+    """Persist a trace as .npz (no-op when the cache is disabled)."""
+    if not _enabled:
+        return
+    path = _trace_path(trace_key(workload, budget, seed))
+    _write_atomic(path, trace.save)
+
+
+# ---------------------------------------------------------------------- #
+# Maintenance
+# ---------------------------------------------------------------------- #
+def purge() -> int:
+    """Delete every cache entry; returns the number of files removed."""
+    removed = 0
+    base = cache_dir()
+    for sub in ("results", "traces"):
+        d = base / sub
+        if not d.is_dir():
+            continue
+        for path in d.iterdir():
+            if path.suffix in (".json", ".npz"):
+                path.unlink()
+                removed += 1
+    return removed
+
+
+def stats() -> dict:
+    """Entry counts and on-disk footprint of the active cache directory."""
+    base = cache_dir()
+    out = {"dir": str(base), "results": 0, "traces": 0, "bytes": 0}
+    for sub in ("results", "traces"):
+        d = base / sub
+        if not d.is_dir():
+            continue
+        for path in d.iterdir():
+            if path.is_file():
+                out[sub] += 1
+                out["bytes"] += path.stat().st_size
+    return out

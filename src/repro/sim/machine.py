@@ -125,6 +125,19 @@ class Machine:
         self.cycles = 0.0
         self.pfn_to_vpn: Dict[int, int] = {}
 
+        # Timing scalars hoisted out of the per-access path (reading them
+        # through two frozen dataclasses per access costs ~10% wall-clock).
+        timing = config.timing
+        self._base_cpi = timing.base_cpi
+        self._l2_tlb_hit_penalty = timing.l2_tlb_hit_penalty
+        self._walk_exposure = timing.walk_exposure
+        self._l2_hit_penalty = timing.l2_hit_penalty
+        self._llc_hit_penalty = timing.llc_hit_penalty
+        self._mem_penalty = (
+            timing.llc_hit_penalty + config.mem_latency / timing.mem_divisor
+        )
+        self._l2_tlb_latency = config.l2_tlb.latency
+
         # --- data-cache hierarchy -------------------------------------- #
         self._llc_predictor = self._build_llc_predictor()
         llc_listener = self._llc_predictor
@@ -201,6 +214,29 @@ class Machine:
             listener=tlb_listener,
             track_residency=config.track_residency,
         )
+
+        # Per-access bound-method aliases (structures are fixed after
+        # construction; saves repeated attribute chains in the hot loop).
+        self._hier_access = self.hierarchy.access
+        self._l2_tlb_lookup = self.l2_tlb.lookup
+        self._l2_tlb_fill = self.l2_tlb.fill
+        self._walker_walk = self.walker.walk
+
+        # Same-page filter: consecutive accesses to one page skip the L1
+        # TLB machinery. Correct because after any translate() the page is
+        # resident in the L1 TLB (no listener there, so fills can't
+        # bypass), nothing else touches that TLB in between, and for
+        # order-based policies re-promoting the already-MRU entry is a
+        # no-op — so only redundant bookkeeping is elided. Hit counters
+        # and the Accessed bit are still maintained exactly. SRRIP hits
+        # reset RRPV (not idempotent), so the filter stays off there.
+        self._page_filter = config.tlb_policy in ("lru", "fifo", "random")
+        self._last_ivpn: Optional[int] = None
+        self._last_ientry = None
+        self._last_dvpn: Optional[int] = None
+        self._last_dentry = None
+        self._itlb_stat = self.l1_itlb.stats.counters
+        self._dtlb_stat = self.l1_dtlb.stats.counters
 
         # --- ground-truth references (Tables VI/VII) ------------------- #
         self.ref_llt: Optional[ReferenceStructure] = None
@@ -303,62 +339,75 @@ class Machine:
         pfn = l1_tlb.lookup(vpn, now)
         if pfn is not None:
             return pfn, 0.0
-        timing = self.config.timing
         if self.ref_llt is not None:
             self.ref_llt.access(vpn, now)
-        pfn = self.l2_tlb.lookup(vpn, now)
+        pfn = self._l2_tlb_lookup(vpn, now)
         if pfn is not None:
-            penalty = timing.l2_tlb_hit_penalty
+            penalty = self._l2_tlb_hit_penalty
         else:
             # The PC travels in the LLT MSHR to be available at fill time.
-            pfn, walk_latency = self.walker.walk(vpn, now)
+            pfn, walk_latency = self._walker_walk(vpn, now)
             self.pfn_to_vpn[pfn] = vpn
             penalty = (
-                self.config.l2_tlb.latency
-                + walk_latency * timing.walk_exposure
+                self._l2_tlb_latency + walk_latency * self._walk_exposure
             )
-            self.l2_tlb.fill(vpn, pfn, pc, now)
+            self._l2_tlb_fill(vpn, pfn, pc, now)
         l1_tlb.fill(vpn, pfn, pc, now)
         return pfn, penalty
 
     def access(self, pc: int, vaddr: int, is_write: bool, gap: int) -> None:
         """Simulate one memory instruction preceded by ``gap`` non-memory
         instructions."""
-        self.now += 1
-        now = self.now
+        self.now = now = self.now + 1
         self.instructions += gap + 1
         self.context.pc = pc
-        timing = self.config.timing
-        penalty = 0.0
+        translate = self._translate
 
         # Instruction-side translation (small code footprint; nearly
         # always an L1 I-TLB hit after warm-up).
-        _, ipenalty = self._translate(self.l1_itlb, pc >> PAGE_SHIFT, pc, now)
-        penalty += ipenalty
+        ivpn = pc >> PAGE_SHIFT
+        if ivpn == self._last_ivpn:
+            self._itlb_stat["hits"] += 1
+            self._last_ientry.accessed = True
+            penalty = 0.0
+        else:
+            _, penalty = translate(self.l1_itlb, ivpn, pc, now)
+            if self._page_filter:
+                self._last_ivpn = ivpn
+                self._last_ientry = self.l1_itlb.probe(ivpn)
 
         # Data-side translation.
-        vpn = vaddr >> PAGE_SHIFT
-        pfn, dpenalty = self._translate(self.l1_dtlb, vpn, pc, now)
-        penalty += dpenalty
+        dvpn = vaddr >> PAGE_SHIFT
+        if dvpn == self._last_dvpn:
+            self._dtlb_stat["hits"] += 1
+            dentry = self._last_dentry
+            dentry.accessed = True
+            pfn = dentry.pfn
+        else:
+            pfn, dpenalty = translate(self.l1_dtlb, dvpn, pc, now)
+            penalty += dpenalty
+            if self._page_filter:
+                self._last_dvpn = dvpn
+                self._last_dentry = self.l1_dtlb.probe(dvpn)
 
         # Physical data access.
         block = (pfn << _BLOCK_OFFSET_BITS) | (
             (vaddr >> BLOCK_SHIFT) & _BLOCK_IN_PAGE_MASK
         )
-        _, level = self.hierarchy.access(block, now, is_write)
-        if level == "l2":
-            penalty += timing.l2_hit_penalty
-        elif level == "llc":
-            penalty += timing.llc_hit_penalty
-        elif level == "mem":
-            penalty += (
-                timing.llc_hit_penalty
-                + self.config.mem_latency / timing.mem_divisor
-            )
-        if self.ref_llc is not None and level in ("llc", "mem"):
-            self.ref_llc.access(block, now)
+        _, level = self._hier_access(block, now, is_write)
+        if level != "l1":
+            if level == "l2":
+                penalty += self._l2_hit_penalty
+            else:
+                penalty += (
+                    self._llc_hit_penalty
+                    if level == "llc"
+                    else self._mem_penalty
+                )
+                if self.ref_llc is not None:
+                    self.ref_llc.access(block, now)
 
-        self.cycles += (gap + 1) * timing.base_cpi + penalty
+        self.cycles += (gap + 1) * self._base_cpi + penalty
 
     def run(self, trace) -> SimResult:
         """Simulate a whole trace (a :class:`~repro.workloads.trace.Trace`)."""

@@ -1,0 +1,192 @@
+"""Parallel fan-out of simulation run matrices over a process pool.
+
+Every experiment reduces to a matrix of independent (workload, config,
+budget, seed) simulations. :func:`run_matrix` executes such a matrix over
+a :class:`~concurrent.futures.ProcessPoolExecutor` and merges the results
+back into the process-wide run cache (and the persistent disk cache, when
+enabled), so downstream report code — which reads through
+:func:`repro.sim.runner.run_cached` — is unchanged.
+
+Job count resolution, in priority order:
+
+1. an explicit ``jobs=`` argument,
+2. :func:`set_default_jobs` (the CLI's ``--jobs`` flag),
+3. the ``REPRO_JOBS`` environment variable,
+4. serial in-process execution (``1``).
+
+Workers are plain processes running :func:`repro.sim.runner.run_cached`,
+so a worker that lands on a disk-cached entry skips simulation exactly
+like the parent would; determinism is inherited from the simulator
+(results are bit-identical across ``jobs=1`` and ``jobs=N``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import repro.sim.diskcache as diskcache
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.runner import (
+    DEFAULT_SEED,
+    cached_result,
+    prime_run_cache,
+    run_cached,
+)
+from repro.workloads.suite import DEFAULT_BUDGET
+
+_default_jobs: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One cell of a run matrix. Hashable, so it can key result dicts."""
+
+    workload: str
+    config: SystemConfig
+    budget: int = DEFAULT_BUDGET
+    seed: int = DEFAULT_SEED
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Pin the process-wide default job count (the CLI's ``--jobs``)."""
+    global _default_jobs
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective job count: argument > set_default_jobs > REPRO_JOBS > 1."""
+    if jobs is not None:
+        return max(1, jobs)
+    if _default_jobs is not None:
+        return max(1, _default_jobs)
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+    return 1
+
+
+def _worker_init(cache_directory: Optional[str]) -> None:
+    """Propagate the parent's disk-cache setting into pool workers (the
+    fork start method would inherit it, but spawn would not)."""
+    if cache_directory is not None:
+        diskcache.enable(cache_directory)
+    else:
+        diskcache.disable()
+
+
+def _worker_run(request: RunRequest) -> SimResult:
+    return run_cached(
+        request.workload, request.config, request.budget, request.seed
+    )
+
+
+def run_matrix(
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[RunRequest, SimResult]:
+    """Execute a declared run matrix, parallelising cache misses.
+
+    Duplicate requests are coalesced; requests already satisfied by the
+    in-process or disk cache never reach the pool. Results are merged
+    into the run cache so later ``run_cached`` calls hit in-process.
+    """
+    unique: List[RunRequest] = list(dict.fromkeys(requests))
+    results: Dict[RunRequest, SimResult] = {}
+    pending: List[RunRequest] = []
+    for req in unique:
+        hit = cached_result(req.workload, req.config, req.budget, req.seed)
+        if hit is not None:
+            prime_run_cache(
+                req.workload, req.config, req.budget, req.seed, hit,
+                persist=False,
+            )
+            results[req] = hit
+        else:
+            pending.append(req)
+
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(pending) <= 1:
+        for req in pending:
+            if progress is not None:
+                progress(_label(req))
+            results[req] = run_cached(
+                req.workload, req.config, req.budget, req.seed
+            )
+        return results
+
+    cache_directory = (
+        str(diskcache.cache_dir()) if diskcache.is_enabled() else None
+    )
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending)),
+        initializer=_worker_init,
+        initargs=(cache_directory,),
+    ) as pool:
+        for req, result in zip(pending, pool.map(_worker_run, pending)):
+            if progress is not None:
+                progress(_label(req))
+            prime_run_cache(
+                req.workload, req.config, req.budget, req.seed, result
+            )
+            results[req] = result
+    return results
+
+
+def _label(request: RunRequest) -> str:
+    cfg = request.config
+    return (
+        f"{request.workload} @ {cfg.name}/tlb={cfg.tlb_predictor}"
+        f"/llc={cfg.llc_predictor}"
+    )
+
+
+@dataclass
+class MatrixPlan:
+    """A declared (workload x config) matrix plus its execution order.
+
+    Experiments build one of these up front so the scheduler sees the
+    whole matrix at once; :meth:`execute` fans it out and returns nothing
+    — results land in the run cache where report code finds them.
+    """
+
+    requests: List[RunRequest] = field(default_factory=list)
+
+    def add(
+        self,
+        workload: str,
+        config: SystemConfig,
+        budget: int = DEFAULT_BUDGET,
+        seed: int = DEFAULT_SEED,
+    ) -> "MatrixPlan":
+        self.requests.append(RunRequest(workload, config, budget, seed))
+        return self
+
+    def add_suite(
+        self,
+        workloads: Sequence[str],
+        configs: Sequence[SystemConfig],
+        budget: int = DEFAULT_BUDGET,
+        seed: int = DEFAULT_SEED,
+    ) -> "MatrixPlan":
+        for wl in workloads:
+            for cfg in configs:
+                self.add(wl, cfg, budget, seed)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def execute(
+        self,
+        jobs: Optional[int] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> Dict[RunRequest, SimResult]:
+        return run_matrix(self.requests, jobs=jobs, progress=progress)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Optional
 
 from repro.common.residency import ResidencySummary
@@ -77,6 +77,26 @@ class SimResult:
         if baseline.ipc == 0:
             return 0.0
         return self.ipc / baseline.ipc
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (disk cache, cross-process transfer checks)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """A JSON-safe dict losslessly round-trippable via :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Rebuild a result produced by :meth:`to_dict`."""
+        data = dict(data)
+        for key in ("llt_residency", "llc_residency"):
+            if data.get(key) is not None:
+                data[key] = ResidencySummary(**data[key])
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimResult fields: {sorted(unknown)}")
+        return cls(**data)
 
     def summary_line(self) -> str:
         return (

@@ -4,7 +4,10 @@ Every experiment in :mod:`repro.experiments` reduces to a matrix of
 simulation runs, many of which repeat across experiments (every figure
 normalises to the same LRU baseline, for instance). ``run_cached``
 memoises on the frozen config + workload identity so each distinct run
-executes once per process.
+executes once per process, and consults the persistent
+:mod:`repro.sim.diskcache` (when enabled) so it executes once per
+*machine*. :mod:`repro.sim.parallel` fans whole matrices out over a
+process pool and primes this cache with the merged results.
 
 The oracle configuration needs two passes (see
 :mod:`repro.predictors.oracle`); the runner hides that detail.
@@ -14,13 +17,32 @@ from __future__ import annotations
 
 from typing import Dict
 
+import repro.sim.diskcache as diskcache
 from repro.sim.config import LLC_PRED_ORACLE, TLB_PRED_ORACLE, SystemConfig
 from repro.sim.machine import Machine
 from repro.sim.results import SimResult
 from repro.workloads.suite import DEFAULT_BUDGET, get_trace
 from repro.workloads.trace import Trace
 
+#: Default run seed (drives both the trace generator and, via
+#: :func:`machine_seed_for`, the machine's frame allocator).
+DEFAULT_SEED = 42
+
 _run_cache: Dict[tuple, SimResult] = {}
+
+
+def machine_seed_for(seed: int) -> int:
+    """Machine (frame-allocator) seed derived from the run seed.
+
+    Historically ``run_cached`` pinned the machine seed to 1 regardless of
+    the run seed, so multi-seed studies only varied the trace while every
+    run shared one physical frame layout. Deriving the machine seed from
+    the run seed makes :func:`run_many` measure run-to-run variation end
+    to end. The XOR constant maps the default run seed (42) to the
+    historical machine seed (1), keeping published single-seed results
+    bit-identical, while remaining a bijection over the other seeds.
+    """
+    return seed ^ (DEFAULT_SEED ^ 1)
 
 
 def run_trace(trace: Trace, config: SystemConfig, seed: int = 1) -> SimResult:
@@ -59,16 +81,49 @@ def run_cached(
     workload: str,
     config: SystemConfig,
     budget: int = DEFAULT_BUDGET,
-    seed: int = 42,
+    seed: int = DEFAULT_SEED,
 ) -> SimResult:
-    """Simulate a suite workload under ``config``, memoised process-wide."""
+    """Simulate a suite workload under ``config``, memoised process-wide
+    and (when the disk cache is enabled) across processes."""
     key = (workload, budget, seed, config)
     result = _run_cache.get(key)
     if result is None:
-        trace = get_trace(workload, budget, seed)
-        result = run_trace(trace, config, seed=1)
+        result = diskcache.load_result(workload, config, budget, seed)
+        if result is None:
+            trace = get_trace(workload, budget, seed)
+            result = run_trace(trace, config, seed=machine_seed_for(seed))
+            diskcache.store_result(workload, config, budget, seed, result)
         _run_cache[key] = result
     return result
+
+
+def cached_result(
+    workload: str,
+    config: SystemConfig,
+    budget: int = DEFAULT_BUDGET,
+    seed: int = DEFAULT_SEED,
+) -> SimResult:
+    """Return the memoised/disk-cached result without simulating, or None."""
+    result = _run_cache.get((workload, budget, seed, config))
+    if result is None:
+        result = diskcache.load_result(workload, config, budget, seed)
+    return result
+
+
+def prime_run_cache(
+    workload: str,
+    config: SystemConfig,
+    budget: int,
+    seed: int,
+    result: SimResult,
+    persist: bool = True,
+) -> None:
+    """Insert an externally computed result (e.g. from a pool worker) so
+    downstream ``run_cached`` calls hit in-process. ``persist=False``
+    skips the disk write (for results that came *from* the disk cache)."""
+    _run_cache[(workload, budget, seed, config)] = result
+    if persist:
+        diskcache.store_result(workload, config, budget, seed, result)
 
 
 def clear_run_cache() -> None:
@@ -94,12 +149,23 @@ def run_many(
     config: SystemConfig,
     seeds,
     budget: int = DEFAULT_BUDGET,
+    jobs: int = None,
 ) -> list:
     """Run one (workload, config) pair over several trace seeds.
 
     Returns the list of :class:`SimResult`, one per seed — the raw
     material for run-to-run-variation statistics (see
-    :func:`summarize_runs`)."""
+    :func:`summarize_runs`). Each seed varies the generated trace *and*
+    the machine's frame layout (see :func:`machine_seed_for`). With
+    ``jobs > 1`` the seeds fan out over a process pool."""
+    seeds = list(seeds)
+    if jobs is not None and jobs > 1:
+        from repro.sim.parallel import RunRequest, run_matrix
+
+        requests = [
+            RunRequest(workload, config, budget, seed=s) for s in seeds
+        ]
+        run_matrix(requests, jobs=jobs)
     return [run_cached(workload, config, budget, seed=s) for s in seeds]
 
 

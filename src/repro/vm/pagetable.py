@@ -26,6 +26,13 @@ NUM_LEVELS = 4
 #: VPN width covered by the tree (36 bits -> 48-bit virtual addresses).
 VPN_BITS = LEVEL_BITS * NUM_LEVELS
 
+#: Right-shift per level to reach its radix index (root first); walk-path
+#: hot loop uses these instead of recomputing the arithmetic per level.
+_LEVEL_SHIFTS = tuple(
+    LEVEL_BITS * (NUM_LEVELS - 1 - level) for level in range(NUM_LEVELS)
+)
+_IDX_MASK = ENTRIES_PER_NODE - 1
+
 
 class _Node:
     """One radix-tree node: a physical frame plus its children."""
@@ -76,18 +83,19 @@ class RadixPageTable:
         if vpn < 0 or vpn >= (1 << VPN_BITS):
             raise ValueError(f"vpn {vpn:#x} outside {VPN_BITS}-bit space")
         path: List[int] = []
+        append = path.append
         node = self._root
-        for level in range(NUM_LEVELS - 1):
-            idx = self.level_index(vpn, level)
-            path.append((node.frame << PAGE_SHIFT) | (idx * PTE_SIZE))
+        for shift in _LEVEL_SHIFTS[:-1]:
+            idx = (vpn >> shift) & _IDX_MASK
+            append((node.frame << PAGE_SHIFT) | (idx * PTE_SIZE))
             child = node.children.get(idx)
             if child is None:
                 child = _Node(self.allocator.allocate())
                 node.children[idx] = child
                 self.stats.add("nodes_allocated")
             node = child  # type: ignore[assignment]
-        idx = self.level_index(vpn, NUM_LEVELS - 1)
-        path.append((node.frame << PAGE_SHIFT) | (idx * PTE_SIZE))
+        idx = vpn & _IDX_MASK
+        append((node.frame << PAGE_SHIFT) | (idx * PTE_SIZE))
         pfn = node.children.get(idx)
         if pfn is None:
             pfn = self.allocator.allocate()

@@ -68,6 +68,22 @@ class PageWalkCaches:
         self._levels = [_FullyAssocLru(n) for n in entries]
         self._latencies = list(latencies)
         self.stats = Stats()
+        # Per-walk hot path: precomputed (level, resolved, tag shift, stat
+        # key) tuples and the live counter dict, bumped inline.
+        self._probe_plan = tuple(
+            (
+                self._levels[i],
+                resolved,
+                LEVEL_BITS * (NUM_LEVELS - resolved),
+                self._latencies[i],
+                f"pwc_l{i + 1}_hits",
+            )
+            for i, resolved in enumerate((3, 2, 1))
+        )
+        self._stat = self.stats.counters
+        self._stat.update(dict.fromkeys(
+            ("pwc_l1_hits", "pwc_l2_hits", "pwc_l3_hits", "pwc_misses"), 0,
+        ))
 
     @staticmethod
     def _tag(vpn: int, levels_resolved: int) -> int:
@@ -81,18 +97,19 @@ class PageWalkCaches:
         latency accumulates over the levels actually probed.
         """
         latency = 0
-        for i, resolved in enumerate((3, 2, 1)):
-            latency += self._latencies[i]
-            if self._levels[i].lookup(self._tag(vpn, resolved)):
-                self.stats.add(f"pwc_l{i + 1}_hits")
+        stat = self._stat
+        for level, resolved, shift, level_latency, hit_key in self._probe_plan:
+            latency += level_latency
+            if level.lookup(vpn >> shift):
+                stat[hit_key] += 1
                 return resolved, latency
-        self.stats.add("pwc_misses")
+        stat["pwc_misses"] += 1
         return 0, latency
 
     def fill(self, vpn: int) -> None:
         """Install the completed walk's partial translations at every level."""
-        for i, resolved in enumerate((3, 2, 1)):
-            self._levels[i].fill(self._tag(vpn, resolved))
+        for level, _resolved, shift, _latency, _key in self._probe_plan:
+            level.fill(vpn >> shift)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         sizes = ", ".join(str(lvl.capacity) for lvl in self._levels)

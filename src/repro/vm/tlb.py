@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 from repro.common.bitops import is_power_of_two
 from repro.common.residency import ResidencyTracker
 from repro.common.stats import Stats
-from repro.mem.replacement import ReplacementPolicy, make_policy
+from repro.mem.replacement import LruPolicy, ReplacementPolicy, make_policy
 
 FILL_ALLOCATE = "allocate"
 FILL_BYPASS = "bypass"
@@ -109,12 +109,33 @@ class Tlb:
         self.assoc = assoc
         self._set_mask = num_sets - 1
         self.policy: ReplacementPolicy = make_policy(policy, num_sets, assoc)
-        self.listener = listener or TlbListener()
+        # None (no predictor attached — the L1 TLBs, baseline LLTs) lets
+        # the access path skip listener dispatch instead of no-op calls.
+        self.listener = listener
         self._entries: List[List[Optional[TlbEntry]]] = [
             [None] * assoc for _ in range(num_sets)
         ]
         self._tags: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
         self.stats = Stats()
+        # Hot-path aliases (see SetAssocCache): inline counter bumps and
+        # bound policy hooks; the policy never changes after construction.
+        # Counters are pre-seeded so bumps are plain `+= 1`, no .get().
+        self._stat = self.stats.counters
+        self._stat.update(dict.fromkeys(
+            ("hits", "misses", "victim_buffer_hits", "fills", "evictions",
+             "bypasses", "invalidations"), 0,
+        ))
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_on_fill = self.policy.on_fill
+        self._policy_victim = self.policy.victim
+        # LRU (the default) gets its stamp updates fused into the access
+        # path — same state transitions, no method dispatch.
+        self._lru = (
+            self.policy if type(self.policy) is LruPolicy else None
+        )
+        self._lru_stamps = (
+            self._lru._stamp if self._lru is not None else None
+        )
         self.residency: Optional[ResidencyTracker] = (
             ResidencyTracker() if track_residency else None
         )
@@ -132,21 +153,32 @@ class Tlb:
         """Translate ``vpn``. Returns the PFN on a hit (including a hit in
         the listener's victim buffer) or None on a genuine miss."""
         set_idx = vpn & self._set_mask
-        self.listener.on_lookup(self, set_idx, now)
+        listener = self.listener
+        if listener is not None:
+            listener.on_lookup(self, set_idx, now)
+        stat = self._stat
         way = self._tags[set_idx].get(vpn)
         if way is not None:
             entry = self._entries[set_idx][way]
-            self.stats.add("hits")
+            stat["hits"] += 1
             entry.accessed = True
-            self.policy.on_hit(set_idx, way)
+            lru = self._lru
+            if lru is not None:
+                lru._clock += 1
+                self._lru_stamps[set_idx][way] = lru._clock
+            else:
+                self._policy_on_hit(set_idx, way)
             if self.residency is not None:
                 self.residency.hit((set_idx, way), now)
-            self.listener.on_hit(self, entry, now)
+            if listener is not None:
+                listener.on_hit(self, entry, now)
             return entry.pfn
-        self.stats.add("misses")
-        buffered = self.listener.on_miss(self, vpn, now)
+        stat["misses"] += 1
+        if listener is None:
+            return None
+        buffered = listener.on_miss(self, vpn, now)
         if buffered is not None:
-            self.stats.add("victim_buffer_hits")
+            stat["victim_buffer_hits"] += 1
         return buffered
 
     def fill(self, vpn: int, pfn: int, pc_hash: int, now: int) -> Optional[TlbEntry]:
@@ -155,32 +187,49 @@ class Tlb:
         tags = self._tags[set_idx]
         if vpn in tags:
             return None
-        decision = self.listener.on_fill(self, vpn, pfn, pc_hash, now)
-        if decision == FILL_BYPASS:
-            self.stats.add("bypasses")
-            return None
+        listener = self.listener
+        distant = False
+        if listener is not None:
+            decision = listener.on_fill(self, vpn, pfn, pc_hash, now)
+            if decision == FILL_BYPASS:
+                self._stat["bypasses"] += 1
+                return None
+            distant = decision == FILL_DISTANT
 
         entries = self._entries[set_idx]
         victim: Optional[TlbEntry] = None
         way = None
-        for w in range(self.assoc):
-            if entries[w] is None:
-                way = w
-                break
+        # len(tags) counts valid entries; a full set skips the scan.
+        if len(tags) < self.assoc:
+            for w, existing in enumerate(entries):
+                if existing is None:
+                    way = w
+                    break
+        lru = self._lru
         if way is None:
-            way = self.listener.choose_victim(self, set_idx, entries, now)
+            if listener is not None:
+                way = listener.choose_victim(self, set_idx, entries, now)
             if way is None:
-                way = self.policy.victim(set_idx)
+                if lru is not None:
+                    row = self._lru_stamps[set_idx]
+                    way = row.index(min(row))
+                else:
+                    way = self._policy_victim(set_idx)
             victim = self._evict_way(set_idx, way, now)
 
         entry = TlbEntry(vpn, pfn, pc_hash)
         entries[way] = entry
         tags[vpn] = way
-        self.policy.on_fill(set_idx, way, distant=(decision == FILL_DISTANT))
-        self.stats.add("fills")
+        if lru is not None and not distant:
+            lru._clock += 1
+            self._lru_stamps[set_idx][way] = lru._clock
+        else:
+            self._policy_on_fill(set_idx, way, distant=distant)
+        self._stat["fills"] += 1
         if self.residency is not None:
             self.residency.fill((set_idx, way), now)
-        self.listener.filled(self, entry, now)
+        if listener is not None:
+            listener.filled(self, entry, now)
         return victim
 
     def invalidate(self, vpn: int, now: int) -> Optional[TlbEntry]:
@@ -189,7 +238,7 @@ class Tlb:
         way = self._tags[set_idx].get(vpn)
         if way is None:
             return None
-        self.stats.add("invalidations")
+        self._stat["invalidations"] += 1
         return self._evict_way(set_idx, way, now, external=True)
 
     def _evict_way(
@@ -199,12 +248,13 @@ class Tlb:
         assert entry is not None
         del self._tags[set_idx][entry.vpn]
         self._entries[set_idx][way] = None
-        self.stats.add("evictions")
+        self._stat["evictions"] += 1
         if self.residency is not None:
             self.residency.evict((set_idx, way), now)
         if external:
             self.policy.on_invalidate(set_idx, way)
-        self.listener.on_evict(self, entry, now)
+        if self.listener is not None:
+            self.listener.on_evict(self, entry, now)
         return entry
 
     # ------------------------------------------------------------------ #

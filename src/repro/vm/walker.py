@@ -33,6 +33,10 @@ class PageTableWalker:
         self.pwc = pwc
         self.hierarchy = hierarchy
         self.stats = Stats()
+        self._stat = self.stats.counters
+        self._stat.update(dict.fromkeys(
+            ("walks", "walk_memory_accesses", "walk_cycles"), 0,
+        ))
 
     def walk(self, vpn: int, now: int) -> Tuple[int, int]:
         """Walk ``vpn``; returns ``(pfn, walk_latency_cycles)``.
@@ -41,15 +45,17 @@ class PageTableWalker:
         returned latency covers PWC probes plus the 1-4 page-table loads
         issued through the cache hierarchy.
         """
-        self.stats.add("walks")
+        stat = self._stat
+        stat["walks"] += 1
         pfn, path = self.page_table.walk_path(vpn)
         resolved, latency = self.pwc.consult(vpn)
         accesses = NUM_LEVELS - resolved
-        self.stats.add("walk_memory_accesses", accesses)
+        stat["walk_memory_accesses"] += accesses
+        walk_access = self.hierarchy.walk_access
         for pte_paddr in path[resolved:]:
-            latency += self.hierarchy.walk_access(pte_paddr >> BLOCK_SHIFT, now)
+            latency += walk_access(pte_paddr >> BLOCK_SHIFT, now)
         self.pwc.fill(vpn)
-        self.stats.add("walk_cycles", latency)
+        stat["walk_cycles"] += latency
         return pfn, latency
 
     @property

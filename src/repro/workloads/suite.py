@@ -2,12 +2,18 @@
 
 Traces are deterministic in (workload, seed, budget) and are memoised
 process-wide so the many configurations of an experiment share one trace.
+The memo is a bounded LRU (``REPRO_TRACE_CACHE_MAX`` traces, default 32):
+a multi-budget/multi-seed sweep would otherwise pin hundreds of MB of
+numpy arrays for traces it will never touch again. When the persistent
+disk cache (:mod:`repro.sim.diskcache`) is enabled, generated traces are
+also stored as ``.npz`` and reloaded across processes.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Type
+from collections import OrderedDict
+from typing import List, Type
 
 from repro.workloads.graphs import (
     BetweennessCentrality,
@@ -54,7 +60,10 @@ WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
 #: Override with the REPRO_BUDGET environment variable.
 DEFAULT_BUDGET = int(os.environ.get("REPRO_BUDGET", "120000"))
 
-_trace_cache: Dict[tuple, Trace] = {}
+#: Upper bound on memoised traces; the oldest (LRU) is dropped beyond it.
+TRACE_CACHE_MAX = int(os.environ.get("REPRO_TRACE_CACHE_MAX", "32"))
+
+_trace_cache: "OrderedDict[tuple, Trace]" = OrderedDict()
 
 
 def workload_names() -> List[str]:
@@ -79,11 +88,28 @@ def get_trace(name: str, budget: int = DEFAULT_BUDGET, seed: int = 42) -> Trace:
     """Deterministic, memoised trace for ``name``."""
     key = (name, budget, seed)
     trace = _trace_cache.get(key)
+    if trace is not None:
+        _trace_cache.move_to_end(key)
+        return trace
+    # Imported lazily: repro.sim.runner imports this module at class-level,
+    # so a top-level import of repro.sim.diskcache here would be circular.
+    import repro.sim.diskcache as diskcache
+
+    trace = diskcache.load_trace(name, budget, seed)
     if trace is None:
         trace = make_workload(name, seed).generate(budget)
-        _trace_cache[key] = trace
+        diskcache.store_trace(name, budget, seed, trace)
+    _trace_cache[key] = trace
+    while len(_trace_cache) > max(1, TRACE_CACHE_MAX):
+        _trace_cache.popitem(last=False)
     return trace
 
 
 def clear_trace_cache() -> None:
+    """Drop every memoised trace (frees the backing numpy arrays)."""
     _trace_cache.clear()
+
+
+def trace_cache_size() -> int:
+    """Number of traces currently memoised (introspection/test helper)."""
+    return len(_trace_cache)

@@ -56,14 +56,32 @@ class Trace:
         """Distinct 4 KB data pages touched."""
         return len(np.unique(self.vaddrs >> 12))
 
-    def iter_records(self) -> Iterator[Tuple[int, int, bool, int]]:
-        """Yield ``(pc, vaddr, is_write, gap)`` as native Python values."""
-        return zip(
-            self.pcs.tolist(),
-            self.vaddrs.tolist(),
-            self.writes.tolist(),
-            self.gaps.tolist(),
-        )
+    #: Records converted per ``iter_records`` chunk. Large enough that the
+    #: tolist() vectorisation dominates, small enough that the temporary
+    #: Python lists stay a few MB regardless of trace length.
+    ITER_CHUNK = 65536
+
+    def iter_records(
+        self, chunk: int = ITER_CHUNK
+    ) -> Iterator[Tuple[int, int, bool, int]]:
+        """Yield ``(pc, vaddr, is_write, gap)`` as native Python values.
+
+        Streams in bounded chunks instead of materialising four full-trace
+        Python lists up front: peak temporary memory is O(chunk), not
+        O(len(trace)), which matters for multi-million-access budgets.
+        """
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        pcs, vaddrs = self.pcs, self.vaddrs
+        writes, gaps = self.writes, self.gaps
+        for start in range(0, len(pcs), chunk):
+            end = start + chunk
+            yield from zip(
+                pcs[start:end].tolist(),
+                vaddrs[start:end].tolist(),
+                writes[start:end].tolist(),
+                gaps[start:end].tolist(),
+            )
 
     def truncated(self, max_accesses: int) -> "Trace":
         """A prefix of this trace (used to cap run lengths)."""

@@ -1,0 +1,31 @@
+"""Shared test fixtures.
+
+The persistent disk cache (:mod:`repro.sim.diskcache`) is process-global
+state: the experiment CLI enables it, and a stale cache could replay
+results recorded before a simulator change — exactly what tests must not
+do. Every test therefore runs with the cache disabled and pointed at a
+throwaway directory; tests that exercise the cache enable it themselves.
+"""
+
+import pytest
+
+import repro.sim.diskcache as diskcache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_diskcache(monkeypatch, tmp_path):
+    """Disable the disk cache and sandbox its directory for each test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+    monkeypatch.setattr(diskcache, "_enabled", False)
+    monkeypatch.setattr(diskcache, "_cache_dir", None)
+    yield
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_jobs(monkeypatch):
+    """Keep REPRO_JOBS / CLI job defaults from leaking into tests."""
+    import repro.sim.parallel as parallel
+
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.setattr(parallel, "_default_jobs", None)
+    yield

@@ -2,7 +2,53 @@
 
 import pytest
 
+import repro.sim.diskcache as diskcache
+import repro.sim.parallel as parallel
 from repro.experiments.__main__ import main
+
+
+class TestPerformanceFlags:
+    def test_jobs_flag_pins_default(self, capsys):
+        assert main(["table3", "--budget", "2000", "--jobs", "2"]) == 0
+        assert parallel.resolve_jobs() == 2
+
+    def test_cache_enabled_by_default(self, tmp_path, capsys):
+        from repro.sim.runner import clear_run_cache
+
+        clear_run_cache()  # force misses so results hit the disk store
+        cache = tmp_path / "cli_cache"
+        args = ["table3", "--budget", "2000", "--cache-dir", str(cache)]
+        assert main(args) == 0
+        assert diskcache.is_enabled()
+        assert diskcache.stats()["results"] > 0
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        cache = tmp_path / "cli_cache"
+        args = [
+            "table3", "--budget", "2000",
+            "--cache-dir", str(cache), "--no-cache",
+        ]
+        assert main(args) == 0
+        assert not diskcache.is_enabled()
+        assert not cache.exists()
+
+    def test_cached_rerun_matches(self, tmp_path, capsys):
+        from repro.sim.runner import clear_run_cache
+
+        args = [
+            "table3", "--budget", "2000",
+            "--cache-dir", str(tmp_path / "cli_cache"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        clear_run_cache()
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        # Identical report body; only the timing footer may differ.
+        strip = lambda out: [
+            line for line in out.splitlines() if "completed in" not in line
+        ]
+        assert strip(first) == strip(second)
 
 
 class TestCli:

@@ -1,0 +1,134 @@
+"""Tests for the persistent on-disk cache (:mod:`repro.sim.diskcache`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.sim.diskcache as diskcache
+from repro.sim.config import fast_config
+from repro.sim.runner import clear_run_cache, run_cached
+from repro.workloads.suite import get_trace
+
+BUDGET = 2000
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    """An enabled disk cache rooted in a throwaway directory."""
+    directory = tmp_path / "cache"
+    diskcache.enable(directory)
+    yield directory
+    diskcache.disable()
+
+
+def _result(config=None):
+    clear_run_cache()
+    return run_cached("mcf", config or fast_config(), budget=BUDGET)
+
+
+class TestResultStore:
+    def test_round_trip(self, cache_dir):
+        config = fast_config()
+        result = _result(config)
+        loaded = diskcache.load_result("mcf", config, BUDGET, 42)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        config = fast_config()
+        result = _result(config)
+        diskcache.store_result("mcf", config, BUDGET, 42, result)
+        assert diskcache.load_result("mcf", config, BUDGET, 42) is None
+        assert not (tmp_path / "repro_cache").exists()
+
+    def test_run_cached_replays_from_disk(self, cache_dir, monkeypatch):
+        config = fast_config()
+        first = _result(config)
+        clear_run_cache()
+
+        import repro.sim.runner as runner
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("simulated despite disk cache")
+
+        monkeypatch.setattr(runner, "run_trace", boom)
+        replayed = run_cached("mcf", config, budget=BUDGET)
+        assert replayed.to_dict() == first.to_dict()
+
+    def test_config_change_misses(self, cache_dir):
+        _result(fast_config())
+        other = fast_config(tlb_predictor="dppred")
+        assert diskcache.load_result("mcf", other, BUDGET, 42) is None
+
+    def test_schema_bump_invalidates(self, cache_dir, monkeypatch):
+        config = fast_config()
+        _result(config)
+        monkeypatch.setattr(
+            diskcache, "CACHE_SCHEMA_VERSION",
+            diskcache.CACHE_SCHEMA_VERSION + 1,
+        )
+        assert diskcache.load_result("mcf", config, BUDGET, 42) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache_dir):
+        config = fast_config()
+        _result(config)
+        key = diskcache.result_key("mcf", config, BUDGET, 42)
+        path = cache_dir / "results" / f"{key}.json"
+        path.write_text("{not json")
+        assert diskcache.load_result("mcf", config, BUDGET, 42) is None
+
+    def test_entries_are_canonical_json(self, cache_dir):
+        config = fast_config()
+        result = _result(config)
+        key = diskcache.result_key("mcf", config, BUDGET, 42)
+        path = cache_dir / "results" / f"{key}.json"
+        assert json.loads(path.read_text()) == result.to_dict()
+
+
+class TestTraceStore:
+    def test_round_trip(self, cache_dir):
+        trace = get_trace("mcf", BUDGET)
+        diskcache.store_trace("mcf", BUDGET, 42, trace)
+        loaded = diskcache.load_trace("mcf", BUDGET, 42)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.pcs, trace.pcs)
+        np.testing.assert_array_equal(loaded.vaddrs, trace.vaddrs)
+        np.testing.assert_array_equal(loaded.writes, trace.writes)
+        np.testing.assert_array_equal(loaded.gaps, trace.gaps)
+
+    def test_miss_returns_none(self, cache_dir):
+        assert diskcache.load_trace("mcf", BUDGET, 99) is None
+
+
+class TestConfiguration:
+    def test_env_variable_sets_directory(self, monkeypatch, tmp_path):
+        target = tmp_path / "env_cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        diskcache.enable()
+        try:
+            assert diskcache.cache_dir() == target
+        finally:
+            diskcache.disable()
+
+    def test_explicit_directory_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        diskcache.enable(tmp_path / "explicit")
+        try:
+            assert diskcache.cache_dir() == tmp_path / "explicit"
+        finally:
+            diskcache.disable()
+
+
+class TestMaintenance:
+    def test_stats_and_purge(self, cache_dir):
+        config = fast_config()
+        _result(config)
+        diskcache.store_trace("mcf", BUDGET, 42, get_trace("mcf", BUDGET))
+        stats = diskcache.stats()
+        assert stats["results"] == 1
+        assert stats["traces"] == 1
+        assert stats["bytes"] > 0
+        assert diskcache.purge() == 2
+        after = diskcache.stats()
+        assert after["results"] == 0 and after["traces"] == 0

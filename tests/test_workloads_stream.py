@@ -1,0 +1,94 @@
+"""Tests for trace streaming (`iter_records`) and the bounded trace cache."""
+
+import numpy as np
+import pytest
+
+import repro.workloads.suite as suite
+from repro.workloads.suite import (
+    clear_trace_cache,
+    get_trace,
+    trace_cache_size,
+)
+from repro.workloads.trace import Trace
+
+
+def make_trace(n=300, seed=5):
+    rng = np.random.RandomState(seed)
+    return Trace(
+        "synthetic",
+        (0x400000 + rng.randint(0, 64, n) * 4).astype(np.uint64),
+        (0x10000000 + rng.randint(0, 5000, n) * 64).astype(np.uint64),
+        rng.rand(n) < 0.3,
+        rng.randint(0, 7, n).astype(np.uint16),
+    )
+
+
+class TestIterRecords:
+    def test_matches_materialised_records(self):
+        trace = make_trace()
+        expected = list(
+            zip(
+                trace.pcs.tolist(),
+                trace.vaddrs.tolist(),
+                trace.writes.tolist(),
+                trace.gaps.tolist(),
+            )
+        )
+        assert list(trace.iter_records()) == expected
+
+    @pytest.mark.parametrize("chunk", [1, 7, 299, 300, 301, 100000])
+    def test_chunk_size_is_invisible(self, chunk):
+        trace = make_trace()
+        assert list(trace.iter_records(chunk=chunk)) == list(
+            trace.iter_records()
+        )
+
+    def test_yields_native_python_types(self):
+        pc, vaddr, is_write, gap = next(make_trace().iter_records())
+        assert type(pc) is int and type(vaddr) is int
+        assert type(is_write) is bool and type(gap) is int
+
+    def test_rejects_nonpositive_chunk(self):
+        with pytest.raises(ValueError):
+            next(make_trace().iter_records(chunk=0))
+
+    def test_empty_trace(self):
+        empty = make_trace(n=0)
+        assert list(empty.iter_records()) == []
+
+
+class TestTraceCacheBound:
+    BUDGET = 1000
+
+    def test_cache_size_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(suite, "TRACE_CACHE_MAX", 2)
+        clear_trace_cache()
+        for name in ("mcf", "cg.B", "canneal"):
+            get_trace(name, self.BUDGET)
+        assert trace_cache_size() == 2
+
+    def test_eviction_is_lru(self, monkeypatch):
+        monkeypatch.setattr(suite, "TRACE_CACHE_MAX", 2)
+        clear_trace_cache()
+        first = get_trace("mcf", self.BUDGET)
+        get_trace("cg.B", self.BUDGET)
+        # Touch "mcf" so "cg.B" is the least recently used...
+        assert get_trace("mcf", self.BUDGET) is first
+        get_trace("canneal", self.BUDGET)  # ...and gets evicted here.
+        assert get_trace("mcf", self.BUDGET) is first
+        assert trace_cache_size() == 2
+
+    def test_regenerated_trace_is_identical(self, monkeypatch):
+        monkeypatch.setattr(suite, "TRACE_CACHE_MAX", 1)
+        clear_trace_cache()
+        first = get_trace("mcf", self.BUDGET)
+        get_trace("cg.B", self.BUDGET)  # evicts "mcf"
+        regenerated = get_trace("mcf", self.BUDGET)
+        assert regenerated is not first
+        np.testing.assert_array_equal(regenerated.vaddrs, first.vaddrs)
+
+    def test_clear_resets(self):
+        get_trace("mcf", self.BUDGET)
+        assert trace_cache_size() >= 1
+        clear_trace_cache()
+        assert trace_cache_size() == 0
