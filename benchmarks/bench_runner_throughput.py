@@ -208,6 +208,9 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="fail if speedup targets are missed, not only "
                              "on output divergence")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the measurements as a structured "
+                             "benchmark report (repro.obs manifest envelope)")
     args = parser.parse_args(argv)
 
     single = bench_single_run(args.budget)
@@ -236,6 +239,28 @@ def main(argv=None) -> int:
         title=f"runner throughput (budget={args.budget}, "
               f"{single['accesses_per_sec']:,.0f} accesses/s single-run)",
     ))
+
+    if args.json:
+        from repro.obs.export import write_benchmark_report
+
+        write_benchmark_report(
+            args.json,
+            benchmark="runner_throughput",
+            params={
+                "budget": args.budget,
+                "jobs": args.jobs,
+                "workloads": args.workloads,
+            },
+            measurements={
+                "single": single,
+                "matrix": {
+                    k: v for k, v in matrix.items()
+                    if k != "serial_results"
+                },
+                "diskcache": cache,
+            },
+        )
+        print(f"benchmark report written to {args.json}")
 
     failures = []
     for name, bench in (("single", single), ("matrix", matrix),

@@ -42,6 +42,24 @@ class Stats:
         for name, value in other.counters.items():
             self.add(name, value)
 
+    def delta(self, prev: Mapping[str, int]) -> Dict[str, int]:
+        """Per-counter difference against an earlier :meth:`snapshot`.
+
+        The result covers the union of current and previous names (a name
+        only in ``prev`` yields a negative delta, which monotone counters
+        never produce in practice). This is the primitive behind the
+        interval timeline sampler in :mod:`repro.obs.timeline`.
+        """
+        counters = self.counters
+        out = {
+            name: value - prev.get(name, 0)
+            for name, value in counters.items()
+        }
+        for name, value in prev.items():
+            if name not in counters:
+                out[name] = -value
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
         return f"Stats({inner})"

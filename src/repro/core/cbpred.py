@@ -28,6 +28,12 @@ from typing import Callable, Optional
 from repro.common.stats import Stats
 from repro.core.bhist import BlockHistoryTable
 from repro.core.pfq import PfnFilterQueue
+from repro.obs.events import (
+    EV_LLC_BYPASS,
+    EV_LLC_MARK_DP,
+    EV_LLC_VERDICT,
+    EV_PFQ_HIT,
+)
 from repro.mem.cache import (
     FILL_ALLOCATE,
     FILL_BYPASS,
@@ -66,6 +72,11 @@ class CorrelatingDeadBlockPredictor(CacheListener):
     ``prediction_observer`` — optional instrumentation callback
     ``(block, predicted_doa)`` invoked whenever a prediction is attempted
     (i.e. the block passed the PFQ filter), used for Table VII ground truth.
+
+    ``probe`` — nullable decision-event sink (see :mod:`repro.obs.events`).
+    When set, PFQ matches, bypasses, DP markings and eviction-time
+    verdicts are traced; when None (the default) the only cost is an
+    identity test on decision paths.
     """
 
     def __init__(
@@ -79,6 +90,7 @@ class CorrelatingDeadBlockPredictor(CacheListener):
         self.pfq = PfnFilterQueue(config.pfq_entries)
         self.prediction_observer = prediction_observer
         self.stats = Stats()
+        self.probe = None
         self._mark_dp_next_fill = False
 
     # ------------------------------------------------------------------ #
@@ -93,21 +105,28 @@ class CorrelatingDeadBlockPredictor(CacheListener):
     # CacheListener interface
     # ------------------------------------------------------------------ #
     def on_fill(self, cache: SetAssocCache, block: int, now: int) -> str:
+        probe = self.probe
         if self.config.use_pfq:
             pfn = block >> BLOCKS_PER_PAGE_SHIFT
             if pfn not in self.pfq:
                 self._mark_dp_next_fill = False
                 return FILL_ALLOCATE
             self.stats.add("pfq_matches")
+            if probe is not None:
+                probe.emit(now, EV_PFQ_HIT, block)
         predicted_doa = self.bhist.predicts_doa(block, self.config.threshold)
         if self.prediction_observer is not None:
             self.prediction_observer(block, predicted_doa)
         if predicted_doa:
             self.stats.add("doa_predictions")
             self._mark_dp_next_fill = False
+            if probe is not None:
+                probe.emit(now, EV_LLC_BYPASS, block)
             return FILL_BYPASS
         # Falls on a DOA page but confidence is low: allocate with DP set.
         self._mark_dp_next_fill = True
+        if probe is not None:
+            probe.emit(now, EV_LLC_MARK_DP, block)
         return FILL_ALLOCATE
 
     def filled(self, cache: SetAssocCache, line: CacheLine, now: int) -> None:
@@ -123,6 +142,12 @@ class CorrelatingDeadBlockPredictor(CacheListener):
         else:
             self.bhist.train_doa(line.tag)
             self.stats.add("doa_evictions_observed")
+        if self.probe is not None:
+            # DP-marked lines were predicted live (low confidence) at
+            # fill; eviction resolves the ground truth.
+            self.probe.emit(
+                now, EV_LLC_VERDICT, line.tag, False, not line.accessed
+            )
 
     # ------------------------------------------------------------------ #
     # Storage accounting (Section V-D)

@@ -26,6 +26,14 @@ from typing import Callable, Optional
 
 from repro.common.stats import Stats
 from repro.core.hashing import pc_hash, vpn_hash
+from repro.obs.events import (
+    EV_LLT_BYPASS,
+    EV_LLT_DEMOTE,
+    EV_LLT_VERDICT,
+    EV_PFQ_PUSH,
+    EV_SHADOW_HIT,
+    EV_SHADOW_PROMOTE,
+)
 from repro.core.phist import PageHistoryTable
 from repro.core.shadow import ShadowTable
 from repro.vm.tlb import (
@@ -86,6 +94,11 @@ class DeadPagePredictor(TlbListener):
     ``prediction_observer`` — optional instrumentation callback
     ``(vpn, predicted_doa)`` invoked at every fill-time prediction, used by
     the accuracy/coverage ground-truth machinery (Table VI).
+
+    ``probe`` — nullable decision-event sink (see :mod:`repro.obs.events`).
+    When set, bypass/demote decisions, shadow promotions, misprediction
+    flushes, PFQ pushes and eviction-time verdicts are traced; when None
+    (the default) the only cost is an identity test on decision paths.
     """
 
     def __init__(
@@ -105,6 +118,7 @@ class DeadPagePredictor(TlbListener):
         self.pfn_sink = pfn_sink
         self.prediction_observer = prediction_observer
         self.stats = Stats()
+        self.probe = None
         self._refilling = False
         self._last_pc_hash = 0
 
@@ -119,6 +133,11 @@ class DeadPagePredictor(TlbListener):
             return None
         pfn, pc_h = entry
         self.stats.add("shadow_hits")
+        probe = self.probe
+        if probe is not None:
+            # A shadow hit *is* a resolved verdict: predicted dead, wasn't.
+            probe.emit(now, EV_SHADOW_HIT, vpn, pfn)
+            probe.emit(now, EV_LLT_VERDICT, vpn, True, False)
         # Negative feedback: forget the mispredicted VPN's column. In the
         # pure-PC variant (Figure 11b) there is only one column, which
         # would wipe the whole table — clear just the offending PC's cell.
@@ -152,12 +171,21 @@ class DeadPagePredictor(TlbListener):
         if not predicted_doa:
             return FILL_ALLOCATE
         self.stats.add("doa_predictions")
+        probe = self.probe
         if self.pfn_sink is not None:
             self.pfn_sink(pfn)
+            if probe is not None:
+                probe.emit(now, EV_PFQ_PUSH, pfn)
         if self.config.action == ACTION_DEMOTE:
+            if probe is not None:
+                probe.emit(now, EV_LLT_DEMOTE, vpn, pfn)
             return FILL_DISTANT
         if self.shadow is not None:
-            self.shadow.insert(vpn, pfn, pc_h)
+            self.shadow.insert(vpn, pfn, pc_h, now)
+            if probe is not None:
+                probe.emit(now, EV_SHADOW_PROMOTE, vpn, pfn)
+        if probe is not None:
+            probe.emit(now, EV_LLT_BYPASS, vpn, pfn)
         return FILL_BYPASS
 
     def filled(self, tlb: Tlb, entry, now: int) -> None:
@@ -172,6 +200,12 @@ class DeadPagePredictor(TlbListener):
         else:
             self.phist.train_doa(entry.pc_hash, vpn_h)
             self.stats.add("doa_evictions_observed")
+        if self.probe is not None:
+            # Allocated entries were predicted live at fill; eviction
+            # resolves the ground truth (Accessed bit).
+            self.probe.emit(
+                now, EV_LLT_VERDICT, entry.vpn, False, not entry.accessed
+            )
 
     # ------------------------------------------------------------------ #
     # Storage accounting (Section V-D)

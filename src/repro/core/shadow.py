@@ -15,10 +15,17 @@ from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro.common.stats import Stats
+from repro.obs.events import EV_SHADOW_EVICT
 
 
 class ShadowTable:
-    """FIFO victim buffer of recently bypassed translations."""
+    """FIFO victim buffer of recently bypassed translations.
+
+    ``probe`` — nullable decision-event sink (see :mod:`repro.obs.events`);
+    when set, capacity evictions are traced: a shadow entry ageing out
+    unreferenced is the closest observable signal that its bypass was
+    *correct* (the page really was dead on arrival).
+    """
 
     def __init__(self, capacity: int = 2):
         if capacity <= 0:
@@ -26,15 +33,18 @@ class ShadowTable:
         self.capacity = capacity
         self._entries: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
         self.stats = Stats()
+        self.probe = None
 
-    def insert(self, vpn: int, pfn: int, pc_hash: int) -> None:
+    def insert(self, vpn: int, pfn: int, pc_hash: int, now: int = 0) -> None:
         """Record a bypassed translation, evicting the oldest if full."""
         if vpn in self._entries:
             # Refresh in place; the translation is identical.
             del self._entries[vpn]
         elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            evicted_vpn, _ = self._entries.popitem(last=False)
             self.stats.add("evictions")
+            if self.probe is not None:
+                self.probe.emit(now, EV_SHADOW_EVICT, evicted_vpn)
         self._entries[vpn] = (pfn, pc_hash)
         self.stats.add("inserts")
 

@@ -61,6 +61,21 @@ def main(argv=None) -> int:
         help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
     )
     parser.add_argument(
+        "--obs",
+        metavar="DIR",
+        default=None,
+        help="observe every simulated run: write per-run telemetry "
+        "artifacts (manifest, timeline CSV, events JSONL) into DIR. "
+        "Cached runs carry no dynamics, so combine with --no-cache to "
+        "observe a full experiment",
+    )
+    parser.add_argument(
+        "--obs-interval",
+        type=int,
+        default=None,
+        help="timeline sampling interval in instructions (default 10000)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
@@ -76,6 +91,15 @@ def main(argv=None) -> int:
     else:
         diskcache.enable(args.cache_dir)
     set_default_jobs(args.jobs)
+    if args.obs is not None or args.obs_interval is not None:
+        from repro.obs import TelemetrySpec, enable_auto
+
+        spec = TelemetrySpec(
+            interval=args.obs_interval
+            if args.obs_interval is not None
+            else TelemetrySpec().interval
+        )
+        enable_auto(args.obs, spec)
 
     ids = (
         list(EXPERIMENTS)

@@ -136,6 +136,8 @@ def run_suite(
     workloads: List[str] = None,
     progress: Callable[[str], None] = None,
     jobs: Optional[int] = None,
+    telemetry_spec=None,
+    telemetry_out: Optional[Dict] = None,
 ) -> SuiteResults:
     """Run every workload under every named configuration (cached).
 
@@ -143,9 +145,22 @@ def run_suite(
     :func:`repro.sim.parallel.run_matrix` (serial unless ``jobs`` / the
     ``--jobs`` CLI flag / ``REPRO_JOBS`` says otherwise), then assembled
     from the warmed run cache.
+
+    ``telemetry_spec`` opts the whole suite into observability: every
+    cell simulates live with its own telemetry bundle, and the payloads
+    land in ``telemetry_out`` keyed by
+    :class:`~repro.sim.parallel.RunRequest` (see
+    :func:`repro.sim.parallel.run_matrix`). Experiments running through
+    the CLI get the same effect from the ``--obs`` flag without any
+    per-experiment plumbing.
     """
     names = workloads if workloads is not None else workload_names()
-    run_matrix(suite_matrix(configs, budget, names).requests, jobs=jobs)
+    run_matrix(
+        suite_matrix(configs, budget, names).requests,
+        jobs=jobs,
+        telemetry_spec=telemetry_spec,
+        telemetry_out=telemetry_out,
+    )
     suite = SuiteResults(configs=list(configs))
     for wl in names:
         suite.results[wl] = {}

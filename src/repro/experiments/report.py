@@ -38,6 +38,43 @@ def render_bar(value: float, scale: float = 1.0, width: int = 30) -> str:
     return "#" * n
 
 
+#: Density ramp for :func:`render_sparkline`, lightest to darkest.
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line ASCII sparkline of a time series.
+
+    Values are min-max normalised onto a ten-level density ramp; longer
+    series are bucket-averaged down to ``width`` characters. Used to eyeball
+    telemetry timelines (per-interval MPKI, IPC) in terminal reports.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            arithmetic_mean_slice(values, int(i * bucket), int((i + 1) * bucket))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[int(round((v - lo) / span * top))] for v in values
+    )
+
+
+def arithmetic_mean_slice(values: Sequence[float], lo: int, hi: int) -> float:
+    """Mean of ``values[lo:hi]`` (``hi`` clamped, empty slices fall back
+    to the single element at ``lo``)."""
+    chunk = values[lo:max(hi, lo + 1)]
+    return sum(chunk) / len(chunk)
+
+
 def _fmt(value: object) -> str:
     if value is None:
         return "-"

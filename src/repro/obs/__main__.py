@@ -1,0 +1,173 @@
+"""CLI: ``python -m repro.obs`` — record, check, and inspect baselines.
+
+Examples::
+
+    # Record a named baseline (small matrix, fixed seed):
+    python -m repro.obs record --out benchmarks/baselines/ci_smoke.json \
+        --name ci_smoke --workloads mcf,bfs --configs baseline,combined \
+        --budget 4000
+
+    # Gate the working tree against it (non-zero exit on regression):
+    python -m repro.obs check --baseline benchmarks/baselines/ci_smoke.json
+
+    # Same, exporting every gate run's telemetry artifacts:
+    python -m repro.obs check --baseline ... --obs obs-telemetry
+
+    # Inspect a baseline file:
+    python -m repro.obs show --baseline benchmarks/baselines/ci_smoke.json
+
+Both ``record`` and ``check`` disable the persistent disk cache for the
+duration of the run: the gate exists to catch behavioural changes in the
+simulator, and a stale cached result would echo the recorded numbers
+back and mask exactly those changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.baseline import (
+    DEFAULT_TOLERANCE,
+    check_baseline,
+    config_factories,
+    load_baseline,
+    record_baseline,
+    render_diffs,
+    save_baseline,
+)
+
+DEFAULT_WORKLOADS = "mcf,bfs"
+DEFAULT_CONFIGS = "baseline,combined"
+DEFAULT_BUDGET = 4000
+DEFAULT_SEED = 42
+
+
+def _csv(value: str):
+    return [item for item in (s.strip() for s in value.split(",")) if item]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Record and check performance baselines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser(
+        "record", help="simulate a matrix and write a baseline file"
+    )
+    rec.add_argument("--out", required=True, help="baseline JSON to write")
+    rec.add_argument("--name", default="baseline", help="baseline name")
+    rec.add_argument(
+        "--workloads",
+        default=DEFAULT_WORKLOADS,
+        help=f"comma-separated workloads (default {DEFAULT_WORKLOADS})",
+    )
+    rec.add_argument(
+        "--configs",
+        default=DEFAULT_CONFIGS,
+        help="comma-separated config names "
+        f"({','.join(sorted(config_factories()))}; "
+        f"default {DEFAULT_CONFIGS})",
+    )
+    rec.add_argument("--budget", type=int, default=DEFAULT_BUDGET)
+    rec.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    rec.add_argument(
+        "--obs",
+        metavar="DIR",
+        default=None,
+        help="also export each run's telemetry artifacts into DIR",
+    )
+
+    chk = sub.add_parser(
+        "check",
+        help="re-run a baseline's matrix; exit 1 on regression",
+    )
+    chk.add_argument(
+        "--baseline", required=True, help="baseline JSON to check against"
+    )
+    chk.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative worse-direction tolerance "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    chk.add_argument(
+        "--obs",
+        metavar="DIR",
+        default=None,
+        help="export each gate run's telemetry artifacts into DIR",
+    )
+    chk.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show every comparison, not just regressions",
+    )
+
+    show = sub.add_parser("show", help="print a baseline file as a table")
+    show.add_argument("--baseline", required=True)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "show":
+        return _show(args)
+
+    # Gate runs must simulate live — see the module docstring.
+    import repro.sim.diskcache as diskcache
+
+    diskcache.disable()
+
+    if args.command == "record":
+        baseline = record_baseline(
+            args.name,
+            _csv(args.workloads),
+            _csv(args.configs),
+            args.budget,
+            args.seed,
+            obs_dir=args.obs,
+        )
+        path = save_baseline(baseline, args.out)
+        print(
+            f"recorded baseline '{args.name}' "
+            f"({len(baseline['runs'])} runs) -> {path}"
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    passed, diffs = check_baseline(
+        baseline, tolerance=args.tolerance, obs_dir=args.obs
+    )
+    print(
+        f"checking against baseline '{baseline.get('name', '?')}' "
+        f"({args.baseline})"
+    )
+    print(render_diffs(diffs, args.tolerance, verbose=args.verbose))
+    return 0 if passed else 1
+
+
+def _show(args) -> int:
+    from repro.experiments.report import render_table
+
+    baseline = load_baseline(args.baseline)
+    metric_names = sorted(
+        {m for cell in baseline["runs"].values() for m in cell}
+    )
+    rows = [
+        [cell] + [
+            "-" if metrics.get(m) is None else f"{metrics[m]:.4f}"
+            for m in metric_names
+        ]
+        for cell, metrics in sorted(baseline["runs"].items())
+    ]
+    print(
+        f"baseline '{baseline.get('name', '?')}' "
+        f"budget={baseline['budget']} seed={baseline['seed']}"
+    )
+    print(render_table(["run"] + metric_names, rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

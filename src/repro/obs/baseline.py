@@ -1,0 +1,286 @@
+"""Named performance baselines and the regression gate over them.
+
+A *baseline* is a JSON file naming a small (workload x config) matrix and
+the headline metrics each cell produced (IPC, LLT/LLC MPKI, predictor
+accuracy/coverage, plus runner throughput for context). ``record``
+creates one; ``check`` re-runs the same matrix and fails with a readable
+diff when any metric regresses beyond a relative tolerance.
+
+Regression is *direction-aware*: IPC and accuracy/coverage regress
+downward, MPKI and walk latency regress upward; movement in the good
+direction never fails the gate. Runner throughput is recorded but
+informational only — wall time is host-dependent and would make a CI
+gate flaky — whereas the simulated metrics are deterministic, so the
+gate runs tolerance-tight on them.
+
+The gate must run against *live* simulations: a stale disk-cache entry
+would echo the baseline numbers back and mask the very regression the
+gate exists to catch. The CLI therefore disables the disk cache before
+recording or checking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+BASELINE_SCHEMA = 1
+
+#: Gate tolerance: relative deviation allowed in the *worse* direction.
+DEFAULT_TOLERANCE = 0.05
+
+#: Metric -> +1 when higher is better, -1 when lower is better. Only
+#: these metrics are gated; anything else in a baseline entry is context.
+METRIC_DIRECTIONS: Dict[str, int] = {
+    "ipc": +1,
+    "tlb_accuracy": +1,
+    "tlb_coverage": +1,
+    "llc_accuracy": +1,
+    "llc_coverage": +1,
+    "llt_mpki": -1,
+    "llc_mpki": -1,
+    "avg_walk_latency": -1,
+}
+
+#: Recorded and reported, never gated (host-dependent).
+INFORMATIONAL_METRICS = ("throughput_kips",)
+
+
+def config_factories() -> Dict[str, "callable"]:
+    """The named configurations a baseline may reference.
+
+    Imported lazily so ``repro.obs`` stays importable without the
+    experiments package.
+    """
+    from repro.experiments import common
+
+    return {
+        "baseline": common.baseline,
+        "dppred": common.dppred,
+        "combined": common.combined,
+    }
+
+
+def _cell_key(workload: str, config_name: str) -> str:
+    return f"{workload}/{config_name}"
+
+
+def measure_matrix(
+    workloads: Sequence[str],
+    config_names: Sequence[str],
+    budget: int,
+    seed: int,
+    obs_dir: Optional[str] = None,
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Live-simulate the matrix and return per-cell metric dicts.
+
+    Each cell runs with a telemetry bundle attached — partly for the
+    wall-time (throughput) measurement, partly so ``obs_dir`` can receive
+    the full artifact set (manifest, timeline, events) of every gate run.
+    """
+    from repro.obs.export import export_run
+    from repro.obs.telemetry import TelemetrySpec
+    from repro.sim.runner import run_cached
+
+    factories = config_factories()
+    unknown = [n for n in config_names if n not in factories]
+    if unknown:
+        raise ValueError(
+            f"unknown config name(s) {unknown}; "
+            f"known: {sorted(factories)}"
+        )
+    spec = TelemetrySpec()
+    cells: Dict[str, Dict[str, Optional[float]]] = {}
+    for workload in workloads:
+        for config_name in config_names:
+            config = factories[config_name]()
+            telemetry = spec.build()
+            result = run_cached(
+                workload, config, budget, seed, telemetry=telemetry
+            )
+            metrics = dict(result.metrics())
+            if telemetry.wall_time:
+                metrics["throughput_kips"] = (
+                    result.instructions / 1000.0 / telemetry.wall_time
+                )
+            cells[_cell_key(workload, config_name)] = metrics
+            if obs_dir is not None:
+                export_run(
+                    obs_dir,
+                    workload=workload,
+                    config=config,
+                    budget=budget,
+                    seed=seed,
+                    result=result,
+                    telemetry=telemetry,
+                )
+    return cells
+
+
+def record_baseline(
+    name: str,
+    workloads: Sequence[str],
+    config_names: Sequence[str],
+    budget: int,
+    seed: int,
+    obs_dir: Optional[str] = None,
+) -> dict:
+    """Measure the matrix and wrap it in a named baseline document."""
+    return {
+        "schema": BASELINE_SCHEMA,
+        "name": name,
+        "workloads": list(workloads),
+        "configs": list(config_names),
+        "budget": budget,
+        "seed": seed,
+        "created_unix": time.time(),
+        "runs": measure_matrix(
+            workloads, config_names, budget, seed, obs_dir
+        ),
+    }
+
+
+def load_baseline(path) -> dict:
+    baseline = json.loads(Path(path).read_text())
+    schema = baseline.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} has schema {schema!r}, "
+            f"expected {BASELINE_SCHEMA}"
+        )
+    return baseline
+
+
+def save_baseline(baseline: dict, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+class MetricDiff:
+    """One (cell, metric) comparison between baseline and current run."""
+
+    __slots__ = ("cell", "metric", "recorded", "current", "status")
+
+    def __init__(self, cell, metric, recorded, current, status):
+        self.cell = cell
+        self.metric = metric
+        self.recorded = recorded
+        self.current = current
+        self.status = status  # "ok" | "REGRESSION" | "info" | "missing"
+
+    @property
+    def deviation(self) -> Optional[float]:
+        """Signed relative change vs the recorded value, or None."""
+        if self.recorded is None or self.current is None:
+            return None
+        if self.recorded == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.recorded) / abs(self.recorded)
+
+
+def diff_metrics(
+    recorded: Dict[str, Optional[float]],
+    current: Dict[str, Optional[float]],
+    cell: str,
+    tolerance: float,
+) -> List[MetricDiff]:
+    """Compare one cell's metric dicts, direction-aware."""
+    diffs: List[MetricDiff] = []
+    for metric, direction in METRIC_DIRECTIONS.items():
+        old = recorded.get(metric)
+        new = current.get(metric)
+        if old is None and new is None:
+            continue
+        if old is None or new is None:
+            diffs.append(MetricDiff(cell, metric, old, new, "missing"))
+            continue
+        diff = MetricDiff(cell, metric, old, new, "ok")
+        dev = diff.deviation
+        worse = (new - old) * direction < 0
+        if worse and abs(dev) > tolerance:
+            diff.status = "REGRESSION"
+        diffs.append(diff)
+    for metric in INFORMATIONAL_METRICS:
+        if recorded.get(metric) is not None or current.get(metric) is not None:
+            diffs.append(
+                MetricDiff(
+                    cell, metric,
+                    recorded.get(metric), current.get(metric), "info",
+                )
+            )
+    return diffs
+
+
+def check_baseline(
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    obs_dir: Optional[str] = None,
+) -> Tuple[bool, List[MetricDiff]]:
+    """Re-run the baseline's matrix and diff every gated metric.
+
+    Returns ``(passed, diffs)``; ``passed`` is False when any diff is a
+    REGRESSION. Cells present in the baseline and absent from the rerun
+    (or vice versa) also fail, as "missing" — a silently shrunk matrix
+    must not read as green.
+    """
+    current = measure_matrix(
+        baseline["workloads"],
+        baseline["configs"],
+        baseline["budget"],
+        baseline["seed"],
+        obs_dir,
+    )
+    diffs: List[MetricDiff] = []
+    recorded_runs = baseline["runs"]
+    for cell in sorted(set(recorded_runs) | set(current)):
+        if cell not in recorded_runs or cell not in current:
+            diffs.append(MetricDiff(cell, "*", None, None, "missing"))
+            continue
+        diffs.extend(
+            diff_metrics(recorded_runs[cell], current[cell], cell, tolerance)
+        )
+    passed = not any(d.status in ("REGRESSION", "missing") for d in diffs)
+    return passed, diffs
+
+
+def render_diffs(
+    diffs: Sequence[MetricDiff], tolerance: float, verbose: bool = False
+) -> str:
+    """Readable gate report. Regressions always shown; ``verbose`` adds
+    the full metric-by-metric table."""
+    from repro.experiments.report import render_table
+
+    shown = [
+        d for d in diffs
+        if verbose or d.status in ("REGRESSION", "missing", "info")
+    ]
+    rows = []
+    for d in shown:
+        dev = d.deviation
+        rows.append([
+            d.cell,
+            d.metric,
+            "-" if d.recorded is None else f"{d.recorded:.4f}",
+            "-" if d.current is None else f"{d.current:.4f}",
+            "-" if dev is None else f"{100.0 * dev:+.1f}%",
+            d.status,
+        ])
+    regressions = sum(1 for d in diffs if d.status == "REGRESSION")
+    missing = sum(1 for d in diffs if d.status == "missing")
+    gated = sum(1 for d in diffs if d.status in ("ok", "REGRESSION"))
+    lines = []
+    if rows:
+        lines.append(render_table(
+            ["run", "metric", "baseline", "current", "delta", "status"],
+            rows,
+        ))
+    verdict = "PASS" if not regressions and not missing else "FAIL"
+    lines.append(
+        f"{verdict}: {gated} gated comparisons, {regressions} regression(s),"
+        f" {missing} missing, tolerance {100.0 * tolerance:.1f}%"
+    )
+    return "\n".join(lines)

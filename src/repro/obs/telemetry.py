@@ -1,0 +1,153 @@
+"""Telemetry bundles: what a single simulation run may observe.
+
+A :class:`TelemetrySpec` is the *description* — picklable, hashable,
+safe to ship to pool workers — and a :class:`Telemetry` is one run's
+live instruments built from it (a timeline sampler and/or an event
+trace). Machines accept a ``Telemetry`` and wire its probe into their
+predictors; runners fill in wall time and hand the bundle to exporters.
+
+The module also keeps the *process-wide auto default* behind the
+experiment CLI's ``--obs`` flag: when enabled, every simulation that
+actually executes (cache misses — cached results carry no dynamics)
+builds a fresh bundle from the default spec and exports its artifacts
+into the sink directory. Pool workers inherit the setting through
+:func:`auto_state` / :func:`set_auto_state`, mirroring how the disk
+cache is propagated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.obs.events import EventTrace
+from repro.obs.timeline import DEFAULT_INTERVAL, TimelineSampler
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """Declarative description of one run's telemetry instruments."""
+
+    interval: int = DEFAULT_INTERVAL
+    timeline: bool = True
+    events: bool = True
+    event_capacity: int = 65536
+
+    def validate(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.event_capacity <= 0:
+            raise ValueError(
+                f"event_capacity must be positive, got {self.event_capacity}"
+            )
+        if not (self.timeline or self.events):
+            raise ValueError("spec enables neither timeline nor events")
+
+    def build(self) -> "Telemetry":
+        return Telemetry(self)
+
+
+class Telemetry:
+    """One run's live instruments plus run-level bookkeeping."""
+
+    def __init__(self, spec: TelemetrySpec = TelemetrySpec()):
+        spec.validate()
+        self.spec = spec
+        self.timeline: Optional[TimelineSampler] = (
+            TimelineSampler(spec.interval) if spec.timeline else None
+        )
+        self.events: Optional[EventTrace] = (
+            EventTrace(spec.event_capacity) if spec.events else None
+        )
+        #: Wall-clock seconds of the simulate call (filled by the runner).
+        self.wall_time: Optional[float] = None
+
+    @property
+    def probe(self) -> Optional[EventTrace]:
+        """The nullable probe structures should hold (None = no tracing)."""
+        return self.events
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict for cross-process transfer and artifacts."""
+        return {
+            "spec": {
+                "interval": self.spec.interval,
+                "timeline": self.spec.timeline,
+                "events": self.spec.events,
+                "event_capacity": self.spec.event_capacity,
+            },
+            "wall_time": self.wall_time,
+            "timeline": (
+                self.timeline.to_payload() if self.timeline else None
+            ),
+            "events": self.events.to_payload() if self.events else None,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Telemetry":
+        spec = TelemetrySpec(**payload["spec"])
+        telemetry = cls(spec)
+        telemetry.wall_time = payload.get("wall_time")
+        if payload.get("timeline") is not None and spec.timeline:
+            telemetry.timeline = TimelineSampler.from_payload(
+                payload["timeline"]
+            )
+        if payload.get("events") is not None and spec.events:
+            telemetry.events = EventTrace.from_payload(payload["events"])
+        return telemetry
+
+
+# --------------------------------------------------------------------- #
+# Process-wide auto default (the experiments CLI's --obs flag)
+# --------------------------------------------------------------------- #
+_auto_spec: Optional[TelemetrySpec] = None
+_auto_sink: Optional[str] = None
+
+
+def enable_auto(
+    sink: Optional[str] = None, spec: Optional[TelemetrySpec] = None
+) -> TelemetrySpec:
+    """Observe every subsequently *simulated* run with ``spec``.
+
+    ``sink`` names a directory that receives each run's exported
+    artifacts (manifest, timeline CSV/JSONL, events JSONL); ``None``
+    collects telemetry without exporting. Runs satisfied from a cache do
+    not re-simulate and therefore produce no telemetry — disable the
+    disk cache to observe a full experiment.
+    """
+    global _auto_spec, _auto_sink
+    spec = spec or TelemetrySpec()
+    spec.validate()
+    _auto_spec = spec
+    _auto_sink = str(sink) if sink is not None else None
+    return spec
+
+
+def disable_auto() -> None:
+    global _auto_spec, _auto_sink
+    _auto_spec = None
+    _auto_sink = None
+
+
+def auto_state() -> Optional[Tuple[TelemetrySpec, Optional[str]]]:
+    """The (spec, sink) pair to propagate into pool workers, or None."""
+    if _auto_spec is None:
+        return None
+    return (_auto_spec, _auto_sink)
+
+
+def set_auto_state(
+    state: Optional[Tuple[TelemetrySpec, Optional[str]]]
+) -> None:
+    """Worker-side mirror of :func:`auto_state` (see sim.parallel)."""
+    if state is None:
+        disable_auto()
+    else:
+        enable_auto(state[1], state[0])
+
+
+def build_auto() -> Tuple[Optional["Telemetry"], Optional[str]]:
+    """A fresh (telemetry, sink) for one run, or ``(None, None)``."""
+    if _auto_spec is None:
+        return None, None
+    return _auto_spec.build(), _auto_sink

@@ -1,0 +1,160 @@
+"""Interval time-series sampling of :class:`~repro.common.stats.Stats` bags.
+
+End-of-run aggregates hide exactly the behaviour the paper's predictors
+live on: warm-up transients, phase changes, misprediction bursts.
+:class:`TimelineSampler` snapshots every registered stats bag once per
+``interval`` simulated instructions and stores *deltas* (per-interval
+activity, not cumulative totals) in compact columnar lists, so a run's
+dynamic behaviour — per-interval LLT/LLC MPKI, bypass rates, shadow-hit
+bursts — can be reconstructed without touching simulation semantics.
+
+The sampler is entirely passive: it reads counters through
+:meth:`Stats.delta` and never mutates simulator state, which is what
+makes enabled-vs-disabled telemetry bit-identical by construction. When
+no sampler is attached, :meth:`repro.sim.machine.Machine.run` uses its
+original tight loop, so the disabled cost is zero per access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.common.stats import Stats
+
+#: Default sampling interval, in simulated instructions.
+DEFAULT_INTERVAL = 10_000
+
+
+class TimelineSampler:
+    """Columnar per-interval deltas of registered named stats bags.
+
+    Columns are keyed ``"<source>.<counter>"`` (e.g. ``"llt.misses"``)
+    and are created lazily on the first interval where a counter moves;
+    earlier intervals are zero-backfilled so every column always has one
+    value per recorded interval.
+    """
+
+    def __init__(self, interval: int = DEFAULT_INTERVAL):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        #: Cumulative instruction count at each sample point.
+        self.marks: List[int] = []
+        #: Instructions retired within each interval.
+        self.instructions: List[int] = []
+        #: Cycles accumulated within each interval.
+        self.cycles: List[float] = []
+        #: ``"<source>.<counter>"`` -> per-interval deltas.
+        self.columns: Dict[str, List[int]] = {}
+        self._sources: List[Tuple[str, Stats]] = []
+        self._prev: List[Dict[str, int]] = []
+        self._prev_instructions = 0
+        self._prev_cycles = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Registration and sampling
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, stats: Stats) -> None:
+        """Attach a named stats bag; its counters become columns.
+
+        The current counter values become the baseline of the first
+        interval, so registration mid-run is safe (earlier activity is
+        simply outside the timeline).
+        """
+        self._sources.append((name, stats))
+        self._prev.append(stats.snapshot())
+
+    def sample(self, instructions: int, cycles: float) -> None:
+        """Record one interval ending at ``instructions`` retired."""
+        self.marks.append(instructions)
+        self.instructions.append(instructions - self._prev_instructions)
+        self.cycles.append(cycles - self._prev_cycles)
+        self._prev_instructions = instructions
+        self._prev_cycles = cycles
+        filled = len(self.marks)
+        columns = self.columns
+        for i, (name, stats) in enumerate(self._sources):
+            delta = stats.delta(self._prev[i])
+            self._prev[i] = stats.snapshot()
+            for counter, d in delta.items():
+                if not d:
+                    continue
+                key = f"{name}.{counter}"
+                column = columns.get(key)
+                if column is None:
+                    column = columns[key] = [0] * (filled - 1)
+                column.append(d)
+        # Columns untouched this interval still need their zero.
+        for column in columns.values():
+            if len(column) < filled:
+                column.append(0)
+
+    def __len__(self) -> int:
+        return len(self.marks)
+
+    # ------------------------------------------------------------------ #
+    # Read-side helpers
+    # ------------------------------------------------------------------ #
+    def column(self, key: str) -> List[int]:
+        """A column's per-interval deltas (zeros when it never moved)."""
+        return list(self.columns.get(key, [0] * len(self.marks)))
+
+    def series(self, key: str) -> List[float]:
+        """Per-interval rate of ``key`` per 1000 instructions (MPKI-style
+        when ``key`` is a miss counter)."""
+        return [
+            1000.0 * d / n if n else 0.0
+            for d, n in zip(self.column(key), self.instructions)
+        ]
+
+    def ipc_series(self) -> List[float]:
+        """Per-interval IPC."""
+        return [
+            n / c if c else 0.0
+            for n, c in zip(self.instructions, self.cycles)
+        ]
+
+    def rows(self) -> Iterator[dict]:
+        """One dict per interval: mark, deltas, and every column value."""
+        keys = sorted(self.columns)
+        for i, mark in enumerate(self.marks):
+            row = {
+                "mark": mark,
+                "instructions": self.instructions[i],
+                "cycles": self.cycles[i],
+            }
+            for key in keys:
+                row[key] = self.columns[key][i]
+            yield row
+
+    # ------------------------------------------------------------------ #
+    # Payload round-trip (cross-process transfer, JSON artifacts)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict:
+        return {
+            "interval": self.interval,
+            "marks": list(self.marks),
+            "instructions": list(self.instructions),
+            "cycles": list(self.cycles),
+            "columns": {key: list(col) for key, col in sorted(self.columns.items())},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TimelineSampler":
+        sampler = cls(payload["interval"])
+        sampler.marks = list(payload["marks"])
+        sampler.instructions = list(payload["instructions"])
+        sampler.cycles = list(payload["cycles"])
+        sampler.columns = {
+            key: list(col) for key, col in payload["columns"].items()
+        }
+        sampler._prev_instructions = (
+            sampler.marks[-1] if sampler.marks else 0
+        )
+        return sampler
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TimelineSampler(interval={self.interval}, "
+            f"intervals={len(self.marks)}, columns={len(self.columns)})"
+        )

@@ -27,6 +27,7 @@ from repro.core.dppred import DeadPagePredictor, DpPredConfig
 from repro.mem.cache import CacheLine, CacheListener, SetAssocCache
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.mainmem import MainMemory
+from repro.obs.events import EV_WALK
 from repro.predictors.aip import AipCachePredictor, AipTlbPredictor
 from repro.predictors.base import AccessContext
 from repro.predictors.oracle import (
@@ -115,10 +116,20 @@ class Machine:
         oracle_outcomes: Optional[dict] = None,
         llc_oracle_outcomes: Optional[dict] = None,
         seed: int = 1,
+        telemetry=None,
     ):
+        """``telemetry`` — optional :class:`repro.obs.Telemetry` bundle.
+        Its event probe is wired into the predictors (decision tracing)
+        and its timeline sampler drives interval snapshots in :meth:`run`.
+        Telemetry only observes: simulation outputs are bit-identical
+        with and without it, and when it is None (the default) the
+        per-access path is untouched."""
         config.validate()
         self._llc_oracle_outcomes = llc_oracle_outcomes
         self.config = config
+        self.telemetry = telemetry
+        self._timeline = telemetry.timeline if telemetry is not None else None
+        self._probe = telemetry.probe if telemetry is not None else None
         self.context = AccessContext()
         self.now = 0
         self.instructions = 0
@@ -250,6 +261,9 @@ class Machine:
             )
             self._attach_observers()
 
+        if telemetry is not None:
+            self._attach_telemetry()
+
     # ------------------------------------------------------------------ #
     # Predictor construction
     # ------------------------------------------------------------------ #
@@ -331,6 +345,42 @@ class Machine:
         if llc_pred is not None and hasattr(llc_pred, "prediction_observer"):
             llc_pred.prediction_observer = self.ref_llc.record_prediction
 
+    def _attach_telemetry(self) -> None:
+        """Wire the telemetry bundle in: probes into the predictors,
+        every stats bag into the timeline sampler. Pure observation — no
+        simulated state is touched."""
+        probe = self._probe
+        if probe is not None:
+            for pred in (self._tlb_predictor, self._llc_predictor):
+                if pred is not None and hasattr(pred, "probe"):
+                    pred.probe = probe
+                    shadow = getattr(pred, "shadow", None)
+                    if shadow is not None:
+                        shadow.probe = probe
+        sampler = self._timeline
+        if sampler is not None:
+            sources = [
+                ("llt", self.l2_tlb.stats),
+                ("l1_itlb", self.l1_itlb.stats),
+                ("l1_dtlb", self.l1_dtlb.stats),
+                ("l1d", self.l1d.stats),
+                ("l2", self.l2.stats),
+                ("llc", self.llc.stats),
+                ("walker", self.walker.stats),
+                ("pwc", self.walker.pwc.stats),
+                ("memory", self.hierarchy.memory.stats),
+            ]
+            if self._tlb_predictor is not None and hasattr(
+                self._tlb_predictor, "stats"
+            ):
+                sources.append(("tlb_pred", self._tlb_predictor.stats))
+            if self._llc_predictor is not None and hasattr(
+                self._llc_predictor, "stats"
+            ):
+                sources.append(("llc_pred", self._llc_predictor.stats))
+            for name, stats in sources:
+                sampler.register(name, stats)
+
     # ------------------------------------------------------------------ #
     # Access path
     # ------------------------------------------------------------------ #
@@ -348,6 +398,9 @@ class Machine:
             # The PC travels in the LLT MSHR to be available at fill time.
             pfn, walk_latency = self._walker_walk(vpn, now)
             self.pfn_to_vpn[pfn] = vpn
+            probe = self._probe
+            if probe is not None:
+                probe.emit(now, EV_WALK, vpn, walk_latency)
             penalty = (
                 self._l2_tlb_latency + walk_latency * self._walk_exposure
             )
@@ -412,8 +465,24 @@ class Machine:
     def run(self, trace) -> SimResult:
         """Simulate a whole trace (a :class:`~repro.workloads.trace.Trace`)."""
         access = self.access
+        sampler = self._timeline
+        if sampler is None:
+            for pc, vaddr, is_write, gap in trace.iter_records():
+                access(pc, vaddr, is_write, gap)
+            return self.finalize(trace.name)
+        # Telemetry loop: identical simulation, plus an interval check per
+        # record. Intervals close on the first access at or past each
+        # boundary (instruction counts jump by gap+1, so marks are
+        # boundary-aligned, not exact multiples).
+        interval = sampler.interval
+        next_at = interval
         for pc, vaddr, is_write, gap in trace.iter_records():
             access(pc, vaddr, is_write, gap)
+            if self.instructions >= next_at:
+                sampler.sample(self.instructions, self.cycles)
+                next_at = self.instructions + interval
+        if not sampler.marks or sampler.marks[-1] != self.instructions:
+            sampler.sample(self.instructions, self.cycles)
         return self.finalize(trace.name)
 
     # ------------------------------------------------------------------ #

@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+import repro.obs.telemetry as obs_telemetry
 import repro.sim.diskcache as diskcache
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
@@ -72,13 +73,15 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return 1
 
 
-def _worker_init(cache_directory: Optional[str]) -> None:
-    """Propagate the parent's disk-cache setting into pool workers (the
-    fork start method would inherit it, but spawn would not)."""
+def _worker_init(cache_directory: Optional[str], obs_state=None) -> None:
+    """Propagate the parent's disk-cache and auto-telemetry settings into
+    pool workers (the fork start method would inherit them, but spawn
+    would not)."""
     if cache_directory is not None:
         diskcache.enable(cache_directory)
     else:
         diskcache.disable()
+    obs_telemetry.set_auto_state(obs_state)
 
 
 def _worker_run(request: RunRequest) -> SimResult:
@@ -87,39 +90,79 @@ def _worker_run(request: RunRequest) -> SimResult:
     )
 
 
+def _worker_run_observed(args) -> tuple:
+    """Simulate one request with a telemetry bundle built from the spec;
+    the payload travels back to the parent as a JSON-safe dict."""
+    request, spec = args
+    telemetry = spec.build()
+    result = run_cached(
+        request.workload,
+        request.config,
+        request.budget,
+        request.seed,
+        telemetry=telemetry,
+    )
+    return result, telemetry.to_payload()
+
+
 def run_matrix(
     requests: Sequence[RunRequest],
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    telemetry_spec=None,
+    telemetry_out: Optional[Dict[RunRequest, dict]] = None,
 ) -> Dict[RunRequest, SimResult]:
     """Execute a declared run matrix, parallelising cache misses.
 
     Duplicate requests are coalesced; requests already satisfied by the
     in-process or disk cache never reach the pool. Results are merged
     into the run cache so later ``run_cached`` calls hit in-process.
+
+    ``telemetry_spec`` — optional :class:`repro.obs.TelemetrySpec`; every
+    request is then simulated live (cached aggregates carry no dynamics)
+    with its own bundle, and the JSON-safe payloads are merged into
+    ``telemetry_out`` keyed by request. The merge is deterministic: pool
+    results are consumed in request order regardless of completion
+    order, and the payloads themselves are worker-order independent
+    (each worker observes only its own runs).
     """
     unique: List[RunRequest] = list(dict.fromkeys(requests))
     results: Dict[RunRequest, SimResult] = {}
     pending: List[RunRequest] = []
-    for req in unique:
-        hit = cached_result(req.workload, req.config, req.budget, req.seed)
-        if hit is not None:
-            prime_run_cache(
-                req.workload, req.config, req.budget, req.seed, hit,
-                persist=False,
+    if telemetry_spec is not None:
+        telemetry_spec.validate()
+        pending = unique
+    else:
+        for req in unique:
+            hit = cached_result(
+                req.workload, req.config, req.budget, req.seed
             )
-            results[req] = hit
-        else:
-            pending.append(req)
+            if hit is not None:
+                prime_run_cache(
+                    req.workload, req.config, req.budget, req.seed, hit,
+                    persist=False,
+                )
+                results[req] = hit
+            else:
+                pending.append(req)
 
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(pending) <= 1:
         for req in pending:
             if progress is not None:
                 progress(_label(req))
-            results[req] = run_cached(
-                req.workload, req.config, req.budget, req.seed
-            )
+            if telemetry_spec is None:
+                results[req] = run_cached(
+                    req.workload, req.config, req.budget, req.seed
+                )
+            else:
+                telemetry = telemetry_spec.build()
+                results[req] = run_cached(
+                    req.workload, req.config, req.budget, req.seed,
+                    telemetry=telemetry,
+                )
+                if telemetry_out is not None:
+                    telemetry_out[req] = telemetry.to_payload()
         return results
 
     cache_directory = (
@@ -128,9 +171,22 @@ def run_matrix(
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(pending)),
         initializer=_worker_init,
-        initargs=(cache_directory,),
+        initargs=(cache_directory, obs_telemetry.auto_state()),
     ) as pool:
-        for req, result in zip(pending, pool.map(_worker_run, pending)):
+        if telemetry_spec is None:
+            outcomes = pool.map(_worker_run, pending)
+        else:
+            outcomes = pool.map(
+                _worker_run_observed,
+                [(req, telemetry_spec) for req in pending],
+            )
+        for req, outcome in zip(pending, outcomes):
+            if telemetry_spec is None:
+                result = outcome
+            else:
+                result, payload = outcome
+                if telemetry_out is not None:
+                    telemetry_out[req] = payload
             if progress is not None:
                 progress(_label(req))
             prime_run_cache(
@@ -188,5 +244,13 @@ class MatrixPlan:
         self,
         jobs: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
+        telemetry_spec=None,
+        telemetry_out: Optional[Dict[RunRequest, dict]] = None,
     ) -> Dict[RunRequest, SimResult]:
-        return run_matrix(self.requests, jobs=jobs, progress=progress)
+        return run_matrix(
+            self.requests,
+            jobs=jobs,
+            progress=progress,
+            telemetry_spec=telemetry_spec,
+            telemetry_out=telemetry_out,
+        )

@@ -78,12 +78,113 @@ class SimResult:
             return 0.0
         return self.ipc / baseline.ipc
 
+    def metrics(self) -> Dict[str, Optional[float]]:
+        """The headline scalar metrics, by name.
+
+        This is the flat view the observability subsystem consumes
+        (baseline gate, run manifests); ``None`` marks metrics the run did
+        not track (accuracy/coverage without ``track_reference``).
+        """
+        return {
+            "ipc": self.ipc,
+            "llt_mpki": self.llt_mpki,
+            "llc_mpki": self.llc_mpki,
+            "avg_walk_latency": self.avg_walk_latency,
+            "tlb_accuracy": self.tlb_accuracy,
+            "tlb_coverage": self.tlb_coverage,
+            "llc_accuracy": self.llc_accuracy,
+            "llc_coverage": self.llc_coverage,
+        }
+
+    def merge(self, other: "SimResult") -> "SimResult":
+        """Combine two runs' aggregates into a new :class:`SimResult`.
+
+        Counts and cycles add; ratio metrics (accuracy/coverage) are
+        weighted by each side's instruction count, staying ``None`` only
+        when neither side tracked them; residency summaries add field-wise
+        when both sides tracked residency. Used for multi-seed and
+        sharded-trace aggregation, where per-run weighting by instructions
+        is the right convention.
+        """
+        def label(a: str, b: str) -> str:
+            return a if a == b else f"{a}+{b}"
+
+        def weighted(a: Optional[float], b: Optional[float]) -> Optional[float]:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            total = self.instructions + other.instructions
+            if not total:
+                return 0.0
+            return (
+                a * self.instructions + b * other.instructions
+            ) / total
+
+        residency = {}
+        for side in ("llt_residency", "llc_residency"):
+            mine, theirs = getattr(self, side), getattr(other, side)
+            if mine is None or theirs is None:
+                residency[side] = mine if theirs is None else theirs
+            else:
+                residency[side] = ResidencySummary(**{
+                    f.name: getattr(mine, f.name) + getattr(theirs, f.name)
+                    for f in fields(ResidencySummary)
+                })
+
+        raw: Dict[str, Dict[str, int]] = {}
+        for source in (self.raw, other.raw):
+            for structure, counters in source.items():
+                bag = raw.setdefault(structure, {})
+                for name, value in counters.items():
+                    bag[name] = bag.get(name, 0) + value
+
+        return SimResult(
+            workload=label(self.workload, other.workload),
+            config_name=label(self.config_name, other.config_name),
+            instructions=self.instructions + other.instructions,
+            cycles=self.cycles + other.cycles,
+            llt_hits=self.llt_hits + other.llt_hits,
+            llt_misses=self.llt_misses + other.llt_misses,
+            llt_shadow_hits=self.llt_shadow_hits + other.llt_shadow_hits,
+            llt_bypasses=self.llt_bypasses + other.llt_bypasses,
+            llc_hits=self.llc_hits + other.llc_hits,
+            llc_misses=self.llc_misses + other.llc_misses,
+            llc_bypasses=self.llc_bypasses + other.llc_bypasses,
+            mem_accesses=self.mem_accesses + other.mem_accesses,
+            walk_cycles=self.walk_cycles + other.walk_cycles,
+            walks=self.walks + other.walks,
+            tlb_accuracy=weighted(self.tlb_accuracy, other.tlb_accuracy),
+            tlb_coverage=weighted(self.tlb_coverage, other.tlb_coverage),
+            llc_accuracy=weighted(self.llc_accuracy, other.llc_accuracy),
+            llc_coverage=weighted(self.llc_coverage, other.llc_coverage),
+            llt_residency=residency["llt_residency"],
+            llc_residency=residency["llc_residency"],
+            doa_blocks_on_doa_page=(
+                self.doa_blocks_on_doa_page + other.doa_blocks_on_doa_page
+            ),
+            doa_blocks_classified=(
+                self.doa_blocks_classified + other.doa_blocks_classified
+            ),
+            raw=raw,
+        )
+
     # ------------------------------------------------------------------ #
     # Serialisation (disk cache, cross-process transfer checks)
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
-        """A JSON-safe dict losslessly round-trippable via :meth:`from_dict`."""
-        return asdict(self)
+        """A JSON-safe dict losslessly round-trippable via :meth:`from_dict`.
+
+        The ``raw`` counter dicts are emitted with sorted keys so the
+        serialised form is byte-stable regardless of counter creation
+        order (two equal results always serialise identically).
+        """
+        data = asdict(self)
+        data["raw"] = {
+            structure: dict(sorted(counters.items()))
+            for structure, counters in sorted(self.raw.items())
+        }
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimResult":

@@ -15,9 +15,11 @@ The oracle configuration needs two passes (see
 
 from __future__ import annotations
 
-from typing import Dict
+import time
+from typing import Dict, Optional
 
 import repro.sim.diskcache as diskcache
+import repro.obs.telemetry as obs_telemetry
 from repro.sim.config import LLC_PRED_ORACLE, TLB_PRED_ORACLE, SystemConfig
 from repro.sim.machine import Machine
 from repro.sim.results import SimResult
@@ -45,18 +47,26 @@ def machine_seed_for(seed: int) -> int:
     return seed ^ (DEFAULT_SEED ^ 1)
 
 
-def run_trace(trace: Trace, config: SystemConfig, seed: int = 1) -> SimResult:
-    """Simulate ``trace`` on ``config`` (no caching)."""
+def run_trace(
+    trace: Trace, config: SystemConfig, seed: int = 1, telemetry=None
+) -> SimResult:
+    """Simulate ``trace`` on ``config`` (no caching).
+
+    ``telemetry`` — optional :class:`repro.obs.Telemetry`; purely
+    observational (results are bit-identical with and without it).
+    """
     if (
         config.tlb_predictor == TLB_PRED_ORACLE
         or config.llc_predictor == LLC_PRED_ORACLE
     ):
-        return _run_oracle(trace, config, seed)
-    machine = Machine(config, seed=seed)
+        return _run_oracle(trace, config, seed, telemetry)
+    machine = Machine(config, seed=seed, telemetry=telemetry)
     return machine.run(trace)
 
 
-def _run_oracle(trace: Trace, config: SystemConfig, seed: int) -> SimResult:
+def _run_oracle(
+    trace: Trace, config: SystemConfig, seed: int, telemetry=None
+) -> SimResult:
     # Pass 1: baseline run recording per-fill DOA outcomes (TLB and/or
     # LLC side, depending on which predictor is the oracle).
     recorder_machine = Machine(config, seed=seed)
@@ -67,12 +77,14 @@ def _run_oracle(trace: Trace, config: SystemConfig, seed: int) -> SimResult:
     llc_outcomes = None
     if recorder_machine.llc_oracle_recorder is not None:
         llc_outcomes = recorder_machine.llc_oracle_recorder.outcomes
-    # Pass 2: bypass exactly the recorded DOA fills.
+    # Pass 2: bypass exactly the recorded DOA fills. Telemetry observes
+    # only this, the measured pass.
     machine = Machine(
         config,
         oracle_outcomes=tlb_outcomes,
         llc_oracle_outcomes=llc_outcomes,
         seed=seed,
+        telemetry=telemetry,
     )
     return machine.run(trace)
 
@@ -82,18 +94,67 @@ def run_cached(
     config: SystemConfig,
     budget: int = DEFAULT_BUDGET,
     seed: int = DEFAULT_SEED,
+    telemetry=None,
 ) -> SimResult:
     """Simulate a suite workload under ``config``, memoised process-wide
-    and (when the disk cache is enabled) across processes."""
+    and (when the disk cache is enabled) across processes.
+
+    ``telemetry`` — an explicit :class:`repro.obs.Telemetry` bundle forces
+    a live simulation (cached aggregates carry no dynamics); the result is
+    still stored, since telemetry never perturbs it. When ``telemetry`` is
+    None but the process-wide auto default is on (the experiments CLI's
+    ``--obs`` flag), cache *misses* are simulated with a fresh bundle and
+    exported to the configured sink; cache hits stay hits.
+    """
+    if telemetry is not None:
+        return _run_observed(workload, config, budget, seed, telemetry, None)
     key = (workload, budget, seed, config)
     result = _run_cache.get(key)
     if result is None:
         result = diskcache.load_result(workload, config, budget, seed)
         if result is None:
+            auto, sink = obs_telemetry.build_auto()
+            if auto is not None:
+                return _run_observed(
+                    workload, config, budget, seed, auto, sink
+                )
             trace = get_trace(workload, budget, seed)
             result = run_trace(trace, config, seed=machine_seed_for(seed))
             diskcache.store_result(workload, config, budget, seed, result)
         _run_cache[key] = result
+    return result
+
+
+def _run_observed(
+    workload: str,
+    config: SystemConfig,
+    budget: int,
+    seed: int,
+    telemetry,
+    sink: Optional[str],
+) -> SimResult:
+    """Simulate with telemetry attached, prime the caches, and export the
+    run's artifacts when a sink directory is configured."""
+    trace = get_trace(workload, budget, seed)
+    start = time.perf_counter()
+    result = run_trace(
+        trace, config, seed=machine_seed_for(seed), telemetry=telemetry
+    )
+    telemetry.wall_time = time.perf_counter() - start
+    _run_cache[(workload, budget, seed, config)] = result
+    diskcache.store_result(workload, config, budget, seed, result)
+    if sink is not None:
+        from repro.obs.export import export_run
+
+        export_run(
+            sink,
+            workload=workload,
+            config=config,
+            budget=budget,
+            seed=seed,
+            result=result,
+            telemetry=telemetry,
+        )
     return result
 
 

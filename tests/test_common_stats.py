@@ -51,6 +51,33 @@ class TestStats:
         assert a.get("x") == 3
         assert a.get("y") == 3
 
+    def test_delta_against_snapshot(self):
+        s = Stats()
+        s.add("hits", 3)
+        snap = s.snapshot()
+        s.add("hits", 2)
+        s.add("misses", 1)
+        assert s.delta(snap) == {"hits": 2, "misses": 1}
+
+    def test_delta_empty_snapshot_is_current_counters(self):
+        s = Stats()
+        s.add("hits", 4)
+        assert s.delta({}) == {"hits": 4}
+
+    def test_delta_includes_counters_only_in_snapshot(self):
+        # A counter present in the snapshot but gone from the bag shows up
+        # as a negative delta rather than silently disappearing.
+        s = Stats()
+        assert s.delta({"ghost": 5}) == {"ghost": -5}
+
+    def test_delta_does_not_mutate(self):
+        s = Stats()
+        s.add("hits", 1)
+        snap = s.snapshot()
+        s.delta(snap)
+        assert snap == {"hits": 1}
+        assert s.get("hits") == 1
+
 
 class TestMeans:
     def test_geometric_mean(self):

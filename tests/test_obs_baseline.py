@@ -1,0 +1,192 @@
+"""Tests for the baseline regression gate, exporters, and the obs CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.baseline import (
+    MetricDiff,
+    check_baseline,
+    diff_metrics,
+    load_baseline,
+    record_baseline,
+    render_diffs,
+    save_baseline,
+)
+
+WORKLOADS = ["mcf"]
+CONFIGS = ["baseline", "combined"]
+BUDGET = 2000
+SEED = 42
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    return record_baseline("unit", WORKLOADS, CONFIGS, BUDGET, SEED)
+
+
+class TestDiffMetrics:
+    def test_within_tolerance_passes(self):
+        diffs = diff_metrics(
+            {"ipc": 1.00}, {"ipc": 0.97}, "c", tolerance=0.05
+        )
+        assert [d.status for d in diffs] == ["ok"]
+
+    def test_worse_direction_beyond_tolerance_fails(self):
+        (diff,) = diff_metrics(
+            {"ipc": 1.00}, {"ipc": 0.90}, "c", tolerance=0.05
+        )
+        assert diff.status == "REGRESSION"
+        assert diff.deviation == pytest.approx(-0.10)
+
+    def test_improvement_never_fails(self):
+        (diff,) = diff_metrics(
+            {"ipc": 1.00}, {"ipc": 2.00}, "c", tolerance=0.05
+        )
+        assert diff.status == "ok"
+
+    def test_lower_is_better_for_mpki(self):
+        (worse,) = diff_metrics(
+            {"llt_mpki": 10.0}, {"llt_mpki": 11.0}, "c", tolerance=0.05
+        )
+        (better,) = diff_metrics(
+            {"llt_mpki": 10.0}, {"llt_mpki": 5.0}, "c", tolerance=0.05
+        )
+        assert worse.status == "REGRESSION"
+        assert better.status == "ok"
+
+    def test_none_on_both_sides_is_skipped(self):
+        assert diff_metrics({"ipc": None}, {"ipc": None}, "c", 0.05) == []
+
+    def test_none_on_one_side_is_missing(self):
+        (diff,) = diff_metrics({"ipc": 1.0}, {"ipc": None}, "c", 0.05)
+        assert diff.status == "missing"
+
+    def test_zero_recorded_value(self):
+        (same,) = diff_metrics(
+            {"llt_mpki": 0.0}, {"llt_mpki": 0.0}, "c", 0.05
+        )
+        (worse,) = diff_metrics(
+            {"llt_mpki": 0.0}, {"llt_mpki": 1.0}, "c", 0.05
+        )
+        assert same.status == "ok"
+        assert worse.status == "REGRESSION"
+        assert worse.deviation == float("inf")
+
+    def test_throughput_is_informational_only(self):
+        (diff,) = diff_metrics(
+            {"throughput_kips": 100.0},
+            {"throughput_kips": 1.0},
+            "c",
+            tolerance=0.05,
+        )
+        assert diff.status == "info"
+
+
+class TestRecordAndCheck:
+    def test_record_covers_the_matrix(self, recorded):
+        assert set(recorded["runs"]) == {
+            f"{wl}/{cfg}" for wl in WORKLOADS for cfg in CONFIGS
+        }
+        for metrics in recorded["runs"].values():
+            assert metrics["ipc"] > 0
+
+    def test_check_against_fresh_recording_passes(self, recorded):
+        passed, diffs = check_baseline(recorded)
+        assert passed
+        assert not [d for d in diffs if d.status == "REGRESSION"]
+
+    def test_check_catches_injected_ipc_regression(self, recorded):
+        tampered = json.loads(json.dumps(recorded))
+        tampered["runs"]["mcf/combined"]["ipc"] *= 1.10
+        passed, diffs = check_baseline(tampered)
+        assert not passed
+        bad = [d for d in diffs if d.status == "REGRESSION"]
+        assert [(d.cell, d.metric) for d in bad] == [("mcf/combined", "ipc")]
+
+    def test_check_flags_missing_cells(self, recorded):
+        tampered = json.loads(json.dumps(recorded))
+        tampered["runs"]["mcf/phantom"] = {"ipc": 1.0}
+        passed, diffs = check_baseline(tampered)
+        assert not passed
+        assert any(
+            d.cell == "mcf/phantom" and d.status == "missing" for d in diffs
+        )
+
+    def test_save_load_round_trip(self, recorded, tmp_path):
+        path = save_baseline(recorded, tmp_path / "bl.json")
+        assert load_baseline(path) == recorded
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_render_mentions_regressed_metric(self, recorded):
+        diffs = [MetricDiff("mcf/combined", "ipc", 1.0, 0.5, "REGRESSION")]
+        text = render_diffs(diffs, tolerance=0.05)
+        assert "ipc" in text
+        assert "REGRESSION" in text
+        assert "FAIL" in text
+
+    def test_render_pass_summary(self):
+        text = render_diffs(
+            [MetricDiff("c", "ipc", 1.0, 1.0, "ok")], tolerance=0.05
+        )
+        assert text.startswith("PASS")
+
+
+class TestCli:
+    def _record(self, tmp_path, capsys):
+        out = tmp_path / "bl.json"
+        rc = main([
+            "record", "--out", str(out), "--name", "cli",
+            "--workloads", "mcf", "--configs", "baseline,combined",
+            "--budget", str(BUDGET), "--seed", str(SEED),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        return out
+
+    def test_record_then_check_passes(self, tmp_path, capsys):
+        out = self._record(tmp_path, capsys)
+        assert main(["check", "--baseline", str(out)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_fails_on_tampered_baseline(self, tmp_path, capsys):
+        out = self._record(tmp_path, capsys)
+        baseline = json.loads(out.read_text())
+        baseline["runs"]["mcf/combined"]["ipc"] *= 1.10
+        out.write_text(json.dumps(baseline))
+        assert main(["check", "--baseline", str(out)]) == 1
+        text = capsys.readouterr().out
+        assert "REGRESSION" in text and "ipc" in text
+
+    def test_check_with_obs_exports_artifacts(self, tmp_path, capsys):
+        out = self._record(tmp_path, capsys)
+        obs_dir = tmp_path / "artifacts"
+        assert main([
+            "check", "--baseline", str(out), "--obs", str(obs_dir),
+        ]) == 0
+        manifests = sorted(obs_dir.glob("*.manifest.json"))
+        assert len(manifests) == 2  # one per (workload, config) cell
+        manifest = json.loads(manifests[0].read_text())
+        assert manifest["workload"] == "mcf"
+        assert "metrics" in manifest and "telemetry" in manifest
+        for name in manifest["artifacts"].values():
+            assert (obs_dir / name).exists()
+
+    def test_show(self, tmp_path, capsys):
+        out = self._record(tmp_path, capsys)
+        assert main(["show", "--baseline", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "mcf/baseline" in text and "ipc" in text
+
+    def test_record_rejects_unknown_config(self, tmp_path):
+        with pytest.raises(ValueError):
+            main([
+                "record", "--out", str(tmp_path / "x.json"),
+                "--configs", "nonesuch", "--budget", "1000",
+            ])

@@ -1,0 +1,124 @@
+"""Tests for the decision-event ring trace and its predictor probes."""
+
+import json
+
+from repro.experiments.common import combined
+from repro.obs import (
+    EV_LLT_BYPASS,
+    EV_LLT_VERDICT,
+    EV_PFQ_PUSH,
+    EV_SHADOW_PROMOTE,
+    EV_WALK,
+    EVENT_FIELDS,
+    EventTrace,
+    TelemetrySpec,
+)
+from repro.obs.export import write_events_jsonl
+from repro.sim.runner import run_cached
+
+BUDGET = 3000
+
+
+class TestEventTrace:
+    def test_emit_and_read_back(self):
+        trace = EventTrace(capacity=8)
+        trace.emit(10, EV_WALK, 0x42, 30)
+        assert trace.events() == [(10, EV_WALK, 0x42, 30)]
+        assert trace.emitted == 1
+        assert trace.dropped() == 0
+
+    def test_ring_drops_oldest(self):
+        trace = EventTrace(capacity=3)
+        for i in range(5):
+            trace.emit(i, EV_WALK, i, 1)
+        assert len(trace) == 3
+        assert trace.emitted == 5
+        assert trace.dropped() == 2
+        assert [e[0] for e in trace.events()] == [2, 3, 4]
+
+    def test_counts(self):
+        trace = EventTrace()
+        trace.emit(1, EV_WALK, 1, 1)
+        trace.emit(2, EV_WALK, 2, 1)
+        trace.emit(3, EV_LLT_BYPASS, 3, 4)
+        assert trace.counts() == {EV_WALK: 2, EV_LLT_BYPASS: 1}
+
+    def test_rows_are_self_describing(self):
+        trace = EventTrace()
+        trace.emit(5, EV_LLT_VERDICT, 0x7, True, False)
+        (row,) = list(trace.rows())
+        assert row == {
+            "now": 5,
+            "kind": EV_LLT_VERDICT,
+            "vpn": 0x7,
+            "predicted_doa": True,
+            "actual_doa": False,
+        }
+
+    def test_rows_unknown_kind_falls_back_to_positional(self):
+        trace = EventTrace()
+        trace.emit(1, "mystery", "a", "b")
+        (row,) = list(trace.rows())
+        assert row == {"now": 1, "kind": "mystery", "f0": "a", "f1": "b"}
+
+    def test_payload_round_trip(self):
+        trace = EventTrace(capacity=4)
+        for i in range(6):
+            trace.emit(i, EV_WALK, i, 2)
+        payload = json.loads(json.dumps(trace.to_payload()))
+        back = EventTrace.from_payload(payload)
+        assert back.events() == trace.events()
+        assert back.dropped() == trace.dropped()
+
+    def test_rejects_nonpositive_capacity(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)
+
+    def test_every_kind_has_registered_fields(self):
+        import repro.obs.events as events
+
+        kinds = {
+            value
+            for name, value in vars(events).items()
+            if name.startswith("EV_")
+        }
+        assert kinds == set(EVENT_FIELDS)
+
+
+class TestPredictorProbes:
+    def test_combined_run_emits_decision_events(self):
+        telemetry = TelemetrySpec(interval=500).build()
+        run_cached("mcf", combined(), BUDGET, telemetry=telemetry)
+        counts = telemetry.events.counts()
+        # dpPred decisions, their LLC-side forwarding, page walks, and
+        # eviction-time ground-truth verdicts all show up on mcf.
+        for kind in (
+            EV_WALK,
+            EV_LLT_BYPASS,
+            EV_SHADOW_PROMOTE,
+            EV_PFQ_PUSH,
+            EV_LLT_VERDICT,
+        ):
+            assert counts.get(kind, 0) > 0, kind
+
+    def test_events_timestamps_monotone(self):
+        telemetry = TelemetrySpec(interval=500).build()
+        run_cached("mcf", combined(), BUDGET, telemetry=telemetry)
+        nows = [event[0] for event in telemetry.events.events()]
+        assert nows == sorted(nows)
+
+    def test_events_export_as_parseable_jsonl(self, tmp_path):
+        telemetry = TelemetrySpec(interval=500).build()
+        run_cached("mcf", combined(), BUDGET, telemetry=telemetry)
+        path = write_events_jsonl(tmp_path / "events.jsonl", telemetry.events)
+        rows = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert len(rows) == len(telemetry.events)
+        for row in rows:
+            assert "now" in row and "kind" in row
+            names = EVENT_FIELDS[row["kind"]]
+            assert set(row) == {"now", "kind", *names}

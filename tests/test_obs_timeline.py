@@ -1,0 +1,162 @@
+"""Tests for the telemetry timeline sampler and its machine integration."""
+
+import json
+
+from repro.common.stats import Stats
+from repro.experiments.common import baseline, combined
+from repro.obs import TelemetrySpec, TimelineSampler
+from repro.sim.runner import clear_run_cache, run_cached
+from repro.sim.parallel import RunRequest, run_matrix
+from repro.workloads.suite import clear_trace_cache
+
+BUDGET = 3000
+
+
+class TestTimelineSampler:
+    def _sampler(self):
+        sampler = TimelineSampler(interval=100)
+        stats = Stats()
+        sampler.register("llt", stats)
+        return sampler, stats
+
+    def test_deltas_not_cumulative(self):
+        sampler, stats = self._sampler()
+        stats.add("misses", 5)
+        sampler.sample(100, 200.0)
+        stats.add("misses", 2)
+        sampler.sample(200, 420.0)
+        assert sampler.column("llt.misses") == [5, 2]
+        assert sampler.instructions == [100, 100]
+        assert sampler.cycles == [200.0, 220.0]
+
+    def test_lazy_column_backfilled_with_zeros(self):
+        sampler, stats = self._sampler()
+        sampler.sample(100, 100.0)
+        stats.add("hits", 3)
+        sampler.sample(200, 200.0)
+        sampler.sample(300, 300.0)
+        assert sampler.column("llt.hits") == [0, 3, 0]
+
+    def test_registration_snapshot_is_baseline(self):
+        sampler = TimelineSampler(interval=100)
+        stats = Stats()
+        stats.add("misses", 40)  # pre-registration activity
+        sampler.register("llt", stats)
+        stats.add("misses", 1)
+        sampler.sample(100, 100.0)
+        assert sampler.column("llt.misses") == [1]
+
+    def test_unknown_column_is_all_zeros(self):
+        sampler, _ = self._sampler()
+        sampler.sample(100, 100.0)
+        assert sampler.column("nope.nothing") == [0]
+
+    def test_series_and_ipc(self):
+        sampler, stats = self._sampler()
+        stats.add("misses", 10)
+        sampler.sample(1000, 2000.0)
+        assert sampler.series("llt.misses") == [10.0]  # per-1k rate
+        assert sampler.ipc_series() == [0.5]
+
+    def test_rows_include_every_column(self):
+        sampler, stats = self._sampler()
+        stats.add("misses", 1)
+        sampler.sample(100, 100.0)
+        (row,) = list(sampler.rows())
+        assert row == {
+            "mark": 100,
+            "instructions": 100,
+            "cycles": 100.0,
+            "llt.misses": 1,
+        }
+
+    def test_payload_round_trip(self):
+        sampler, stats = self._sampler()
+        stats.add("misses", 7)
+        sampler.sample(100, 150.0)
+        payload = json.loads(json.dumps(sampler.to_payload()))
+        back = TimelineSampler.from_payload(payload)
+        assert back.to_payload() == sampler.to_payload()
+        assert len(back) == 1
+
+    def test_rejects_nonpositive_interval(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TimelineSampler(interval=0)
+
+
+class TestMachineIntegration:
+    def test_observed_run_produces_timeline(self):
+        telemetry = TelemetrySpec(interval=500).build()
+        result = run_cached("mcf", combined(), BUDGET, telemetry=telemetry)
+        timeline = telemetry.timeline
+        assert len(timeline) >= 2
+        # Marks are strictly increasing and end at the retired total.
+        assert timeline.marks == sorted(set(timeline.marks))
+        assert timeline.marks[-1] == result.instructions
+        # Interval deltas reassemble the end-of-run aggregates.
+        assert sum(timeline.instructions) == result.instructions
+        assert sum(timeline.column("llt.misses")) == result.llt_misses
+        assert sum(timeline.column("llc.misses")) == result.llc_misses
+
+    def test_enabled_vs_disabled_results_bit_identical(self):
+        clear_run_cache()
+        clear_trace_cache()
+        plain = run_cached("mcf", combined(), BUDGET)
+        clear_run_cache()
+        clear_trace_cache()
+        observed = run_cached(
+            "mcf", combined(), BUDGET,
+            telemetry=TelemetrySpec(interval=500).build(),
+        )
+        assert json.dumps(plain.to_dict(), sort_keys=True) == json.dumps(
+            observed.to_dict(), sort_keys=True
+        )
+
+
+class TestMatrixTelemetry:
+    def _requests(self):
+        return [
+            RunRequest(wl, cfg, BUDGET)
+            for wl in ("mcf", "bfs")
+            for cfg in (baseline(), combined())
+        ]
+
+    def test_serial_matrix_collects_payloads(self):
+        requests = self._requests()
+        out = {}
+        results = run_matrix(
+            requests,
+            jobs=1,
+            telemetry_spec=TelemetrySpec(interval=500),
+            telemetry_out=out,
+        )
+        assert set(out) == set(requests)
+        for req in requests:
+            payload = out[req]
+            assert payload["timeline"]["marks"][-1] == (
+                results[req].instructions
+            )
+
+    def test_parallel_payloads_match_serial(self):
+        requests = self._requests()
+        spec = TelemetrySpec(interval=500)
+        clear_run_cache()
+        clear_trace_cache()
+        serial_out = {}
+        serial = run_matrix(
+            requests, jobs=1, telemetry_spec=spec, telemetry_out=serial_out
+        )
+        clear_run_cache()
+        clear_trace_cache()
+        pool_out = {}
+        pooled = run_matrix(
+            requests, jobs=2, telemetry_spec=spec, telemetry_out=pool_out
+        )
+        for req in requests:
+            assert json.dumps(
+                serial[req].to_dict(), sort_keys=True
+            ) == json.dumps(pooled[req].to_dict(), sort_keys=True)
+            assert serial_out[req]["timeline"] == pool_out[req]["timeline"]
+            assert serial_out[req]["events"] == pool_out[req]["events"]
