@@ -38,6 +38,16 @@ class Stats:
     def snapshot(self) -> Dict[str, int]:
         return dict(self.counters)
 
+    def nonzero(self) -> Dict[str, int]:
+        """Only the counters with non-zero values.
+
+        Structures pre-seed hot counters to 0, so two semantically equal
+        stats bags can differ in which zero-valued names they carry;
+        comparisons (differential tests, baseline diffs) should compare
+        this view, not raw :meth:`snapshot` output.
+        """
+        return {k: v for k, v in self.counters.items() if v}
+
     def merge(self, other: "Stats") -> None:
         for name, value in other.counters.items():
             self.add(name, value)

@@ -13,6 +13,12 @@ run matrix of each experiment out over a process pool; results are
 persisted under ``.repro_cache/`` (``REPRO_CACHE_DIR`` overrides the
 location, ``--no-cache`` disables persistence) so repeated invocations
 skip simulation entirely.
+
+Resilience knobs: ``--retries`` / ``--run-timeout`` / ``--backoff``
+(env ``REPRO_RETRIES`` / ``REPRO_RUN_TIMEOUT`` / ``REPRO_BACKOFF``)
+bound how the executor supervises failing workers; ``--resume`` (env
+``REPRO_RESUME=1``) replays the checkpoint journal of an interrupted
+sweep so only unfinished cells re-execute. See EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -23,7 +29,13 @@ import time
 
 import repro.sim.diskcache as diskcache
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.sim.parallel import set_default_jobs
+from repro.sim.checkpoint import set_default_resume
+from repro.sim.parallel import (
+    RetryPolicy,
+    resolve_retry,
+    set_default_jobs,
+    set_default_retry,
+)
 
 
 def main(argv=None) -> int:
@@ -61,6 +73,43 @@ def main(argv=None) -> int:
         help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the checkpoint journal of an interrupted sweep and "
+        "only execute cells it is missing (also: REPRO_RESUME=1)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max attempts per matrix cell before the sweep fails "
+        "(default: REPRO_RETRIES or 3)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt wall-clock limit for pooled runs; a hung worker "
+        "is killed and the cell retried (default: REPRO_RUN_TIMEOUT or "
+        "unlimited)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base delay between attempts of a failing cell, doubled per "
+        "retry (default: REPRO_BACKOFF or 0.25)",
+    )
+    parser.add_argument(
+        "--verify-cache",
+        action="store_true",
+        help="integrity-scan the on-disk cache (quarantining corrupt "
+        "entries) and exit",
+    )
+    parser.add_argument(
         "--obs",
         metavar="DIR",
         default=None,
@@ -80,6 +129,21 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.verify_cache:
+        if args.no_cache:
+            parser.error("--verify-cache needs the cache enabled")
+        diskcache.enable(args.cache_dir)
+        report = diskcache.verify()
+        bad = report["results_bad"] + report["traces_bad"]
+        print(
+            f"cache {diskcache.cache_dir()}: "
+            f"{report['results_ok']} results ok, "
+            f"{report['results_bad']} quarantined; "
+            f"{report['traces_ok']} traces ok, "
+            f"{report['traces_bad']} quarantined"
+        )
+        return 1 if bad else 0
+
     if args.list or not args.experiments:
         for exp_id, fn in EXPERIMENTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]
@@ -91,6 +155,29 @@ def main(argv=None) -> int:
     else:
         diskcache.enable(args.cache_dir)
     set_default_jobs(args.jobs)
+    if args.resume:
+        set_default_resume(True)
+    if (
+        args.retries is not None
+        or args.run_timeout is not None
+        or args.backoff is not None
+    ):
+        base = resolve_retry()  # env-derived knobs still apply underneath
+        set_default_retry(
+            RetryPolicy(
+                max_attempts=(
+                    args.retries if args.retries is not None
+                    else base.max_attempts
+                ),
+                backoff=(
+                    args.backoff if args.backoff is not None else base.backoff
+                ),
+                timeout=(
+                    args.run_timeout if args.run_timeout is not None
+                    else base.timeout
+                ),
+            )
+        )
     if args.obs is not None or args.obs_interval is not None:
         from repro.obs import TelemetrySpec, enable_auto
 

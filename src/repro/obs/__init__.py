@@ -32,6 +32,8 @@ imported on use.
 """
 
 from repro.obs.events import (
+    EV_CACHE_CORRUPT,
+    EV_FAULT_INJECT,
     EV_LLC_BYPASS,
     EV_LLC_MARK_DP,
     EV_LLC_VERDICT,
@@ -40,12 +42,22 @@ from repro.obs.events import (
     EV_LLT_VERDICT,
     EV_PFQ_HIT,
     EV_PFQ_PUSH,
+    EV_POOL_REBUILD,
+    EV_RESUME_SKIP,
+    EV_RUN_RETRY,
+    EV_RUN_TIMEOUT,
     EV_SHADOW_EVICT,
     EV_SHADOW_HIT,
     EV_SHADOW_PROMOTE,
     EV_WALK,
     EVENT_FIELDS,
     EventTrace,
+)
+from repro.obs.harness import (
+    counters_snapshot,
+    harness_counters,
+    harness_events,
+    reset_harness,
 )
 from repro.obs.telemetry import (
     Telemetry,
@@ -61,6 +73,12 @@ from repro.obs.timeline import DEFAULT_INTERVAL, TimelineSampler
 __all__ = [
     "DEFAULT_INTERVAL",
     "EVENT_FIELDS",
+    "EV_CACHE_CORRUPT",
+    "EV_FAULT_INJECT",
+    "EV_POOL_REBUILD",
+    "EV_RESUME_SKIP",
+    "EV_RUN_RETRY",
+    "EV_RUN_TIMEOUT",
     "EV_LLC_BYPASS",
     "EV_LLC_MARK_DP",
     "EV_LLC_VERDICT",
@@ -79,7 +97,11 @@ __all__ = [
     "TimelineSampler",
     "auto_state",
     "build_auto",
+    "counters_snapshot",
     "disable_auto",
     "enable_auto",
+    "harness_counters",
+    "harness_events",
+    "reset_harness",
     "set_auto_state",
 ]

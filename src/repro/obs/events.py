@@ -52,6 +52,25 @@ EV_LLC_VERDICT = "llc_verdict"
 #: A page walk completed (machine-level; rare enough to record each one).
 EV_WALK = "walk"
 
+# --------------------------------------------------------------------- #
+# Harness (run-matrix resilience) event kinds — emitted by the executor
+# and the disk cache into the process-wide trace in :mod:`repro.obs
+# .harness`, not by simulated structures. ``now`` for these is a
+# monotone sequence number, not a simulation timestamp.
+# --------------------------------------------------------------------- #
+#: A matrix cell failed and is being retried.
+EV_RUN_RETRY = "run_retry"
+#: A matrix cell exceeded its per-run wall-clock timeout.
+EV_RUN_TIMEOUT = "run_timeout"
+#: The worker pool died (a worker was killed) and was rebuilt.
+EV_POOL_REBUILD = "pool_rebuild"
+#: A ``.repro_cache/`` entry failed its integrity check and was quarantined.
+EV_CACHE_CORRUPT = "cache_corrupt"
+#: A cell was skipped because the resume journal already holds its result.
+EV_RESUME_SKIP = "resume_skip"
+#: A :class:`~repro.sim.faults.FaultPlan` fault fired (test harness only).
+EV_FAULT_INJECT = "fault_inject"
+
 #: Payload field names per kind, in tuple order after ``(now, kind)``.
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     EV_LLT_BYPASS: ("vpn", "pfn"),
@@ -66,6 +85,13 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     EV_LLT_VERDICT: ("vpn", "predicted_doa", "actual_doa"),
     EV_LLC_VERDICT: ("block", "predicted_doa", "actual_doa"),
     EV_WALK: ("vpn", "latency"),
+    EV_RUN_RETRY: ("workload", "config", "seed", "attempt", "reason"),
+    EV_RUN_TIMEOUT: ("workload", "config", "seed", "attempt", "timeout_s"),
+    EV_POOL_REBUILD: ("pending",),
+    # Field names must not shadow the row-level "now"/"kind" keys.
+    EV_CACHE_CORRUPT: ("store", "path", "reason"),
+    EV_RESUME_SKIP: ("workload", "config", "seed"),
+    EV_FAULT_INJECT: ("workload", "fault", "attempt"),
 }
 
 

@@ -151,6 +151,8 @@ def run_manifest(
     # Imported here: export stays importable without the sim package.
     from repro.sim.diskcache import CACHE_SCHEMA_VERSION
 
+    from repro.obs import harness as obs_harness
+
     manifest = {
         "schema": 1,
         "workload": workload,
@@ -163,6 +165,10 @@ def run_manifest(
         "wall_time_s": telemetry.wall_time if telemetry else None,
         "peak_rss_bytes": peak_rss_bytes(),
         "python": sys.version.split()[0],
+        # Per-kind harness counters (retries, timeouts, cache corruption,
+        # resume skips) accumulated so far in this process: a non-empty
+        # value flags that this run's sweep needed fault recovery.
+        "resilience": dict(sorted(obs_harness.counters_snapshot().items())),
     }
     if result is not None:
         manifest["metrics"] = result.metrics()

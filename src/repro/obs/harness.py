@@ -1,0 +1,63 @@
+"""Process-wide trace of *harness* events: retries, timeouts, corruption.
+
+Simulated structures trace their decisions through per-run
+:class:`~repro.obs.events.EventTrace` bundles; the execution harness
+(the run-matrix supervisor in :mod:`repro.sim.parallel`, the integrity
+checks in :mod:`repro.sim.diskcache`) has no per-run bundle to write to
+— a retry or a corrupt cache entry belongs to the *sweep*, not to any
+one simulation. This module keeps one process-wide
+:class:`~repro.obs.events.EventTrace` plus a :class:`~repro.common
+.stats.Stats` counter bag for those events, so
+
+* tests can assert that a fault produced exactly the expected
+  retry/timeout/corruption events,
+* run manifests can embed the resilience counters active at export
+  time (see :func:`repro.obs.export.run_manifest`).
+
+``now`` for harness events is a monotone sequence number (wall-clock
+stamps would make recovered runs non-reproducible).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from repro.common.stats import Stats
+from repro.obs.events import EventTrace
+
+#: Harness traces are small (one event per failure, not per access).
+HARNESS_TRACE_CAPACITY = 4096
+
+_events = EventTrace(HARNESS_TRACE_CAPACITY)
+_counters = Stats()
+_seq = itertools.count(1)
+
+
+def record(kind: str, *fields) -> None:
+    """Append one harness event and bump its counter."""
+    _events.emit(next(_seq), kind, *fields)
+    _counters.add(kind)
+
+
+def harness_events() -> EventTrace:
+    """The live process-wide harness event trace."""
+    return _events
+
+
+def harness_counters() -> Stats:
+    """The live per-kind counters (retries, timeouts, corruptions...)."""
+    return _counters
+
+
+def counters_snapshot() -> Dict[str, int]:
+    """A copy of the harness counters (manifest / assertion form)."""
+    return _counters.snapshot()
+
+
+def reset_harness() -> None:
+    """Drop all recorded harness events and counters (test isolation)."""
+    global _events, _counters, _seq
+    _events = EventTrace(HARNESS_TRACE_CAPACITY)
+    _counters = Stats()
+    _seq = itertools.count(1)

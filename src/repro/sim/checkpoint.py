@@ -1,0 +1,155 @@
+"""Journaled checkpoints of run-matrix execution for crash-safe resume.
+
+A matrix sweep that dies at cell 180 of 200 — a worker crash, an OOM
+kill, a ^C — must not cost 180 re-simulations. The executor appends one
+JSON line per *completed* cell to a journal keyed by the matrix's
+content digest; ``--resume`` (or ``REPRO_RESUME=1``) replays those lines
+and only the missing cells are executed. Each line embeds the full
+``SimResult.to_dict`` payload under its own SHA-256 checksum, so
+
+* resume works even with ``--no-cache`` (the journal is self-contained),
+* a torn tail line from the crash itself is detected and dropped, never
+  half-parsed,
+* a resumed sweep re-merges deterministically: the executor rebuilds
+  its result map in declared request order, so journal replay + live
+  recompute is byte-identical to an uninterrupted run.
+
+The journal lives under ``<cache_dir>/checkpoints/<digest>.jsonl`` by
+default; an explicit directory keeps checkpointing available when the
+disk cache is off. Without resume, an existing journal for the same
+matrix is truncated (stale cells must not leak into a fresh sweep).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.sim.results import SimResult
+
+JOURNAL_VERSION = 1
+
+_default_resume: Optional[bool] = None
+
+
+def set_default_resume(resume: Optional[bool]) -> None:
+    """Pin the process-wide resume default (the CLI's ``--resume``)."""
+    global _default_resume
+    _default_resume = resume
+
+
+def resolve_resume(resume: Optional[bool] = None) -> bool:
+    """Effective resume flag: argument > set_default_resume > REPRO_RESUME."""
+    if resume is not None:
+        return resume
+    if _default_resume is not None:
+        return _default_resume
+    env = os.environ.get("REPRO_RESUME", "")
+    return env.strip().lower() in ("1", "true", "yes", "on")
+
+
+def matrix_digest(cell_keys: Sequence[str]) -> str:
+    """Content digest of a whole matrix: the sorted cell keys.
+
+    Cell keys already hash workload, config, budget, seed, and the cache
+    schema version (:func:`repro.sim.diskcache.result_key`), so any
+    change to the matrix or to simulator semantics lands in a different
+    journal. Sorting makes the digest independent of declaration order —
+    reordering experiments must still resume the same sweep.
+    """
+    joined = "\n".join(sorted(cell_keys))
+    return hashlib.sha256(
+        f"journal={JOURNAL_VERSION}\n{joined}".encode()
+    ).hexdigest()
+
+
+class MatrixJournal:
+    """Append-only journal of completed cells for one matrix digest."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._fh = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_matrix(
+        cls, cell_keys: Sequence[str], directory
+    ) -> "MatrixJournal":
+        directory = Path(directory)
+        return cls(directory / f"{matrix_digest(cell_keys)}.jsonl")
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def load(self) -> Dict[str, SimResult]:
+        """Completed cells recorded so far, keyed by cell key.
+
+        Tolerates the wreckage a crash can leave: a torn or truncated
+        tail line, a bit-flipped payload (checksum mismatch), duplicate
+        keys from a cell that completed on two attempts (last wins —
+        results are deterministic, so they are equal anyway). Corrupt
+        lines are skipped, not fatal: the cells they covered simply
+        re-execute.
+        """
+        out: Dict[str, SimResult] = {}
+        if not self.path.exists():
+            return out
+        with open(self.path, "rb") as f:
+            for raw in f:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    line = json.loads(raw.decode())
+                    payload = line["payload"]
+                    digest = hashlib.sha256(
+                        json.dumps(payload, sort_keys=True).encode()
+                    ).hexdigest()
+                    if digest != line["sha256"]:
+                        continue
+                    out[line["key"]] = SimResult.from_dict(payload)
+                except (ValueError, KeyError, TypeError):
+                    continue
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def start(self, fresh: bool) -> None:
+        """Open the journal for appending; ``fresh`` truncates first."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "wb" if fresh else "ab")
+
+    def record(self, key: str, result: SimResult) -> None:
+        """Append one completed cell, flushed and fsynced: after this
+        returns, a crash cannot lose the cell."""
+        if self._fh is None:
+            self.start(fresh=False)
+        payload = result.to_dict()
+        line = {
+            "v": JOURNAL_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(
+                json.dumps(payload, sort_keys=True).encode()
+            ).hexdigest(),
+            "payload": payload,
+        }
+        self._fh.write(json.dumps(line, sort_keys=True).encode() + b"\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "MatrixJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -6,11 +6,11 @@ fresh ``python -m repro.experiments`` invocation re-simulates the same
 LRU baseline for every figure. This module content-addresses
 
 * :class:`~repro.sim.results.SimResult` by
-  ``(config, workload, budget, seed, schema version)`` — stored as JSON
-  via ``SimResult.to_dict``;
+  ``(config, workload, budget, seed, schema version)`` — stored as a
+  checksummed JSON envelope around ``SimResult.to_dict``;
 * :class:`~repro.workloads.trace.Trace` by
   ``(workload, budget, seed, schema version)`` — stored as ``.npz`` via
-  the existing ``Trace.save``/``Trace.load``;
+  the existing ``Trace.save``/``Trace.load`` plus a ``.sha256`` sidecar;
 
 under a cache directory (default ``.repro_cache/``, override with the
 ``REPRO_CACHE_DIR`` environment variable), so repeated invocations skip
@@ -23,6 +23,14 @@ everywhere). Keys are content hashes of the full frozen
 :class:`~repro.sim.config.SystemConfig` repr, so any config field change
 misses cleanly. :data:`CACHE_SCHEMA_VERSION` must be bumped whenever
 simulator semantics change, invalidating all prior entries.
+
+Integrity (schema 2): every entry carries a SHA-256 content checksum —
+inside the JSON envelope for results, in a sidecar file for traces.
+Loads verify the checksum; a truncated, bit-flipped, or torn entry is
+*quarantined* (moved under ``quarantine/`` for post-mortem), surfaced as
+an :data:`~repro.obs.events.EV_CACHE_CORRUPT` harness event, and
+reported as a miss so the caller recomputes. A corrupt entry can cost a
+re-simulation but can never replay a stale or mangled result.
 """
 
 from __future__ import annotations
@@ -34,13 +42,20 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro.obs import harness as obs_harness
+from repro.obs.events import EV_CACHE_CORRUPT
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
 from repro.workloads.trace import Trace
 
 #: Bump on any change to simulator semantics or the on-disk layout; old
 #: entries become unreachable (different key) rather than wrong.
-CACHE_SCHEMA_VERSION = 1
+#: 2: checksummed result envelopes + trace sidecars (fault-tolerant
+#: executor); see :func:`migrate` for reclaiming schema-1 files.
+CACHE_SCHEMA_VERSION = 2
+
+#: Magic marker identifying a schema-2 result envelope.
+RESULT_MAGIC = "repro-result"
 
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -114,6 +129,10 @@ def _trace_path(key: str) -> Path:
     return cache_dir() / "traces" / f"{key}.npz"
 
 
+def _trace_sidecar(path: Path) -> Path:
+    return path.with_suffix(".npz.sha256")
+
+
 def _write_atomic(path: Path, write_fn) -> None:
     """Write via a temp file + rename so concurrent workers never observe
     a partially written entry (renames are atomic within a directory)."""
@@ -130,22 +149,72 @@ def _write_atomic(path: Path, write_fn) -> None:
 
 
 # ---------------------------------------------------------------------- #
+# Corruption handling
+# ---------------------------------------------------------------------- #
+def quarantine_dir() -> Path:
+    return cache_dir() / "quarantine"
+
+
+def _quarantine(path: Path, kind: str, reason: str) -> None:
+    """Move a failed entry aside (never delete: post-mortem material) and
+    surface the corruption as a harness event."""
+    target = quarantine_dir() / path.name
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, target)
+    except OSError:
+        # Racing workers may quarantine the same entry; losing the race
+        # (or an unwritable cache) must not mask the corruption report.
+        pass
+    obs_harness.record(EV_CACHE_CORRUPT, kind, str(path), reason)
+
+
+# ---------------------------------------------------------------------- #
 # SimResult store
 # ---------------------------------------------------------------------- #
+def _result_payload_bytes(data: dict) -> bytes:
+    """Canonical serialised form of a result payload (what is hashed)."""
+    return json.dumps(data, sort_keys=True).encode()
+
+
 def load_result(
     workload: str, config: SystemConfig, budget: int, seed: int
 ) -> Optional[SimResult]:
-    """Fetch a cached result, or None on miss / disabled cache."""
+    """Fetch a cached result, or None on miss / disabled cache.
+
+    Entries failing any integrity check — unparseable, missing envelope
+    fields, schema mismatch, checksum mismatch — are quarantined and
+    reported as a miss so the caller recomputes.
+    """
     if not _enabled:
         return None
     path = _result_path(result_key(workload, config, budget, seed))
     if not path.exists():
         return None
     try:
-        with open(path) as f:
-            return SimResult.from_dict(json.load(f))
-    except (ValueError, OSError, TypeError):
-        # A corrupt or stale entry is a miss, not an error.
+        with open(path, "rb") as f:
+            envelope = json.loads(f.read().decode())
+    except (ValueError, OSError):
+        _quarantine(path, "result", "unparseable envelope")
+        return None
+    if not isinstance(envelope, dict) or envelope.get("magic") != RESULT_MAGIC:
+        _quarantine(path, "result", "missing envelope magic")
+        return None
+    if envelope.get("schema") != CACHE_SCHEMA_VERSION:
+        _quarantine(
+            path, "result", f"schema {envelope.get('schema')!r} != "
+            f"{CACHE_SCHEMA_VERSION}"
+        )
+        return None
+    payload = envelope.get("payload")
+    digest = hashlib.sha256(_result_payload_bytes(payload)).hexdigest()
+    if digest != envelope.get("sha256"):
+        _quarantine(path, "result", "payload checksum mismatch")
+        return None
+    try:
+        return SimResult.from_dict(payload)
+    except (ValueError, TypeError):
+        _quarantine(path, "result", "payload does not decode to SimResult")
         return None
 
 
@@ -153,66 +222,216 @@ def store_result(
     workload: str, config: SystemConfig, budget: int, seed: int,
     result: SimResult,
 ) -> None:
-    """Persist a result (no-op when the cache is disabled)."""
+    """Persist a result inside a checksummed envelope (no-op when the
+    cache is disabled)."""
     if not _enabled:
         return
     path = _result_path(result_key(workload, config, budget, seed))
-    payload = json.dumps(result.to_dict(), sort_keys=True).encode()
+    data = result.to_dict()
+    envelope = {
+        "magic": RESULT_MAGIC,
+        "schema": CACHE_SCHEMA_VERSION,
+        "sha256": hashlib.sha256(_result_payload_bytes(data)).hexdigest(),
+        "payload": data,
+    }
+    payload = json.dumps(envelope, sort_keys=True).encode()
     _write_atomic(path, lambda f: f.write(payload))
+
+
+def tear_result_entry(
+    workload: str, config: SystemConfig, budget: int, seed: int
+) -> Optional[Path]:
+    """Truncate a stored result mid-payload (fault injection only).
+
+    Simulates the torn write a crash can leave behind *despite* the
+    atomic-rename discipline (e.g. a power loss after rename but before
+    the data blocks hit disk). Returns the damaged path, or None when
+    there is nothing to damage.
+    """
+    if not _enabled:
+        return None
+    path = _result_path(result_key(workload, config, budget, seed))
+    if not path.exists():
+        return None
+    size = path.stat().st_size
+    with open(path, "r+b") as f:
+        f.truncate(max(1, size // 2))
+    return path
 
 
 # ---------------------------------------------------------------------- #
 # Trace store
 # ---------------------------------------------------------------------- #
 def load_trace(workload: str, budget: int, seed: int) -> Optional[Trace]:
-    """Fetch a cached trace, or None on miss / disabled cache."""
+    """Fetch a cached trace, or None on miss / disabled cache.
+
+    The ``.npz`` bytes must match the ``.sha256`` sidecar written with
+    them; a missing sidecar or a mismatch quarantines the pair.
+    """
     if not _enabled:
         return None
     path = _trace_path(trace_key(workload, budget, seed))
     if not path.exists():
         return None
+    sidecar = _trace_sidecar(path)
+    try:
+        expected = sidecar.read_text().strip()
+    except OSError:
+        _quarantine(path, "trace", "missing checksum sidecar")
+        return None
+    actual = hashlib.sha256(path.read_bytes()).hexdigest()
+    if actual != expected:
+        _quarantine(path, "trace", "npz checksum mismatch")
+        try:
+            sidecar.unlink()
+        except OSError:
+            pass
+        return None
     try:
         return Trace.load(path)
     except (ValueError, OSError, KeyError):
+        _quarantine(path, "trace", "npz does not decode to Trace")
         return None
 
 
 def store_trace(workload: str, budget: int, seed: int, trace: Trace) -> None:
-    """Persist a trace as .npz (no-op when the cache is disabled)."""
+    """Persist a trace as .npz + checksum sidecar (no-op when disabled).
+
+    The sidecar is written *after* the npz: a crash between the two
+    leaves an npz without sidecar, which loads treat as corrupt — never
+    an unverifiable entry."""
     if not _enabled:
         return
     path = _trace_path(trace_key(workload, budget, seed))
     _write_atomic(path, trace.save)
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    _write_atomic(_trace_sidecar(path), lambda f: f.write(digest.encode()))
 
 
 # ---------------------------------------------------------------------- #
 # Maintenance
 # ---------------------------------------------------------------------- #
 def purge() -> int:
-    """Delete every cache entry; returns the number of files removed."""
+    """Delete every cache entry (results, traces, sidecars, checkpoints,
+    quarantined files); returns the number of files removed."""
     removed = 0
     base = cache_dir()
-    for sub in ("results", "traces"):
+    for sub in ("results", "traces", "checkpoints", "quarantine"):
         d = base / sub
         if not d.is_dir():
             continue
         for path in d.iterdir():
-            if path.suffix in (".json", ".npz"):
+            if path.suffix in (".json", ".npz", ".sha256", ".jsonl"):
                 path.unlink()
                 removed += 1
     return removed
+
+
+def verify() -> dict:
+    """Integrity-scan every entry in the active cache directory.
+
+    Loads each result envelope and trace checksum without touching the
+    in-process caches; corrupt entries are quarantined exactly as a
+    normal load would. Returns counts: ``{"results_ok", "results_bad",
+    "traces_ok", "traces_bad"}``.
+    """
+    base = cache_dir()
+    report = {"results_ok": 0, "results_bad": 0,
+              "traces_ok": 0, "traces_bad": 0}
+    results = base / "results"
+    if results.is_dir():
+        for path in sorted(results.glob("*.json")):
+            ok = False
+            try:
+                envelope = json.loads(path.read_bytes().decode())
+                payload = envelope.get("payload")
+                ok = (
+                    isinstance(envelope, dict)
+                    and envelope.get("magic") == RESULT_MAGIC
+                    and envelope.get("schema") == CACHE_SCHEMA_VERSION
+                    and hashlib.sha256(
+                        _result_payload_bytes(payload)
+                    ).hexdigest() == envelope.get("sha256")
+                )
+            except (ValueError, OSError):
+                ok = False
+            if ok:
+                report["results_ok"] += 1
+            else:
+                _quarantine(path, "result", "verify scan failure")
+                report["results_bad"] += 1
+    traces = base / "traces"
+    if traces.is_dir():
+        for path in sorted(traces.glob("*.npz")):
+            sidecar = _trace_sidecar(path)
+            ok = False
+            try:
+                ok = (
+                    hashlib.sha256(path.read_bytes()).hexdigest()
+                    == sidecar.read_text().strip()
+                )
+            except OSError:
+                ok = False
+            if ok:
+                report["traces_ok"] += 1
+            else:
+                _quarantine(path, "trace", "verify scan failure")
+                report["traces_bad"] += 1
+    return report
+
+
+def migrate() -> dict:
+    """Reclaim space held by pre-schema-2 entries.
+
+    Schema-1 files are keyed under schema-1 hashes, so after the bump
+    they are unreachable (never *wrong* — just dead weight), and their
+    raw-JSON layout carries no checksum to re-verify. They cannot be
+    re-keyed in place (the key hashes the full config repr, which the
+    stored payload does not contain), so migration means deletion: any
+    ``results/*.json`` without a valid schema-2 envelope and any
+    ``traces/*.npz`` without a sidecar is removed. Returns
+    ``{"removed_results", "removed_traces"}``.
+    """
+    base = cache_dir()
+    report = {"removed_results": 0, "removed_traces": 0}
+    results = base / "results"
+    if results.is_dir():
+        for path in sorted(results.glob("*.json")):
+            legacy = True
+            try:
+                envelope = json.loads(path.read_bytes().decode())
+                legacy = not (
+                    isinstance(envelope, dict)
+                    and envelope.get("magic") == RESULT_MAGIC
+                    and envelope.get("schema") == CACHE_SCHEMA_VERSION
+                )
+            except (ValueError, OSError):
+                legacy = True
+            if legacy:
+                path.unlink()
+                report["removed_results"] += 1
+    traces = base / "traces"
+    if traces.is_dir():
+        for path in sorted(traces.glob("*.npz")):
+            if not _trace_sidecar(path).exists():
+                path.unlink()
+                report["removed_traces"] += 1
+    return report
 
 
 def stats() -> dict:
     """Entry counts and on-disk footprint of the active cache directory."""
     base = cache_dir()
     out = {"dir": str(base), "results": 0, "traces": 0, "bytes": 0}
+    entry_suffix = {"results": ".json", "traces": ".npz"}
     for sub in ("results", "traces"):
         d = base / sub
         if not d.is_dir():
             continue
         for path in d.iterdir():
             if path.is_file():
-                out[sub] += 1
+                # Sidecars contribute bytes but are not entries.
+                if path.suffix == entry_suffix[sub]:
+                    out[sub] += 1
                 out["bytes"] += path.stat().st_size
     return out

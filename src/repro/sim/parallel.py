@@ -1,11 +1,17 @@
-"""Parallel fan-out of simulation run matrices over a process pool.
+"""Parallel, fault-tolerant fan-out of simulation run matrices.
 
 Every experiment reduces to a matrix of independent (workload, config,
 budget, seed) simulations. :func:`run_matrix` executes such a matrix over
-a :class:`~concurrent.futures.ProcessPoolExecutor` and merges the results
-back into the process-wide run cache (and the persistent disk cache, when
-enabled), so downstream report code — which reads through
-:func:`repro.sim.runner.run_cached` — is unchanged.
+a :class:`~concurrent.futures.ProcessPoolExecutor` under a *supervisor*:
+each cell is submitted individually, retried with exponential backoff
+when its worker fails (:class:`RetryPolicy`), bounded by a per-run
+wall-clock timeout, and journaled to a resume checkpoint as it
+completes (:mod:`repro.sim.checkpoint`), so a crashed or interrupted
+sweep restarts where it stopped — and, because results are merged back
+in declared request order, a resumed or retried sweep is byte-identical
+to an uninterrupted one. Failures are surfaced as
+:mod:`repro.obs.harness` events (``run_retry``, ``run_timeout``,
+``pool_rebuild``, ``resume_skip``).
 
 Job count resolution, in priority order:
 
@@ -14,21 +20,46 @@ Job count resolution, in priority order:
 3. the ``REPRO_JOBS`` environment variable,
 4. serial in-process execution (``1``).
 
+Retry policy resolves the same way (argument, :func:`set_default_retry`
+for the CLI's ``--retries``/``--run-timeout``/``--backoff`` flags, then
+the ``REPRO_RETRIES`` / ``REPRO_RUN_TIMEOUT`` / ``REPRO_BACKOFF``
+environment variables); resume via argument, :func:`repro.sim.checkpoint
+.set_default_resume` (``--resume``), or ``REPRO_RESUME``.
+
 Workers are plain processes running :func:`repro.sim.runner.run_cached`,
 so a worker that lands on a disk-cached entry skips simulation exactly
 like the parent would; determinism is inherited from the simulator
-(results are bit-identical across ``jobs=1`` and ``jobs=N``).
+(results are bit-identical across ``jobs=1`` and ``jobs=N``, and across
+clean, retried, and resumed executions).
+
+Deterministic fault injection for tests goes through ``faults=`` — a
+:class:`repro.sim.faults.FaultPlan` killing, hanging, or corrupting
+chosen cells; see ``tests/test_sim_faults.py``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+import repro.obs.harness as obs_harness
 import repro.obs.telemetry as obs_telemetry
 import repro.sim.diskcache as diskcache
+import repro.sim.faults as faults_mod
+from repro.obs.events import (
+    EV_FAULT_INJECT,
+    EV_POOL_REBUILD,
+    EV_RESUME_SKIP,
+    EV_RUN_RETRY,
+    EV_RUN_TIMEOUT,
+)
+from repro.sim.checkpoint import MatrixJournal, resolve_resume
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
 from repro.sim.runner import (
@@ -40,6 +71,11 @@ from repro.sim.runner import (
 from repro.workloads.suite import DEFAULT_BUDGET
 
 _default_jobs: Optional[int] = None
+_default_retry: Optional["RetryPolicy"] = None
+
+#: True inside pool worker processes (set by the pool initializer); lets
+#: injected kills hard-exit only where a supervisor is watching.
+_in_pool_worker = False
 
 
 @dataclass(frozen=True)
@@ -50,6 +86,55 @@ class RunRequest:
     config: SystemConfig
     budget: int = DEFAULT_BUDGET
     seed: int = DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor treats a failing matrix cell.
+
+    A cell is attempted up to ``max_attempts`` times; between attempts
+    the supervisor sleeps ``backoff * backoff_factor**(attempt - 1)``
+    seconds. ``timeout`` bounds one attempt's wall clock (pool mode
+    only — a serial in-process run cannot be preempted); on expiry the
+    hung worker pool is killed and rebuilt, and unaffected in-flight
+    cells are resubmitted without losing an attempt.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.25
+    backoff_factor: float = 2.0
+    timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be >= 0 with factor >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-running a cell that failed ``attempt``."""
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+class MatrixError(RuntimeError):
+    """A matrix cell exhausted its retry budget.
+
+    Completed cells up to the failure are journaled (and disk-cached),
+    so rerunning with ``--resume`` only re-executes unfinished work.
+    """
+
+    def __init__(self, request: RunRequest, attempts: int, reason: str):
+        self.request = request
+        self.attempts = attempts
+        self.reason = reason
+        super().__init__(
+            f"matrix cell {_label(request)} failed after {attempts} "
+            f"attempt(s): {reason}"
+        )
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -69,14 +154,62 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env}")
     return 1
 
 
+def set_default_retry(retry: Optional[RetryPolicy]) -> None:
+    """Pin the process-wide retry policy (the CLI's resilience flags)."""
+    global _default_retry
+    _default_retry = retry
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}")
+
+
+def resolve_retry(retry: Optional[RetryPolicy] = None) -> RetryPolicy:
+    """Effective retry policy: argument > set_default_retry > env > default.
+
+    Environment knobs: ``REPRO_RETRIES`` (max attempts),
+    ``REPRO_RUN_TIMEOUT`` (seconds per attempt), ``REPRO_BACKOFF``
+    (base seconds between attempts).
+    """
+    if retry is not None:
+        return retry
+    if _default_retry is not None:
+        return _default_retry
+    kwargs = {}
+    env = os.environ.get("REPRO_RETRIES")
+    if env:
+        try:
+            kwargs["max_attempts"] = max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_RETRIES must be an integer, got {env!r}")
+    timeout = _env_float("REPRO_RUN_TIMEOUT")
+    if timeout is not None:
+        kwargs["timeout"] = timeout
+    backoff = _env_float("REPRO_BACKOFF")
+    if backoff is not None:
+        kwargs["backoff"] = backoff
+    return RetryPolicy(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# Worker side
+# ---------------------------------------------------------------------- #
 def _worker_init(cache_directory: Optional[str], obs_state=None) -> None:
     """Propagate the parent's disk-cache and auto-telemetry settings into
     pool workers (the fork start method would inherit them, but spawn
-    would not)."""
+    would not), and mark the process as a supervised worker."""
+    global _in_pool_worker
+    _in_pool_worker = True
     if cache_directory is not None:
         diskcache.enable(cache_directory)
     else:
@@ -84,56 +217,344 @@ def _worker_init(cache_directory: Optional[str], obs_state=None) -> None:
     obs_telemetry.set_auto_state(obs_state)
 
 
-def _worker_run(request: RunRequest) -> SimResult:
-    return run_cached(
-        request.workload, request.config, request.budget, request.seed
+def _execute_cell(request, attempt, faults, telemetry_spec, in_pool):
+    """Run one matrix cell (one retry attempt), faults applied.
+
+    Returns ``(result, telemetry_payload_or_None)``.
+    """
+    spec = None
+    if faults:
+        spec = faults.spec_for(
+            request.workload, request.config.name, request.seed, attempt
+        )
+        faults_mod.apply_pre_run(spec, in_pool)
+    if telemetry_spec is None:
+        result = run_cached(
+            request.workload, request.config, request.budget, request.seed
+        )
+        payload = None
+    else:
+        telemetry = telemetry_spec.build()
+        result = run_cached(
+            request.workload,
+            request.config,
+            request.budget,
+            request.seed,
+            telemetry=telemetry,
+        )
+        payload = telemetry.to_payload()
+    if spec is not None:
+        faults_mod.apply_post_store(spec, request)
+    return result, payload
+
+
+def _worker_cell(args) -> tuple:
+    request, attempt, faults, telemetry_spec = args
+    return _execute_cell(
+        request, attempt, faults, telemetry_spec, _in_pool_worker
     )
 
 
-def _worker_run_observed(args) -> tuple:
-    """Simulate one request with a telemetry bundle built from the spec;
-    the payload travels back to the parent as a JSON-safe dict."""
-    request, spec = args
-    telemetry = spec.build()
-    result = run_cached(
-        request.workload,
-        request.config,
-        request.budget,
-        request.seed,
-        telemetry=telemetry,
-    )
-    return result, telemetry.to_payload()
+# ---------------------------------------------------------------------- #
+# Supervisor
+# ---------------------------------------------------------------------- #
+class _Supervisor:
+    """Drives pending cells to completion under a retry policy."""
+
+    def __init__(
+        self,
+        retry: RetryPolicy,
+        faults,
+        telemetry_spec,
+        on_complete: Callable[[RunRequest, tuple], None],
+    ):
+        self.retry = retry
+        self.faults = faults
+        self.telemetry_spec = telemetry_spec
+        self.on_complete = on_complete
+        self.attempts: Dict[RunRequest, int] = {}
+
+    # -- shared bookkeeping -------------------------------------------- #
+    def _next_attempt(self, request: RunRequest) -> int:
+        attempt = self.attempts.get(request, 0) + 1
+        self.attempts[request] = attempt
+        if self.faults:
+            spec = self.faults.spec_for(
+                request.workload, request.config.name, request.seed, attempt
+            )
+            if spec is not None:
+                obs_harness.record(
+                    EV_FAULT_INJECT, request.workload, spec.kind, attempt
+                )
+        return attempt
+
+    def _failed(self, request: RunRequest, reason: str) -> None:
+        """Account one failed attempt; raises when the budget is gone."""
+        attempt = self.attempts[request]
+        if attempt >= self.retry.max_attempts:
+            raise MatrixError(request, attempt, reason)
+        obs_harness.record(
+            EV_RUN_RETRY,
+            request.workload,
+            request.config.name,
+            request.seed,
+            attempt,
+            reason,
+        )
+        delay = self.retry.delay(attempt)
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- serial execution ---------------------------------------------- #
+    def run_serial(self, pending: Sequence[RunRequest]) -> None:
+        for request in pending:
+            while True:
+                attempt = self._next_attempt(request)
+                try:
+                    outcome = _execute_cell(
+                        request, attempt, self.faults, self.telemetry_spec,
+                        in_pool=False,
+                    )
+                except Exception as exc:
+                    self._failed(request, f"{type(exc).__name__}: {exc}")
+                    continue
+                self.on_complete(request, outcome)
+                break
+
+    # -- pool execution ------------------------------------------------ #
+    def run_pool(self, pending: Sequence[RunRequest], jobs: int) -> None:
+        max_workers = min(jobs, len(pending))
+        cache_directory = (
+            str(diskcache.cache_dir()) if diskcache.is_enabled() else None
+        )
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_worker_init,
+                initargs=(cache_directory, obs_telemetry.auto_state()),
+            )
+
+        queue = deque(pending)
+        inflight: Dict = {}  # future -> (request, deadline or None)
+        pool = make_pool()
+        try:
+            while queue or inflight:
+                # Sliding window: at most max_workers outstanding, so a
+                # submitted cell starts (nearly) immediately and its
+                # deadline measures run time, not queueing time.
+                while queue and len(inflight) < max_workers:
+                    request = queue.popleft()
+                    attempt = self._next_attempt(request)
+                    deadline = (
+                        time.monotonic() + self.retry.timeout
+                        if self.retry.timeout is not None
+                        else None
+                    )
+                    future = pool.submit(
+                        _worker_cell,
+                        (request, attempt, self.faults, self.telemetry_spec),
+                    )
+                    inflight[future] = (request, deadline)
+
+                wait_for = None
+                if self.retry.timeout is not None:
+                    soonest = min(d for _, d in inflight.values())
+                    wait_for = max(0.0, soonest - time.monotonic())
+                done, _ = _futures_wait(
+                    set(inflight), timeout=wait_for,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                broken = False
+                for future in done:
+                    request, _deadline = inflight.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        # Put it back; the rebuild path below accounts
+                        # for every in-flight cell uniformly.
+                        inflight[future] = (request, _deadline)
+                        break
+                    except Exception as exc:
+                        self._failed(
+                            request, f"{type(exc).__name__}: {exc}"
+                        )
+                        queue.append(request)
+                    else:
+                        self.on_complete(request, outcome)
+
+                if broken:
+                    # A worker died hard (os._exit, OOM kill, segfault):
+                    # the pool is unusable and every in-flight future
+                    # fails. The culprit is indistinguishable from the
+                    # victims, so each in-flight cell is charged one
+                    # attempt (bounded collateral; retries are cheap
+                    # against the disk cache).
+                    obs_harness.record(EV_POOL_REBUILD, len(inflight))
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    requests = [req for req, _ in inflight.values()]
+                    inflight.clear()
+                    pool = make_pool()
+                    for request in requests:
+                        self._failed(request, "worker process died")
+                        queue.append(request)
+                    continue
+
+                # Per-run deadline sweep.
+                if self.retry.timeout is not None:
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, (req, deadline) in inflight.items()
+                        if deadline is not None
+                        and deadline <= now
+                        and not future.done()
+                    ]
+                    if expired:
+                        pool = self._handle_timeouts(
+                            pool, make_pool, inflight, expired, queue
+                        )
+        finally:
+            self._kill_pool(pool)
+
+    def _handle_timeouts(
+        self, pool, make_pool, inflight, expired, queue
+    ) -> ProcessPoolExecutor:
+        """A worker exceeded its per-run wall clock. Hung processes can
+        only be stopped by killing them, which takes the pool down: the
+        timed-out cells are charged an attempt, innocent in-flight cells
+        are resubmitted with their attempt refunded."""
+        for future in expired:
+            request, _ = inflight[future]
+            obs_harness.record(
+                EV_RUN_TIMEOUT,
+                request.workload,
+                request.config.name,
+                request.seed,
+                self.attempts[request],
+                self.retry.timeout,
+            )
+        obs_harness.record(EV_POOL_REBUILD, len(inflight))
+        self._kill_pool(pool)
+        expired_set = set(expired)
+        timed_out: List[RunRequest] = []
+        for future, (request, _) in list(inflight.items()):
+            if future in expired_set:
+                timed_out.append(request)
+            elif future.done() and future.exception() is None:
+                # Completed between the wait and the kill — keep it.
+                self.on_complete(request, future.result())
+            else:
+                # Innocent casualty of the pool kill: refund the attempt
+                # ( _next_attempt re-charges it on resubmission).
+                self.attempts[request] -= 1
+                queue.append(request)
+        inflight.clear()
+        for request in timed_out:
+            self._failed(
+                request,
+                f"timed out after {self.retry.timeout:.3g}s",
+            )
+            queue.append(request)
+        return make_pool()
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Shut a pool down without waiting on possibly-hung workers."""
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.kill()
+            except (OSError, ValueError, AttributeError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
+# ---------------------------------------------------------------------- #
+# Matrix execution
+# ---------------------------------------------------------------------- #
 def run_matrix(
     requests: Sequence[RunRequest],
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     telemetry_spec=None,
     telemetry_out: Optional[Dict[RunRequest, dict]] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults=None,
+    resume: Optional[bool] = None,
+    checkpoint_dir=None,
 ) -> Dict[RunRequest, SimResult]:
     """Execute a declared run matrix, parallelising cache misses.
 
     Duplicate requests are coalesced; requests already satisfied by the
-    in-process or disk cache never reach the pool. Results are merged
-    into the run cache so later ``run_cached`` calls hit in-process.
+    resume journal, the in-process cache, or the disk cache never reach
+    the pool. Results are merged into the run cache so later
+    ``run_cached`` calls hit in-process, and the returned mapping is
+    rebuilt in declared request order, so its serialised form is
+    byte-stable regardless of completion order, retries, or resume.
 
     ``telemetry_spec`` — optional :class:`repro.obs.TelemetrySpec`; every
     request is then simulated live (cached aggregates carry no dynamics)
     with its own bundle, and the JSON-safe payloads are merged into
-    ``telemetry_out`` keyed by request. The merge is deterministic: pool
-    results are consumed in request order regardless of completion
-    order, and the payloads themselves are worker-order independent
-    (each worker observes only its own runs).
+    ``telemetry_out`` keyed by request. Journal/resume skipping is
+    disabled for such sweeps — a skipped cell would carry no dynamics.
+
+    ``retry`` / ``faults`` / ``resume`` / ``checkpoint_dir`` — the
+    resilience controls (see the module docstring). Checkpointing is on
+    whenever the disk cache is enabled (journals live under
+    ``<cache_dir>/checkpoints/``) or an explicit ``checkpoint_dir`` is
+    given. A cell that exhausts ``retry.max_attempts`` raises
+    :class:`MatrixError`; completed cells stay journaled, so rerunning
+    with ``resume=True`` (CLI ``--resume``, env ``REPRO_RESUME=1``)
+    skips them.
     """
     unique: List[RunRequest] = list(dict.fromkeys(requests))
+    retry = resolve_retry(retry)
     results: Dict[RunRequest, SimResult] = {}
     pending: List[RunRequest] = []
+
+    journal: Optional[MatrixJournal] = None
+    keys: Dict[RunRequest, str] = {}
+    journaled: Dict[str, SimResult] = {}
+    if unique and telemetry_spec is None and (
+        checkpoint_dir is not None or diskcache.is_enabled()
+    ):
+        directory = (
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else diskcache.cache_dir() / "checkpoints"
+        )
+        keys = {
+            req: diskcache.result_key(
+                req.workload, req.config, req.budget, req.seed
+            )
+            for req in unique
+        }
+        journal = MatrixJournal.for_matrix(list(keys.values()), directory)
+        resuming = resolve_resume(resume)
+        if resuming:
+            journaled = journal.load()
+        journal.start(fresh=not resuming)
+
     if telemetry_spec is not None:
         telemetry_spec.validate()
         pending = unique
     else:
         for req in unique:
+            key = keys.get(req)
+            if key is not None and key in journaled:
+                hit = journaled[key]
+                prime_run_cache(
+                    req.workload, req.config, req.budget, req.seed, hit,
+                    persist=False,
+                )
+                obs_harness.record(
+                    EV_RESUME_SKIP, req.workload, req.config.name, req.seed
+                )
+                results[req] = hit
+                continue
             hit = cached_result(
                 req.workload, req.config, req.budget, req.seed
             )
@@ -143,57 +564,35 @@ def run_matrix(
                     persist=False,
                 )
                 results[req] = hit
+                if journal is not None:
+                    journal.record(key, hit)
             else:
                 pending.append(req)
 
-    jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(pending) <= 1:
-        for req in pending:
-            if progress is not None:
-                progress(_label(req))
-            if telemetry_spec is None:
-                results[req] = run_cached(
-                    req.workload, req.config, req.budget, req.seed
-                )
-            else:
-                telemetry = telemetry_spec.build()
-                results[req] = run_cached(
-                    req.workload, req.config, req.budget, req.seed,
-                    telemetry=telemetry,
-                )
-                if telemetry_out is not None:
-                    telemetry_out[req] = telemetry.to_payload()
-        return results
+    def on_complete(req: RunRequest, outcome: tuple) -> None:
+        result, payload = outcome
+        if payload is not None and telemetry_out is not None:
+            telemetry_out[req] = payload
+        if progress is not None:
+            progress(_label(req))
+        prime_run_cache(
+            req.workload, req.config, req.budget, req.seed, result
+        )
+        if journal is not None:
+            journal.record(keys[req], result)
+        results[req] = result
 
-    cache_directory = (
-        str(diskcache.cache_dir()) if diskcache.is_enabled() else None
-    )
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(pending)),
-        initializer=_worker_init,
-        initargs=(cache_directory, obs_telemetry.auto_state()),
-    ) as pool:
-        if telemetry_spec is None:
-            outcomes = pool.map(_worker_run, pending)
+    supervisor = _Supervisor(retry, faults, telemetry_spec, on_complete)
+    jobs = resolve_jobs(jobs)
+    try:
+        if jobs <= 1 or len(pending) <= 1:
+            supervisor.run_serial(pending)
         else:
-            outcomes = pool.map(
-                _worker_run_observed,
-                [(req, telemetry_spec) for req in pending],
-            )
-        for req, outcome in zip(pending, outcomes):
-            if telemetry_spec is None:
-                result = outcome
-            else:
-                result, payload = outcome
-                if telemetry_out is not None:
-                    telemetry_out[req] = payload
-            if progress is not None:
-                progress(_label(req))
-            prime_run_cache(
-                req.workload, req.config, req.budget, req.seed, result
-            )
-            results[req] = result
-    return results
+            supervisor.run_pool(pending, jobs)
+    finally:
+        if journal is not None:
+            journal.close()
+    return {req: results[req] for req in unique}
 
 
 def _label(request: RunRequest) -> str:
@@ -246,6 +645,9 @@ class MatrixPlan:
         progress: Optional[Callable[[str], None]] = None,
         telemetry_spec=None,
         telemetry_out: Optional[Dict[RunRequest, dict]] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults=None,
+        resume: Optional[bool] = None,
     ) -> Dict[RunRequest, SimResult]:
         return run_matrix(
             self.requests,
@@ -253,4 +655,7 @@ class MatrixPlan:
             progress=progress,
             telemetry_spec=telemetry_spec,
             telemetry_out=telemetry_out,
+            retry=retry,
+            faults=faults,
+            resume=resume,
         )

@@ -50,15 +50,24 @@ class ReferenceStructure:
     # ------------------------------------------------------------------ #
     # Access stream
     # ------------------------------------------------------------------ #
-    def access(self, key: int, now: int) -> None:
-        """One reference of ``key`` (every real lookup feeds this)."""
+    def access(self, key: int, now: int) -> bool:
+        """One reference of ``key`` (every real lookup feeds this).
+
+        Returns True on hit, False on miss (the reference fills on miss).
+        The per-access decision stream and the ``hits``/``misses``
+        counters make the reference usable as a differential oracle for
+        the real never-bypassing structures (``tests/
+        test_diff_reference.py``).
+        """
         self._clock += 1
         entries = self._sets[key & self._set_mask]
         entry = entries.get(key)
         if entry is not None:
             entry.accessed = True
             entry.stamp = self._clock
-            return
+            self.stats.add("hits")
+            return True
+        self.stats.add("misses")
         if len(entries) >= self.assoc:
             victim = min(entries.values(), key=lambda e: e.stamp)
             del entries[victim.key]
@@ -71,6 +80,7 @@ class ReferenceStructure:
         pending = self._pending.pop(key, 0)
         if pending:
             entry.pending_doa_predictions += pending
+        return False
 
     def record_prediction(self, key: int, predicted_doa: bool) -> None:
         """Attach a real fill-time prediction to the current residency."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Optional
 
 from repro.common.residency import ResidencySummary
@@ -116,7 +116,9 @@ class SimResult:
                 return a
             total = self.instructions + other.instructions
             if not total:
-                return 0.0
+                # Two empty intervals carry no weights; fall back to the
+                # unweighted mean rather than inventing a 0.0 ratio.
+                return (a + b) / 2
             return (
                 a * self.instructions + b * other.instructions
             ) / total
@@ -125,7 +127,10 @@ class SimResult:
         for side in ("llt_residency", "llc_residency"):
             mine, theirs = getattr(self, side), getattr(other, side)
             if mine is None or theirs is None:
-                residency[side] = mine if theirs is None else theirs
+                # Copy the surviving summary: the merged result must not
+                # alias (and later mutate) either input's residency.
+                kept = mine if theirs is None else theirs
+                residency[side] = replace(kept) if kept is not None else None
             else:
                 residency[side] = ResidencySummary(**{
                     f.name: getattr(mine, f.name) + getattr(theirs, f.name)

@@ -187,6 +187,16 @@ def prime_run_cache(
         diskcache.store_result(workload, config, budget, seed, result)
 
 
+def forget_run(
+    workload: str, config: SystemConfig, budget: int, seed: int
+) -> None:
+    """Evict one run from the in-process memo (not from disk).
+
+    Fault injection uses this so a retried cell re-reads the disk entry
+    it just damaged instead of replaying the in-memory copy."""
+    _run_cache.pop((workload, budget, seed, config), None)
+
+
 def clear_run_cache() -> None:
     _run_cache.clear()
 

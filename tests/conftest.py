@@ -29,3 +29,20 @@ def _no_ambient_jobs(monkeypatch):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     monkeypatch.setattr(parallel, "_default_jobs", None)
     yield
+
+
+@pytest.fixture(autouse=True)
+def _isolated_resilience(monkeypatch):
+    """Reset retry/resume defaults and the harness event trace per test."""
+    import repro.obs.harness as obs_harness
+    import repro.sim.checkpoint as checkpoint
+    import repro.sim.parallel as parallel
+
+    for var in ("REPRO_RETRIES", "REPRO_RUN_TIMEOUT", "REPRO_BACKOFF",
+                "REPRO_RESUME"):
+        monkeypatch.delenv(var, raising=False)
+    monkeypatch.setattr(parallel, "_default_retry", None)
+    monkeypatch.setattr(checkpoint, "_default_resume", None)
+    obs_harness.reset_harness()
+    yield
+    obs_harness.reset_harness()

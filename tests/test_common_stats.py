@@ -35,6 +35,31 @@ class TestStats:
     def test_ratio_zero_denominator(self):
         assert Stats().ratio("a", "b") == 0.0
 
+    def test_nonzero_drops_preseeded_zeros(self):
+        s = Stats()
+        s.counters.update({"hits": 0, "misses": 3, "fills": 0})
+        assert s.nonzero() == {"misses": 3}
+        # Two bags differing only in zero-seeded names compare equal.
+        t = Stats()
+        t.add("misses", 3)
+        assert s.nonzero() == t.nonzero()
+
+    def test_delta_empty_interval_is_all_zero(self):
+        s = Stats()
+        s.add("hits", 2)
+        snap = s.snapshot()
+        assert set(s.delta(snap).values()) == {0}
+
+    def test_delta_vanished_name_goes_negative(self):
+        s = Stats()
+        delta = s.delta({"gone": 4})
+        assert delta == {"gone": -4}
+
+    def test_delta_against_empty_snapshot(self):
+        s = Stats()
+        s.add("hits", 2)
+        assert s.delta({}) == {"hits": 2}
+
     def test_snapshot_is_copy(self):
         s = Stats()
         s.add("x")

@@ -1,0 +1,179 @@
+"""Differential tests: real structures vs the tag-only reference model.
+
+:mod:`repro.sim.reference` re-simulates LLT/LLC residency to score DOA
+predictions, which only works if its LRU set-associative model is
+*exactly* equivalent to the real never-bypassing structures. These tests
+feed randomized seeded access streams through both sides and require the
+per-access hit/miss decision streams — and the final hit/miss stats — to
+agree, first at the model level (:class:`~repro.vm.tlb.Tlb` and
+:class:`~repro.mem.cache.SetAssocCache` against
+:class:`~repro.sim.reference.ReferenceStructure`), then at the machine
+level (the live L2 TLB against the ``track_reference`` shadow copy fed
+the same miss stream).
+
+Property-based cases use hypothesis when available (shrinking a failing
+stream to a minimal counterexample); fixed-seed streams cover the same
+properties everywhere else.
+"""
+
+import random
+
+import pytest
+
+from repro.mem.cache import SetAssocCache
+from repro.sim.config import fast_config
+from repro.sim.machine import Machine
+from repro.sim.reference import ReferenceStructure
+from repro.vm.tlb import Tlb
+from repro.workloads.suite import get_trace
+
+try:
+    from hypothesis import given, note, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+# --------------------------------------------------------------------- #
+# Drivers: one access on each side, returning (real_hit, ref_hit)
+# --------------------------------------------------------------------- #
+def _drive_tlb(entries, assoc, keys):
+    """Feed ``keys`` through a real predictor-less Tlb and a reference of
+    the same geometry; returns the two hit/miss decision streams."""
+    tlb = Tlb("llt", entries, assoc)
+    ref = ReferenceStructure("ref", entries, assoc)
+    real_stream, ref_stream = [], []
+    for now, key in enumerate(keys):
+        hit = tlb.lookup(key, now) is not None
+        if not hit:
+            tlb.fill(key, key + 1, 0, now)
+        real_stream.append(hit)
+        ref_stream.append(ref.access(key, now))
+    return tlb, ref, real_stream, ref_stream
+
+
+def _drive_cache(num_sets, assoc, keys):
+    cache = SetAssocCache("llc", num_sets, assoc)
+    ref = ReferenceStructure("ref", num_sets * assoc, assoc)
+    real_stream, ref_stream = [], []
+    for now, key in enumerate(keys):
+        hit = cache.lookup(key, now)
+        if not hit:
+            cache.fill(key, now)
+        real_stream.append(hit)
+        ref_stream.append(ref.access(key, now))
+    return cache, ref, real_stream, ref_stream
+
+
+def _assert_streams_agree(keys, real_stream, ref_stream, real, ref):
+    """Shrink-friendly comparison: name the first diverging access."""
+    for i, (a, b) in enumerate(zip(real_stream, ref_stream)):
+        if a != b:
+            window = keys[max(0, i - 8): i + 1]
+            pytest.fail(
+                f"divergence at access {i} (key {keys[i]:#x}): real="
+                f"{'hit' if a else 'miss'} ref={'hit' if b else 'miss'}; "
+                f"trailing keys {[hex(k) for k in window]}"
+            )
+    assert real.stats.get("hits") == ref.stats.get("hits")
+    assert real.stats.get("misses") == ref.stats.get("misses")
+
+
+def _key_stream(seed, length, universe):
+    """A skewed random stream: reuse-heavy with a random working set,
+    the regime where LRU order and victim choice actually matter."""
+    rng = random.Random(seed)
+    hot = [rng.randrange(universe) for _ in range(max(2, universe // 8))]
+    return [
+        rng.choice(hot) if rng.random() < 0.7 else rng.randrange(universe)
+        for _ in range(length)
+    ]
+
+
+GEOMETRIES = [(16, 4), (32, 8), (8, 1), (64, 4)]
+
+
+# --------------------------------------------------------------------- #
+# Fixed-seed differential (runs everywhere)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("entries,assoc", GEOMETRIES)
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_tlb_matches_reference_fixed_streams(entries, assoc, seed):
+    keys = _key_stream(seed, 2000, entries * 4)
+    tlb, ref, real_stream, ref_stream = _drive_tlb(entries, assoc, keys)
+    _assert_streams_agree(keys, real_stream, ref_stream, tlb, ref)
+
+
+@pytest.mark.parametrize("num_sets,assoc", [(8, 4), (16, 8), (4, 1)])
+@pytest.mark.parametrize("seed", [0, 3])
+def test_cache_matches_reference_fixed_streams(num_sets, assoc, seed):
+    keys = _key_stream(seed, 2000, num_sets * assoc * 4)
+    cache, ref, real_stream, ref_stream = _drive_cache(
+        num_sets, assoc, keys
+    )
+    _assert_streams_agree(keys, real_stream, ref_stream, cache, ref)
+
+
+def test_reference_counts_hits_and_misses():
+    ref = ReferenceStructure("ref", 4, 2)
+    assert ref.access(0, 0) is False
+    assert ref.access(0, 1) is True
+    assert ref.stats.get("hits") == 1
+    assert ref.stats.get("misses") == 1
+
+
+# --------------------------------------------------------------------- #
+# Property-based differential (hypothesis)
+# --------------------------------------------------------------------- #
+if HAVE_HYPOTHESIS:
+    geometry = st.sampled_from(GEOMETRIES)
+    streams = st.lists(
+        st.integers(min_value=0, max_value=255), min_size=1, max_size=400
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(geom=geometry, keys=streams)
+    def test_tlb_matches_reference_property(geom, keys):
+        entries, assoc = geom
+        tlb, ref, real_stream, ref_stream = _drive_tlb(
+            entries, assoc, keys
+        )
+        note(f"geometry entries={entries} assoc={assoc}")
+        note(f"keys={keys}")
+        _assert_streams_agree(keys, real_stream, ref_stream, tlb, ref)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        geom=st.sampled_from([(8, 4), (16, 2), (4, 1)]),
+        keys=streams,
+    )
+    def test_cache_matches_reference_property(geom, keys):
+        num_sets, assoc = geom
+        cache, ref, real_stream, ref_stream = _drive_cache(
+            num_sets, assoc, keys
+        )
+        note(f"geometry sets={num_sets} assoc={assoc}")
+        note(f"keys={keys}")
+        _assert_streams_agree(keys, real_stream, ref_stream, cache, ref)
+
+
+# --------------------------------------------------------------------- #
+# Machine-level differential: the live LLT vs its tracked reference
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("workload,seed", [("mcf", 42), ("cg.B", 7)])
+def test_machine_llt_matches_reference(workload, seed):
+    """With no predictor attached, the real L2 TLB and the reference copy
+    see the identical L1-miss stream and must produce identical hit/miss
+    totals end to end (the reference never bypasses — and neither does a
+    predictor-less LLT)."""
+    config = fast_config(track_reference=True)
+    trace = get_trace(workload, 4000, seed)
+    machine = Machine(config, seed=1)
+    machine.run(trace)
+    llt = machine.l2_tlb.stats
+    ref = machine.ref_llt.stats
+    assert llt.get("victim_buffer_hits") == 0
+    assert llt.get("hits") == ref.get("hits")
+    assert llt.get("misses") == ref.get("misses")

@@ -1,5 +1,6 @@
 """Tests for the persistent on-disk cache (:mod:`repro.sim.diskcache`)."""
 
+import hashlib
 import json
 
 import numpy as np
@@ -78,12 +79,19 @@ class TestResultStore:
         path.write_text("{not json")
         assert diskcache.load_result("mcf", config, BUDGET, 42) is None
 
-    def test_entries_are_canonical_json(self, cache_dir):
+    def test_entries_are_checksummed_envelopes(self, cache_dir):
         config = fast_config()
         result = _result(config)
         key = diskcache.result_key("mcf", config, BUDGET, 42)
         path = cache_dir / "results" / f"{key}.json"
-        assert json.loads(path.read_text()) == result.to_dict()
+        envelope = json.loads(path.read_text())
+        assert envelope["magic"] == diskcache.RESULT_MAGIC
+        assert envelope["schema"] == diskcache.CACHE_SCHEMA_VERSION
+        assert envelope["payload"] == result.to_dict()
+        expected = hashlib.sha256(
+            json.dumps(envelope["payload"], sort_keys=True).encode()
+        ).hexdigest()
+        assert envelope["sha256"] == expected
 
 
 class TestTraceStore:
@@ -129,6 +137,7 @@ class TestMaintenance:
         assert stats["results"] == 1
         assert stats["traces"] == 1
         assert stats["bytes"] > 0
-        assert diskcache.purge() == 2
+        # Purge removes the result, the trace npz, and its sidecar.
+        assert diskcache.purge() == 3
         after = diskcache.stats()
         assert after["results"] == 0 and after["traces"] == 0

@@ -70,10 +70,18 @@ class TestMerge:
         assert a.merge(b).tlb_accuracy == 0.8
         assert a.merge(b).llc_accuracy is None
 
-    def test_zero_instruction_merge_is_safe(self):
+    def test_zero_instruction_merge_falls_back_to_unweighted_mean(self):
+        # Two empty intervals carry no instruction weights; the merged
+        # ratio must be their plain mean, not a fabricated 0.0.
         a = _result(tlb_accuracy=0.5)
         b = _result(tlb_accuracy=0.7)
-        assert a.merge(b).tlb_accuracy == 0.0  # no weight, no crash
+        assert a.merge(b).tlb_accuracy == pytest.approx(0.6)
+
+    def test_zero_instruction_merge_none_side_survives(self):
+        a = _result(tlb_accuracy=0.5)
+        b = _result()
+        assert a.merge(b).tlb_accuracy == 0.5
+        assert b.merge(b).tlb_accuracy is None
 
     def test_residency_adds_fieldwise(self):
         a = _result(
@@ -97,6 +105,14 @@ class TestMerge:
         assert a.merge(b).llt_residency == a.llt_residency
         assert b.merge(a).llt_residency == a.llt_residency
         assert a.merge(b).llc_residency is None
+
+    def test_residency_kept_side_is_copied_not_aliased(self):
+        a = _result(llt_residency=ResidencySummary(residencies=1))
+        b = _result()
+        merged = a.merge(b)
+        assert merged.llt_residency is not a.llt_residency
+        merged.llt_residency.residencies = 99
+        assert a.llt_residency.residencies == 1
 
     def test_raw_counters_union_sum(self):
         a = _result(raw={"llt": {"hits": 1, "misses": 2}})
