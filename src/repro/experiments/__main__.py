@@ -125,6 +125,25 @@ def main(argv=None) -> int:
         help="timeline sampling interval in instructions (default 10000)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("batched", "scalar"),
+        default=None,
+        help="simulation engine for every run (default: REPRO_ENGINE or "
+        "batched; both are bit-identical, see README 'Engines')",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        type=int,
+        const=30,
+        default=None,
+        metavar="TOP_N",
+        help="wrap each experiment in cProfile and write its top-N "
+        "cumulative stats to profile-<id>.json (into --obs DIR when "
+        "given, else the working directory); implies serial in-process "
+        "runs, since pool workers escape the profiler",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
@@ -154,7 +173,13 @@ def main(argv=None) -> int:
         diskcache.disable()
     else:
         diskcache.enable(args.cache_dir)
-    set_default_jobs(args.jobs)
+    if args.engine is not None:
+        from repro.sim.engine import set_default_engine
+
+        set_default_engine(args.engine)
+    if args.profile is not None and args.jobs is not None and args.jobs > 1:
+        parser.error("--profile requires serial runs; drop --jobs")
+    set_default_jobs(1 if args.profile is not None else args.jobs)
     if args.resume:
         set_default_resume(True)
     if (
@@ -198,8 +223,37 @@ def main(argv=None) -> int:
         kwargs = {}
         if args.budget is not None and exp_id != "storage":
             kwargs["budget"] = args.budget
-        report = run_experiment(exp_id, **kwargs)
-        print(report.render())
+        if args.profile is not None:
+            import cProfile
+
+            from repro.obs.export import profile_stats_top, write_profile_report
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                report = run_experiment(exp_id, **kwargs)
+            finally:
+                profiler.disable()
+            wall = time.time() - start
+            rows = profile_stats_top(profiler, args.profile)
+            path = write_profile_report(
+                args.obs if args.obs is not None else ".",
+                experiment=exp_id,
+                rows=rows,
+                wall_time_s=wall,
+                params={"top_n": args.profile, "budget": args.budget},
+            )
+            print(report.render())
+            print(f"\n[profile -> {path}]")
+            for row in rows[:10]:
+                print(
+                    f"  {row['cumtime_s']:9.3f}s cum  "
+                    f"{row['tottime_s']:9.3f}s tot  "
+                    f"{row['ncalls']:>10} calls  {row['function']}"
+                )
+        else:
+            report = run_experiment(exp_id, **kwargs)
+            print(report.render())
         print(f"\n[{exp_id} completed in {time.time() - start:.1f}s]\n")
     return 0
 

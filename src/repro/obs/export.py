@@ -240,6 +240,58 @@ def export_run(
 
 
 # --------------------------------------------------------------------- #
+# Profile reports (the experiments CLI's --profile flag)
+# --------------------------------------------------------------------- #
+def profile_stats_top(profiler, top_n: int = 30) -> list:
+    """Top-``top_n`` functions of a finished cProfile run, by cumulative
+    time. JSON-safe rows, heaviest first."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:top_n]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return rows
+
+
+def write_profile_report(
+    directory,
+    *,
+    experiment: str,
+    rows: list,
+    wall_time_s: Optional[float] = None,
+    params: Optional[dict] = None,
+) -> Path:
+    """Persist one experiment's profile (manifest envelope + hot rows), so
+    hot-path regressions are diagnosable from run artifacts alone."""
+    payload = {
+        "schema": 1,
+        "kind": "profile",
+        "experiment": experiment,
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "peak_rss_bytes": peak_rss_bytes(),
+        "wall_time_s": wall_time_s,
+        "params": params or {},
+        "top_cumulative": rows,
+    }
+    path = Path(directory) / f"profile-{experiment}.json"
+    _write_atomic(path, json.dumps(payload, indent=2, sort_keys=True).encode())
+    return path
+
+
+# --------------------------------------------------------------------- #
 # Benchmark reports (machine-readable BENCH_*.json trajectories)
 # --------------------------------------------------------------------- #
 def write_benchmark_report(

@@ -1,0 +1,449 @@
+"""Batched (vectorized) trace-execution engine and engine selection.
+
+The paper's premise is that the L1 structures absorb the bulk of
+references — only L1-TLB / L1-D misses ever reach the LLT and LLC where
+dpPred and cbPred live. This engine exploits that: a vectorized pre-pass
+over a numpy window of trace records computes VPN / PFN / block indices
+and tests them against array *mirrors* of the L1 I-TLB, L1 D-TLB, and
+L1D contents. The longest prefix of records that is guaranteed to hit in
+all three is then retired array-at-a-time — hit counters, fused-LRU
+stamp updates, Accessed/dirty bits, the same-page filter state, and the
+``(gap + 1) * base_cpi`` cycle fold are all applied in bulk with exactly
+the state transitions of the scalar loop — while the first residual
+(miss) record falls through to the ordinary per-access Python path that
+drives the L2 TLB, walker, LLC, and the predictors.
+
+Bit-identity with the scalar engine is a hard guarantee, not a goal
+(``tests/test_engine_equivalence.py`` enforces it property-wise):
+
+* membership mirrors are revalidated against each structure's
+  ``content_version``, which only moves on install/evict — an all-hit
+  prefix cannot change membership, so the mirror stays valid for exactly
+  the records the engine retires in bulk;
+* the same-page TLB filter is replicated via a page-*change* mask, so
+  filtered records touch neither the LRU clock nor the stamps — and the
+  carried ``_last_*`` entry objects are the same ones the scalar filter
+  would touch, stale or not;
+* per-record LRU stamps are reconstructed from the change ordinals
+  (``clock0 + ordinal + 1`` at each entry's last touch), leaving the
+  victim ordering bit-equal;
+* cycles are accumulated with ``np.add.accumulate`` — a strict left
+  fold, unlike pairwise ``np.sum`` — so the non-dyadic ``base_cpi``
+  (0.4) rounds exactly as the scalar ``+=`` chain does;
+* timeline sampling splits bulk segments at the same "first record at or
+  past the boundary" points the scalar telemetry loop uses.
+
+Low-locality workloads (the suite's TLB-thrashing kernels) produce short
+all-hit prefixes where vectorization cannot pay; the engine detects this
+and adaptively degrades to scalar bursts with geometric escalation, so
+its worst case is the scalar engine plus a vanishing probe overhead.
+
+Engine selection: ``resolve_engine`` — explicit argument, then
+:func:`set_default_engine` (the CLI's ``--engine``), then the
+``REPRO_ENGINE`` environment variable, then the batched default.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.vm.physmem import PAGE_SHIFT
+from repro.vm.walker import BLOCK_SHIFT
+
+ENGINE_BATCHED = "batched"
+ENGINE_SCALAR = "scalar"
+ENGINES = (ENGINE_BATCHED, ENGINE_SCALAR)
+
+_default_engine: Optional[str] = None
+
+_PAGE_SHIFT_U = np.uint64(PAGE_SHIFT)
+_BLOCK_SHIFT_U = np.uint64(BLOCK_SHIFT)
+_BLOCK_OFFSET_U = np.uint64(PAGE_SHIFT - BLOCK_SHIFT)
+_BLOCK_IN_PAGE_U = np.uint64((1 << (PAGE_SHIFT - BLOCK_SHIFT)) - 1)
+#: Empty-way sentinel in the tag mirrors; no reachable VPN or block
+#: address comes near 2**64.
+_EMPTY = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+#: Adaptive window/burst tuning. Windows double while prefixes run full
+#: (amortising the probe); repeated short prefixes escalate scalar bursts
+#: geometrically so miss-dominated phases pay almost no probe cost.
+_WINDOW_MIN = 512
+_WINDOW_MAX = 65536
+_GOOD_PREFIX = 64
+_BURST_MIN = 256
+_BURST_MAX = 32768
+
+
+def set_default_engine(engine: Optional[str]) -> None:
+    """Pin the process-wide default engine (the CLI's ``--engine``)."""
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    global _default_engine
+    _default_engine = engine
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Effective engine: argument > set_default_engine > REPRO_ENGINE >
+    batched."""
+    if engine is not None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        return engine
+    if _default_engine is not None:
+        return _default_engine
+    env = os.environ.get("REPRO_ENGINE")
+    if env:
+        if env not in ENGINES:
+            raise ValueError(
+                f"REPRO_ENGINE must be one of {ENGINES}, got {env!r}"
+            )
+        return env
+    return ENGINE_BATCHED
+
+
+# --------------------------------------------------------------------- #
+# Eligibility
+# --------------------------------------------------------------------- #
+def batchable(machine) -> bool:
+    """Whether the batched fast path is sound for this machine.
+
+    The bulk path retires records whose only side effects are hit
+    counters, fused-LRU stamps, and Accessed/dirty bits. That requires
+    the same-page filter's preconditions (order-based replacement) plus
+    listener-free, residency-free L1 structures — the L1 I-TLB, L1
+    D-TLB, and L1D never carry predictors or residency tracking in any
+    shipped configuration, but custom wiring falls back to scalar.
+    """
+    if not machine._page_filter:
+        return False
+    for struct in (machine.l1_itlb, machine.l1_dtlb, machine.l1d):
+        if (
+            struct._lru is None
+            or struct.listener is not None
+            or struct.residency is not None
+        ):
+            return False
+    return True
+
+
+def _trace_ok(trace) -> bool:
+    return (
+        len(trace) > 0
+        and trace.pcs.dtype == np.uint64
+        and trace.vaddrs.dtype == np.uint64
+        and trace.writes.dtype == np.bool_
+        and trace.gaps.dtype.kind in "iu"
+    )
+
+
+def run_batched(machine, trace):
+    """Run ``trace`` on ``machine`` with the batched engine, falling back
+    to the scalar loop when the fast path is not sound for this machine
+    or trace. Bit-identical to :meth:`Machine.run_scalar` either way."""
+    if not batchable(machine) or not _trace_ok(trace):
+        machine.engine_stats = {"engine": ENGINE_SCALAR, "fallback": True}
+        return machine.run_scalar(trace)
+    return _BatchedRun(machine).run(trace)
+
+
+# --------------------------------------------------------------------- #
+# Mirrors
+# --------------------------------------------------------------------- #
+class _Mirror:
+    """Numpy mirror of one set-associative structure's contents."""
+
+    __slots__ = ("struct", "tags", "pfns", "set_mask", "assoc", "version")
+
+    def __init__(self, struct, with_pfns: bool):
+        self.struct = struct
+        self.assoc = struct.assoc
+        self.set_mask = np.uint64(struct.num_sets - 1)
+        self.tags = np.full(
+            (struct.num_sets, struct.assoc), _EMPTY, dtype=np.uint64
+        )
+        self.pfns = (
+            np.zeros((struct.num_sets, struct.assoc), dtype=np.uint64)
+            if with_pfns
+            else None
+        )
+        self.version = -1
+
+    def refresh(self) -> None:
+        if self.version == self.struct.content_version:
+            return
+        self.tags.fill(_EMPTY)
+        if self.pfns is None:
+            self.struct.mirror_into(self.tags)
+        else:
+            self.struct.mirror_into(self.tags, self.pfns)
+        self.version = self.struct.content_version
+
+
+class _Window:
+    """Precomputed per-record vectors for one probe window."""
+
+    __slots__ = (
+        "pc", "gap1", "ok",
+        "ivpn", "iset", "iway",
+        "dvpn", "dset", "dway",
+        "cset", "cway",
+    )
+
+
+# --------------------------------------------------------------------- #
+# The batched run
+# --------------------------------------------------------------------- #
+class _BatchedRun:
+    """One trace execution under the batched engine."""
+
+    def __init__(self, machine):
+        self.m = machine
+        self.im = _Mirror(machine.l1_itlb, with_pfns=True)
+        self.dm = _Mirror(machine.l1_dtlb, with_pfns=True)
+        self.cm = _Mirror(machine.l1d, with_pfns=False)
+        self.sampler = machine._timeline
+        self.interval = (
+            self.sampler.interval if self.sampler is not None else 0
+        )
+        self.next_at = self.interval
+
+    def run(self, trace):
+        m = self.m
+        pcs, vaddrs = trace.pcs, trace.vaddrs
+        writes, gaps = trace.writes, trace.gaps
+        n = len(pcs)
+        i = 0
+        window = _WINDOW_MIN
+        burst = 0
+        bulk_records = scalar_records = windows = 0
+        while i < n:
+            b = min(i + window, n)
+            win = self._precompute(pcs, vaddrs, gaps, i, b)
+            windows += 1
+            full = bool(win.ok.all())
+            prefix = (b - i) if full else int(np.argmin(win.ok))
+            if prefix:
+                self._apply(win, prefix, writes[i:i + prefix])
+                bulk_records += prefix
+                i += prefix
+            if full:
+                window = min(window * 2, _WINDOW_MAX)
+                burst = 0
+                continue
+            # First non-guaranteed record: the ordinary per-access path.
+            self._scalar_one(pcs, vaddrs, writes, gaps, i)
+            i += 1
+            scalar_records += 1
+            if prefix >= _GOOD_PREFIX:
+                burst = 0
+            else:
+                burst = min(burst * 2 if burst else _BURST_MIN, _BURST_MAX)
+                span_end = min(i + burst, n)
+                self._scalar_span(pcs, vaddrs, writes, gaps, i, span_end)
+                scalar_records += span_end - i
+                i = span_end
+                window = _WINDOW_MIN
+        sampler = self.sampler
+        if sampler is not None and (
+            not sampler.marks or sampler.marks[-1] != m.instructions
+        ):
+            sampler.sample(m.instructions, m.cycles)
+        m.engine_stats = {
+            "engine": ENGINE_BATCHED,
+            "bulk_records": bulk_records,
+            "scalar_records": scalar_records,
+            "windows": windows,
+        }
+        return m.finalize(trace.name)
+
+    # -- window probe --------------------------------------------------- #
+    def _precompute(self, pcs, vaddrs, gaps, a, b) -> _Window:
+        im, dm, cm = self.im, self.dm, self.cm
+        im.refresh()
+        dm.refresh()
+        cm.refresh()
+        win = _Window()
+        pc = pcs[a:b]
+        va = vaddrs[a:b]
+        win.pc = pc
+        win.gap1 = gaps[a:b].astype(np.int64) + 1
+
+        ivpn = pc >> _PAGE_SHIFT_U
+        iset = (ivpn & im.set_mask).astype(np.intp)
+        imatch = im.tags[iset] == ivpn[:, None]
+        ihit = imatch.any(axis=1)
+        win.ivpn, win.iset, win.iway = ivpn, iset, imatch.argmax(axis=1)
+
+        dvpn = va >> _PAGE_SHIFT_U
+        dset = (dvpn & dm.set_mask).astype(np.intp)
+        dmatch = dm.tags[dset] == dvpn[:, None]
+        dhit = dmatch.any(axis=1)
+        dway = dmatch.argmax(axis=1)
+        win.dvpn, win.dset, win.dway = dvpn, dset, dway
+
+        # PFN (and hence block) is garbage on D-miss rows, but those rows
+        # are already excluded by ``ok``; the set index stays in range.
+        pfn = dm.pfns[dset, dway]
+        block = (pfn << _BLOCK_OFFSET_U) | (
+            (va >> _BLOCK_SHIFT_U) & _BLOCK_IN_PAGE_U
+        )
+        cset = (block & cm.set_mask).astype(np.intp)
+        cmatch = cm.tags[cset] == block[:, None]
+        win.cset, win.cway = cset, cmatch.argmax(axis=1)
+
+        win.ok = ihit & dhit & cmatch.any(axis=1)
+        return win
+
+    # -- bulk retirement ------------------------------------------------ #
+    def _apply(self, win, k: int, writes_seg) -> None:
+        """Retire the guaranteed-hit prefix ``[0, k)`` of ``win`` in bulk,
+        splitting at timeline boundaries exactly like the scalar loop."""
+        m = self.m
+        gap1 = win.gap1[:k]
+        icsum = np.add.accumulate(gap1) + m.instructions
+        inc = gap1.astype(np.float64) * m._base_cpi
+        # Seed the fold with the running total: addition is commutative
+        # bit-for-bit, so inc[0] + cycles == cycles + inc[0].
+        inc[0] += m.cycles
+        ccsum = np.add.accumulate(inc)
+        sampler = self.sampler
+        if sampler is None:
+            self._apply_span(win, 0, k, icsum, ccsum, writes_seg)
+            return
+        cur = 0
+        while True:
+            pos = int(np.searchsorted(icsum, self.next_at, side="left"))
+            if pos >= k:
+                if cur < k:
+                    self._apply_span(win, cur, k, icsum, ccsum, writes_seg)
+                return
+            self._apply_span(win, cur, pos + 1, icsum, ccsum, writes_seg)
+            sampler.sample(int(icsum[pos]), float(ccsum[pos]))
+            self.next_at = int(icsum[pos]) + self.interval
+            cur = pos + 1
+
+    def _apply_span(self, win, s, e, icsum, ccsum, writes_seg) -> None:
+        m = self.m
+        k = e - s
+        m.now += k
+        m.instructions = int(icsum[e - 1])
+        m.cycles = float(ccsum[e - 1])
+        m.context.pc = int(win.pc[e - 1])
+
+        last_iv, last_ie = self._touch_tlb(
+            m.l1_itlb, m._itlb_stat,
+            win.ivpn, win.iset, win.iway, s, e,
+            m._last_ivpn, m._last_ientry,
+        )
+        m._last_ivpn, m._last_ientry = last_iv, last_ie
+        last_dv, last_de = self._touch_tlb(
+            m.l1_dtlb, m._dtlb_stat,
+            win.dvpn, win.dset, win.dway, s, e,
+            m._last_dvpn, m._last_dentry,
+        )
+        m._last_dvpn, m._last_dentry = last_dv, last_de
+        self._touch_l1d(win, s, e, writes_seg)
+
+    @staticmethod
+    def _touch_tlb(tlb, stat, vpn, sets, ways, s, e, last_vpn, last_entry):
+        """Apply one span's L1-TLB effects: hit counters for every record,
+        LRU clock/stamps and Accessed bits only at page-*change* records —
+        the same-page filter's exact semantics."""
+        k = e - s
+        stat["hits"] += k
+        v = vpn[s:e]
+        change = np.empty(k, dtype=bool)
+        change[0] = last_vpn is None or v[0] != last_vpn
+        if k > 1:
+            np.not_equal(v[1:], v[:-1], out=change[1:])
+        if not change[0] and last_entry is not None:
+            # Carried filter hit: the scalar path marks the carried entry
+            # object (even a stale one) accessed, and nothing else.
+            last_entry.accessed = True
+        entries = tlb._entries
+        nch = int(change.sum())
+        if nch:
+            idx = np.flatnonzero(change)
+            assoc = tlb.assoc
+            key = sets[s:e][idx] * assoc + ways[s:e][idx]
+            # Last change-ordinal per distinct (set, way): reverse-unique.
+            uniq, rev_first = np.unique(key[::-1], return_index=True)
+            lru = tlb._lru
+            clock0 = lru._clock
+            lru._clock = clock0 + nch
+            stamps = tlb._lru_stamps
+            last_ord = nch - 1
+            for u, r in zip(uniq.tolist(), rev_first.tolist()):
+                set_idx, way = divmod(u, assoc)
+                stamps[set_idx][way] = clock0 + (last_ord - r) + 1
+                entries[set_idx][way].accessed = True
+            last_vpn = int(v[-1])
+            last_entry = entries[int(sets[e - 1])][int(ways[e - 1])]
+        return last_vpn, last_entry
+
+    def _touch_l1d(self, win, s, e, writes_seg) -> None:
+        """Apply one span's L1D effects: every record is a promoting hit
+        (clock tick + stamp), writes dirty their line."""
+        m = self.m
+        k = e - s
+        m.hierarchy._stat["accesses"] += k
+        cache = m.l1d
+        cache._stat["hits"] += k
+        assoc = cache.assoc
+        key = win.cset[s:e] * assoc + win.cway[s:e]
+        uniq, rev_first = np.unique(key[::-1], return_index=True)
+        lru = cache._lru
+        clock0 = lru._clock
+        lru._clock = clock0 + k
+        stamps = cache._lru_stamps
+        lines = cache._lines
+        last_ord = k - 1
+        for u, r in zip(uniq.tolist(), rev_first.tolist()):
+            set_idx, way = divmod(u, assoc)
+            stamps[set_idx][way] = clock0 + (last_ord - r) + 1
+            lines[set_idx][way].accessed = True
+        w = writes_seg[s:e]
+        if w.any():
+            for u in np.unique(key[w]).tolist():
+                set_idx, way = divmod(u, assoc)
+                lines[set_idx][way].dirty = True
+
+    # -- residual / fallback scalar execution --------------------------- #
+    def _scalar_one(self, pcs, vaddrs, writes, gaps, j) -> None:
+        m = self.m
+        m.access(int(pcs[j]), int(vaddrs[j]), bool(writes[j]), int(gaps[j]))
+        if self.sampler is not None and m.instructions >= self.next_at:
+            self.sampler.sample(m.instructions, m.cycles)
+            self.next_at = m.instructions + self.interval
+
+    def _scalar_span(self, pcs, vaddrs, writes, gaps, a, b) -> None:
+        if a >= b:
+            return
+        m = self.m
+        access = m.access
+        records = zip(
+            pcs[a:b].tolist(),
+            vaddrs[a:b].tolist(),
+            writes[a:b].tolist(),
+            gaps[a:b].tolist(),
+        )
+        sampler = self.sampler
+        if sampler is None:
+            for pc, vaddr, is_write, gap in records:
+                access(pc, vaddr, is_write, gap)
+            return
+        next_at = self.next_at
+        interval = self.interval
+        for pc, vaddr, is_write, gap in records:
+            access(pc, vaddr, is_write, gap)
+            if m.instructions >= next_at:
+                sampler.sample(m.instructions, m.cycles)
+                next_at = m.instructions + interval
+        self.next_at = next_at

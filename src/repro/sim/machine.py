@@ -135,6 +135,10 @@ class Machine:
         self.instructions = 0
         self.cycles = 0.0
         self.pfn_to_vpn: Dict[int, int] = {}
+        # Populated by run(): which engine executed the trace and, for the
+        # batched engine, its bulk/scalar record split (diagnostics only —
+        # never part of SimResult).
+        self.engine_stats: Optional[dict] = None
 
         # Timing scalars hoisted out of the per-access path (reading them
         # through two frozen dataclasses per access costs ~10% wall-clock).
@@ -462,8 +466,24 @@ class Machine:
 
         self.cycles += (gap + 1) * self._base_cpi + penalty
 
-    def run(self, trace) -> SimResult:
-        """Simulate a whole trace (a :class:`~repro.workloads.trace.Trace`)."""
+    def run(self, trace, engine: Optional[str] = None) -> SimResult:
+        """Simulate a whole trace (a :class:`~repro.workloads.trace.Trace`).
+
+        ``engine`` overrides the engine for this run; otherwise the
+        process default applies (see :func:`repro.sim.engine.resolve_engine`
+        — CLI ``--engine``, then ``REPRO_ENGINE``, then batched). Both
+        engines are bit-identical; the batched one falls back to scalar
+        when its fast path is not sound for this machine or trace.
+        """
+        from repro.sim.engine import ENGINE_BATCHED, resolve_engine, run_batched
+
+        if resolve_engine(engine) == ENGINE_BATCHED:
+            return run_batched(self, trace)
+        self.engine_stats = {"engine": "scalar"}
+        return self.run_scalar(trace)
+
+    def run_scalar(self, trace) -> SimResult:
+        """Reference per-record execution loop (the scalar engine)."""
         access = self.access
         sampler = self._timeline
         if sampler is None:

@@ -204,10 +204,15 @@ def resolve_retry(retry: Optional[RetryPolicy] = None) -> RetryPolicy:
 # ---------------------------------------------------------------------- #
 # Worker side
 # ---------------------------------------------------------------------- #
-def _worker_init(cache_directory: Optional[str], obs_state=None) -> None:
+def _worker_init(
+    cache_directory: Optional[str],
+    obs_state=None,
+    shm_descriptors: Sequence[dict] = (),
+) -> None:
     """Propagate the parent's disk-cache and auto-telemetry settings into
     pool workers (the fork start method would inherit them, but spawn
-    would not), and mark the process as a supervised worker."""
+    would not), attach any shared-memory traces the parent published, and
+    mark the process as a supervised worker."""
     global _in_pool_worker
     _in_pool_worker = True
     if cache_directory is not None:
@@ -215,6 +220,14 @@ def _worker_init(cache_directory: Optional[str], obs_state=None) -> None:
     else:
         diskcache.disable()
     obs_telemetry.set_auto_state(obs_state)
+    if shm_descriptors:
+        from repro.workloads import shm, suite
+
+        for descriptor in shm_descriptors:
+            trace = shm.attach_trace(descriptor)
+            if trace is not None:
+                name, budget, seed = descriptor["key"]
+                suite.register_shared_trace(name, int(budget), int(seed), trace)
 
 
 def _execute_cell(request, attempt, faults, telemetry_spec, in_pool):
@@ -322,17 +335,28 @@ class _Supervisor:
                 break
 
     # -- pool execution ------------------------------------------------ #
-    def run_pool(self, pending: Sequence[RunRequest], jobs: int) -> None:
+    def run_pool(
+        self,
+        pending: Sequence[RunRequest],
+        jobs: int,
+        shm_descriptors: Sequence[dict] = (),
+    ) -> None:
         max_workers = min(jobs, len(pending))
         cache_directory = (
             str(diskcache.cache_dir()) if diskcache.is_enabled() else None
         )
 
         def make_pool() -> ProcessPoolExecutor:
+            # Rebuilt pools reuse the same initargs, so replacement
+            # workers re-attach the same shared-memory segments.
             return ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_worker_init,
-                initargs=(cache_directory, obs_telemetry.auto_state()),
+                initargs=(
+                    cache_directory,
+                    obs_telemetry.auto_state(),
+                    tuple(shm_descriptors),
+                ),
             )
 
         queue = deque(pending)
@@ -343,6 +367,7 @@ class _Supervisor:
                 # Sliding window: at most max_workers outstanding, so a
                 # submitted cell starts (nearly) immediately and its
                 # deadline measures run time, not queueing time.
+                broken = False
                 while queue and len(inflight) < max_workers:
                     request = queue.popleft()
                     attempt = self._next_attempt(request)
@@ -351,11 +376,27 @@ class _Supervisor:
                         if self.retry.timeout is not None
                         else None
                     )
-                    future = pool.submit(
-                        _worker_cell,
-                        (request, attempt, self.faults, self.telemetry_spec),
-                    )
+                    try:
+                        future = pool.submit(
+                            _worker_cell,
+                            (request, attempt, self.faults,
+                             self.telemetry_spec),
+                        )
+                    except BrokenProcessPool:
+                        # A worker died between the completion sweep and
+                        # this submit. The cell never ran: refund its
+                        # attempt and fall through to the rebuild path.
+                        self.attempts[request] -= 1
+                        queue.appendleft(request)
+                        broken = True
+                        break
                     inflight[future] = (request, deadline)
+
+                if broken:
+                    pool = self._rebuild_broken_pool(
+                        pool, make_pool, inflight, queue
+                    )
+                    continue
 
                 wait_for = None
                 if self.retry.timeout is not None:
@@ -418,6 +459,25 @@ class _Supervisor:
                         )
         finally:
             self._kill_pool(pool)
+
+    def _rebuild_broken_pool(
+        self, pool, make_pool, inflight, queue
+    ) -> ProcessPoolExecutor:
+        """The pool broke during submit: a worker died after the last
+        completion sweep, so the breakage surfaces from ``submit``
+        rather than ``result``. Same accounting as the post-wait
+        rebuild, except cells that finished cleanly before the collapse
+        keep their results."""
+        obs_harness.record(EV_POOL_REBUILD, len(inflight))
+        pool.shutdown(wait=False, cancel_futures=True)
+        for future, (request, _) in list(inflight.items()):
+            if future.done() and future.exception() is None:
+                self.on_complete(request, future.result())
+            else:
+                self._failed(request, "worker process died")
+                queue.append(request)
+        inflight.clear()
+        return make_pool()
 
     def _handle_timeouts(
         self, pool, make_pool, inflight, expired, queue
@@ -584,15 +644,51 @@ def run_matrix(
 
     supervisor = _Supervisor(retry, faults, telemetry_spec, on_complete)
     jobs = resolve_jobs(jobs)
+    arena = None
     try:
         if jobs <= 1 or len(pending) <= 1:
             supervisor.run_serial(pending)
         else:
-            supervisor.run_pool(pending, jobs)
+            descriptors: Sequence[dict] = ()
+            arena = _publish_traces(pending)
+            if arena is not None:
+                descriptors = arena.descriptors
+            supervisor.run_pool(pending, jobs, descriptors)
     finally:
+        if arena is not None:
+            arena.close()
         if journal is not None:
             journal.close()
     return {req: results[req] for req in unique}
+
+
+def _publish_traces(pending: Sequence[RunRequest]):
+    """Publish each distinct pending trace to shared memory (best effort).
+
+    Returns the owning arena, or None when the transport is disabled or
+    unavailable (workers then regenerate traces as before). Generating in
+    the parent is not wasted work: traces are deterministic and memoised,
+    so the parent pays each one once and every worker maps it for free.
+    """
+    from repro.workloads import shm, suite
+
+    if not shm.shm_enabled():
+        return None
+    arena = shm.SharedTraceArena()
+    try:
+        seen = set()
+        for req in pending:
+            key = (req.workload, req.budget, req.seed)
+            if key in seen:
+                continue
+            seen.add(key)
+            arena.publish(key, suite.get_trace(*key))
+    except Exception:
+        # /dev/shm full or read-only, exotic platform, trace error — the
+        # pool path works without the transport, so degrade silently.
+        arena.close()
+        return None
+    return arena
 
 
 def _label(request: RunRequest) -> str:

@@ -139,6 +139,12 @@ class Tlb:
         self.residency: Optional[ResidencyTracker] = (
             ResidencyTracker() if track_residency else None
         )
+        # Monotone membership version: bumped whenever the set of resident
+        # (vpn -> pfn) pairs changes (install, eviction, invalidation).
+        # Hits never bump it, so the batched engine's numpy mirror of the
+        # contents (see :meth:`mirror_into`) stays valid across arbitrarily
+        # long all-hit stretches and is rebuilt only after a real refill.
+        self.content_version = 0
 
     # ------------------------------------------------------------------ #
     # Access path
@@ -220,6 +226,7 @@ class Tlb:
         entry = TlbEntry(vpn, pfn, pc_hash)
         entries[way] = entry
         tags[vpn] = way
+        self.content_version += 1
         if lru is not None and not distant:
             lru._clock += 1
             self._lru_stamps[set_idx][way] = lru._clock
@@ -248,6 +255,7 @@ class Tlb:
         assert entry is not None
         del self._tags[set_idx][entry.vpn]
         self._entries[set_idx][way] = None
+        self.content_version += 1
         self._stat["evictions"] += 1
         if self.residency is not None:
             self.residency.evict((set_idx, way), now)
@@ -256,6 +264,23 @@ class Tlb:
         if self.listener is not None:
             self.listener.on_evict(self, entry, now)
         return entry
+
+    # ------------------------------------------------------------------ #
+    # Vectorized-engine support
+    # ------------------------------------------------------------------ #
+    def mirror_into(self, tags, pfns) -> None:
+        """Export the current contents into (num_sets, assoc) numpy arrays.
+
+        ``tags`` receives each resident entry's VPN (empty ways keep
+        whatever sentinel the caller pre-filled), ``pfns`` the matching
+        PFN. The batched engine keys its array-at-a-time membership tests
+        on these mirrors and revalidates them via :attr:`content_version`.
+        """
+        for set_idx, ways in enumerate(self._entries):
+            for way, entry in enumerate(ways):
+                if entry is not None:
+                    tags[set_idx, way] = entry.vpn
+                    pfns[set_idx, way] = entry.pfn
 
     # ------------------------------------------------------------------ #
     # Introspection

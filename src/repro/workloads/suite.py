@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from typing import List, Type
+from typing import Dict, List, Type
 
 from repro.workloads.graphs import (
     BetweennessCentrality,
@@ -33,7 +33,12 @@ from repro.workloads.spec_like import (
     Lbm,
     Mcf,
 )
-from repro.workloads.synthetic import Workload
+from repro.workloads.synthetic import (
+    LocalityWorkload,
+    RandomWorkload,
+    StreamWorkload,
+    Workload,
+)
 from repro.workloads.trace import Trace
 
 #: Table II order.
@@ -54,6 +59,15 @@ WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
     "mcf": Mcf,
 }
 
+#: Auxiliary kernels resolvable by name (tests, benchmarks, demos) but
+#: deliberately *not* part of the Table II suite: ``workload_names()``
+#: stays the paper's 14 rows and experiment sweeps are unaffected.
+EXTRA_WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
+    "stream": StreamWorkload,
+    "urandom": RandomWorkload,
+    "locality": LocalityWorkload,
+}
+
 #: Default per-run access budget for the fast profile. Large enough to
 #: reach predictor steady state on the scaled structures, small enough
 #: that a full 14-workload experiment runs in minutes of pure Python.
@@ -65,6 +79,24 @@ TRACE_CACHE_MAX = int(os.environ.get("REPRO_TRACE_CACHE_MAX", "32"))
 
 _trace_cache: "OrderedDict[tuple, Trace]" = OrderedDict()
 
+#: Traces attached from shared memory (see :mod:`repro.workloads.shm`).
+#: Kept outside the LRU memo: the arrays are zero-copy views into the
+#: parent's segments, so "caching" them costs nothing and evicting them
+#: would just force a redundant regeneration in the worker.
+_shared_traces: Dict[tuple, Trace] = {}
+
+
+def register_shared_trace(
+    name: str, budget: int, seed: int, trace: Trace
+) -> None:
+    """Serve ``get_trace(name, budget, seed)`` from a shared-memory trace."""
+    _shared_traces[(name, budget, seed)] = trace
+
+
+def clear_shared_traces() -> None:
+    """Forget all shared-memory traces (worker teardown/test helper)."""
+    _shared_traces.clear()
+
 
 def workload_names() -> List[str]:
     """All 14 workloads in Table II order."""
@@ -72,15 +104,16 @@ def workload_names() -> List[str]:
 
 
 def make_workload(name: str, seed: int = 42) -> Workload:
-    try:
-        cls = WORKLOAD_CLASSES[name]
-    except KeyError:
+    cls = WORKLOAD_CLASSES.get(name) or EXTRA_WORKLOAD_CLASSES.get(name)
+    if cls is None:
         raise ValueError(
-            f"unknown workload {name!r}; choose from {workload_names()}"
-        ) from None
+            f"unknown workload {name!r}; choose from "
+            f"{workload_names() + list(EXTRA_WORKLOAD_CLASSES)}"
+        )
     # Decorrelate workloads sharing a generator family: each gets its own
-    # stream of graph/table randomness derived from the suite seed.
-    index = list(WORKLOAD_CLASSES).index(name)
+    # stream of graph/table randomness derived from the suite seed. Extras
+    # index after the suite so suite traces are byte-stable regardless.
+    index = (list(WORKLOAD_CLASSES) + list(EXTRA_WORKLOAD_CLASSES)).index(name)
     return cls(seed=seed + 101 * index)
 
 
@@ -91,6 +124,9 @@ def get_trace(name: str, budget: int = DEFAULT_BUDGET, seed: int = 42) -> Trace:
     if trace is not None:
         _trace_cache.move_to_end(key)
         return trace
+    shared = _shared_traces.get(key)
+    if shared is not None:
+        return shared
     # Imported lazily: repro.sim.runner imports this module at class-level,
     # so a top-level import of repro.sim.diskcache here would be circular.
     import repro.sim.diskcache as diskcache

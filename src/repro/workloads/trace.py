@@ -8,8 +8,9 @@ accesses through :class:`TraceBuilder`, usually in vectorised chunks.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,31 +57,69 @@ class Trace:
         """Distinct 4 KB data pages touched."""
         return len(np.unique(self.vaddrs >> 12))
 
-    #: Records converted per ``iter_records`` chunk. Large enough that the
-    #: tolist() vectorisation dominates, small enough that the temporary
-    #: Python lists stay a few MB regardless of trace length.
+    #: Default records converted per ``iter_records`` chunk. Large enough
+    #: that the tolist() vectorisation dominates, small enough that the
+    #: temporary Python lists stay a few MB regardless of trace length.
+    #: Override per-process with the ``REPRO_CHUNK`` environment variable
+    #: or per-call with the ``chunk`` argument.
     ITER_CHUNK = 65536
 
+    @classmethod
+    def resolve_chunk(cls, chunk: Optional[int] = None) -> int:
+        """Effective chunk size: argument > ``REPRO_CHUNK`` > ITER_CHUNK."""
+        if chunk is None:
+            env = os.environ.get("REPRO_CHUNK")
+            if env:
+                try:
+                    chunk = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_CHUNK must be an integer, got {env!r}"
+                    ) from None
+            else:
+                return cls.ITER_CHUNK
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        return chunk
+
     def iter_records(
-        self, chunk: int = ITER_CHUNK
+        self, chunk: Optional[int] = None
     ) -> Iterator[Tuple[int, int, bool, int]]:
         """Yield ``(pc, vaddr, is_write, gap)`` as native Python values.
 
         Streams in bounded chunks instead of materialising four full-trace
         Python lists up front: peak temporary memory is O(chunk), not
         O(len(trace)), which matters for multi-million-access budgets.
+        Multi-chunk traces stage each slice through one preallocated
+        buffer pair, so the per-chunk numpy temporaries are allocated once
+        rather than once per chunk.
         """
-        if chunk <= 0:
-            raise ValueError(f"chunk must be positive, got {chunk}")
+        chunk = self.resolve_chunk(chunk)
         pcs, vaddrs = self.pcs, self.vaddrs
         writes, gaps = self.writes, self.gaps
-        for start in range(0, len(pcs), chunk):
-            end = start + chunk
+        n = len(pcs)
+        if n <= chunk:
             yield from zip(
-                pcs[start:end].tolist(),
-                vaddrs[start:end].tolist(),
-                writes[start:end].tolist(),
-                gaps[start:end].tolist(),
+                pcs.tolist(), vaddrs.tolist(), writes.tolist(), gaps.tolist()
+            )
+            return
+        # One staging buffer per field dtype family, reused across chunks:
+        # pcs/vaddrs/gaps pass through uint64 rows (tolist() yields int
+        # either way), writes through a bool row (tolist() must yield bool).
+        buf_ints = np.empty((3, chunk), dtype=np.uint64)
+        buf_writes = np.empty(chunk, dtype=bool)
+        for start in range(0, n, chunk):
+            end = min(start + chunk, n)
+            m = end - start
+            np.copyto(buf_ints[0, :m], pcs[start:end], casting="unsafe")
+            np.copyto(buf_ints[1, :m], vaddrs[start:end], casting="unsafe")
+            np.copyto(buf_writes[:m], writes[start:end], casting="unsafe")
+            np.copyto(buf_ints[2, :m], gaps[start:end], casting="unsafe")
+            yield from zip(
+                buf_ints[0, :m].tolist(),
+                buf_ints[1, :m].tolist(),
+                buf_writes[:m].tolist(),
+                buf_ints[2, :m].tolist(),
             )
 
     def truncated(self, max_accesses: int) -> "Trace":

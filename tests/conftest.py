@@ -46,3 +46,15 @@ def _isolated_resilience(monkeypatch):
     obs_harness.reset_harness()
     yield
     obs_harness.reset_harness()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_engine(monkeypatch):
+    """Reset engine selection (CLI default, env, chunk override) per test."""
+    import repro.sim.engine as engine
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    monkeypatch.delenv("REPRO_CHUNK", raising=False)
+    monkeypatch.delenv("REPRO_SHM", raising=False)
+    monkeypatch.setattr(engine, "_default_engine", None)
+    yield

@@ -1,0 +1,230 @@
+"""Differential tests: the batched engine is bit-identical to scalar.
+
+The batched engine (:mod:`repro.sim.engine`) retires guaranteed L1-hit
+prefixes array-at-a-time. Its contract is byte equality with the scalar
+reference loop — same ``SimResult.to_dict()``, same telemetry payloads
+(timeline marks/deltas and decision-event streams), same disk-cache
+bytes — on every workload kernel and on adversarial random traces. These
+tests are the contract's enforcement.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.engine as engine_mod
+from repro.obs.telemetry import TelemetrySpec
+from repro.sim.config import fast_config
+from repro.sim.engine import (
+    ENGINE_BATCHED,
+    ENGINE_SCALAR,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.sim.machine import Machine
+from repro.workloads.suite import (
+    EXTRA_WORKLOAD_CLASSES,
+    get_trace,
+    workload_names,
+)
+from repro.workloads.trace import Trace
+
+BUDGET = 6000
+SEED = 42
+
+
+def fingerprint(result) -> bytes:
+    return json.dumps(result.to_dict(), sort_keys=True).encode()
+
+
+def run_both(trace, config, telemetry=False, seed=SEED):
+    """Run one trace under both engines; returns the two (result, machine)
+    pairs. Telemetry uses a small interval so bulk spans straddle many
+    sampling boundaries."""
+    out = []
+    for engine in (ENGINE_SCALAR, ENGINE_BATCHED):
+        tel = (
+            TelemetrySpec(interval=500).build() if telemetry else None
+        )
+        machine = Machine(config, seed=seed, telemetry=tel)
+        result = machine.run(trace, engine=engine)
+        out.append((result, machine))
+    return out
+
+
+def assert_equivalent(trace, config, telemetry=False, seed=SEED):
+    (r_s, m_s), (r_b, m_b) = run_both(trace, config, telemetry, seed)
+    assert fingerprint(r_s) == fingerprint(r_b)
+    if telemetry:
+        assert m_s.telemetry.to_payload() == m_b.telemetry.to_payload()
+    return m_b
+
+
+# --------------------------------------------------------------------- #
+# Every workload kernel
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("workload", workload_names())
+def test_suite_workloads_bit_identical(workload):
+    trace = get_trace(workload, BUDGET, SEED)
+    assert_equivalent(trace, fast_config(), telemetry=True)
+
+
+@pytest.mark.parametrize("workload", sorted(EXTRA_WORKLOAD_CLASSES))
+def test_extra_workloads_bit_identical(workload):
+    trace = get_trace(workload, BUDGET, SEED)
+    assert_equivalent(trace, fast_config(), telemetry=True)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"tlb_predictor": "dppred"},
+        {"tlb_predictor": "dppred", "llc_predictor": "cbpred"},
+        {"tlb_predictor": "ship", "llc_predictor": "ship"},
+        {"track_residency": True},
+        {"track_reference": True},
+    ],
+    ids=["dppred", "dppred+cbpred", "ship", "residency", "reference"],
+)
+def test_predictor_configs_bit_identical(kwargs):
+    """Predictors/instrumentation live beyond the L1s; the bulk path must
+    leave their slow-path event streams untouched."""
+    for workload in ("sssp", "locality"):
+        trace = get_trace(workload, BUDGET, SEED)
+        assert_equivalent(trace, fast_config(**kwargs), telemetry=True)
+
+
+def test_locality_workload_exercises_bulk_path():
+    """The showcase workload must actually take the vectorized path —
+    otherwise every equivalence test above is vacuous."""
+    trace = get_trace("locality", BUDGET, SEED)
+    machine = assert_equivalent(trace, fast_config(), telemetry=True)
+    stats = machine.engine_stats
+    assert stats["engine"] == ENGINE_BATCHED
+    assert stats["bulk_records"] > stats["scalar_records"]
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis traces
+# --------------------------------------------------------------------- #
+RECORDS = st.lists(
+    st.tuples(
+        st.integers(0, 7),        # pc site
+        st.integers(0, 40),       # page
+        st.integers(0, 70),       # byte offset within page (block varies)
+        st.booleans(),            # write
+        st.integers(0, 5),        # gap
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def build_trace(records) -> Trace:
+    pcs = np.array([0x400000 + s * 4 for s, _, _, _, _ in records], np.uint64)
+    vaddrs = np.array(
+        [0x10000000 + p * 4096 + o * 64 for _, p, o, _, _ in records],
+        np.uint64,
+    )
+    writes = np.array([w for _, _, _, w, _ in records], bool)
+    gaps = np.array([g for _, _, _, _, g in records], np.uint16)
+    return Trace("hypothesis", pcs, vaddrs, writes, gaps)
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=RECORDS)
+def test_random_traces_bit_identical(records):
+    assert_equivalent(build_trace(records), fast_config(), telemetry=True)
+
+
+@settings(max_examples=15, deadline=None)
+@given(records=RECORDS, run_length=st.integers(2, 64))
+def test_repeated_traces_bit_identical(records, run_length):
+    """Tiling the stream manufactures long all-hit stretches, driving the
+    window-doubling and boundary-splitting paths."""
+    trace = build_trace(records * run_length)
+    assert_equivalent(trace, fast_config(), telemetry=True)
+
+
+@settings(max_examples=15, deadline=None)
+@given(records=RECORDS)
+def test_random_traces_with_predictors(records):
+    config = fast_config(tlb_predictor="dppred", llc_predictor="cbpred")
+    assert_equivalent(build_trace(records), config, telemetry=True)
+
+
+# --------------------------------------------------------------------- #
+# Fallback + selection
+# --------------------------------------------------------------------- #
+def test_srrip_policy_falls_back_to_scalar():
+    """SRRIP has no fused-LRU path (and no same-page filter), so the
+    batched engine must decline and still match the scalar run."""
+    trace = get_trace("locality", BUDGET, SEED)
+    config = fast_config(tlb_policy="srrip", cache_policy="srrip")
+    machine = assert_equivalent(trace, config)
+    assert machine.engine_stats == {
+        "engine": ENGINE_SCALAR,
+        "fallback": True,
+    }
+
+
+def test_unexpected_trace_dtype_falls_back():
+    trace = get_trace("locality", BUDGET, SEED)
+    odd = Trace(
+        trace.name,
+        trace.pcs.astype(np.int64),
+        trace.vaddrs.astype(np.int64),
+        trace.writes,
+        trace.gaps,
+    )
+    machine = Machine(fast_config(), seed=SEED)
+    result = machine.run(odd, engine=ENGINE_BATCHED)
+    assert machine.engine_stats["fallback"]
+    reference = Machine(fast_config(), seed=SEED).run_scalar(trace)
+    assert fingerprint(result) == fingerprint(reference)
+
+
+def test_scalar_engine_records_engine_stats():
+    trace = get_trace("locality", 500, SEED)
+    machine = Machine(fast_config(), seed=SEED)
+    machine.run(trace, engine=ENGINE_SCALAR)
+    assert machine.engine_stats == {"engine": ENGINE_SCALAR}
+
+
+def test_resolve_engine_precedence(monkeypatch):
+    assert resolve_engine() == ENGINE_BATCHED  # default
+    monkeypatch.setenv("REPRO_ENGINE", ENGINE_SCALAR)
+    assert resolve_engine() == ENGINE_SCALAR  # env beats default
+    set_default_engine(ENGINE_BATCHED)
+    assert resolve_engine() == ENGINE_BATCHED  # CLI beats env
+    assert resolve_engine(ENGINE_SCALAR) == ENGINE_SCALAR  # arg beats all
+
+
+def test_resolve_engine_validation(monkeypatch):
+    with pytest.raises(ValueError):
+        resolve_engine("turbo")
+    with pytest.raises(ValueError):
+        set_default_engine("turbo")
+    monkeypatch.setenv("REPRO_ENGINE", "turbo")
+    with pytest.raises(ValueError):
+        resolve_engine()
+
+
+def test_run_honours_env_engine(monkeypatch):
+    trace = get_trace("locality", BUDGET, SEED)
+    monkeypatch.setenv("REPRO_ENGINE", ENGINE_SCALAR)
+    machine = Machine(fast_config(), seed=SEED)
+    machine.run(trace)
+    assert machine.engine_stats == {"engine": ENGINE_SCALAR}
+
+
+def test_batchable_rejects_listeners_and_residency():
+    machine = Machine(fast_config(), seed=SEED)
+    assert engine_mod.batchable(machine)
+    from repro.mem.cache import CacheListener
+
+    machine.l1d.listener = CacheListener()
+    assert not engine_mod.batchable(machine)

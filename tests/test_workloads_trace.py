@@ -94,6 +94,83 @@ class TestTrace:
             )
 
 
+class TestIterRecordsChunking:
+    def make(self, n):
+        return Trace(
+            "t",
+            np.arange(n, dtype=np.uint64),
+            np.arange(n, dtype=np.uint64) * 64,
+            (np.arange(n) % 3 == 0),
+            (np.arange(n) % 5).astype(np.uint16),
+        )
+
+    def reference(self, trace):
+        return list(
+            zip(
+                trace.pcs.tolist(),
+                trace.vaddrs.tolist(),
+                trace.writes.tolist(),
+                trace.gaps.tolist(),
+            )
+        )
+
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 7, 10, 11, 64])
+    def test_chunk_boundaries_lossless(self, chunk):
+        """Every chunk size yields the same records in the same order —
+        including sizes that divide the length, straddle it, and exceed
+        it — through the reused staging buffer."""
+        trace = self.make(10)
+        assert list(trace.iter_records(chunk=chunk)) == self.reference(trace)
+
+    def test_chunked_types_match_unchunked(self):
+        trace = self.make(7)
+        for rec in trace.iter_records(chunk=3):
+            pc, vaddr, write, gap = rec
+            assert type(pc) is int and type(vaddr) is int
+            assert type(write) is bool and type(gap) is int
+
+    def test_repro_chunk_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK", "4")
+        assert Trace.resolve_chunk() == 4
+        trace = self.make(11)
+        assert list(trace.iter_records()) == self.reference(trace)
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK", "4")
+        assert Trace.resolve_chunk(9) == 9
+
+    def test_default_chunk(self):
+        assert Trace.resolve_chunk() == Trace.ITER_CHUNK
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "many"])
+    def test_invalid_repro_chunk_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_CHUNK", bad)
+        with pytest.raises(ValueError):
+            Trace.resolve_chunk()
+
+    def test_invalid_chunk_argument_rejected(self):
+        with pytest.raises(ValueError):
+            list(self.make(3).iter_records(chunk=0))
+
+    def test_simulation_invariant_under_chunk_size(self, monkeypatch):
+        """End to end: a tiny REPRO_CHUNK leaves simulation results
+        byte-identical (the regression the reusable buffer must not cause)."""
+        import json
+
+        from repro.sim.config import fast_config
+        from repro.sim.machine import Machine
+        from repro.workloads.suite import get_trace
+
+        trace = get_trace("stream", 3000, 42)
+        def run():
+            result = Machine(fast_config(), seed=42).run_scalar(trace)
+            return json.dumps(result.to_dict(), sort_keys=True)
+
+        baseline = run()
+        monkeypatch.setenv("REPRO_CHUNK", "17")
+        assert run() == baseline
+
+
 def test_pc_for_site_distinct_and_stable():
     pcs = {pc_for_site(i) for i in range(100)}
     assert len(pcs) == 100
