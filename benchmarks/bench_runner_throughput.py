@@ -11,11 +11,12 @@ CI's smoke invocation relies on):
    lists). The no-op listeners cannot change simulation outcomes, so the
    two runs must produce byte-identical metrics — and the time ratio is
    the fast-path speedup.
-2. **Engine** — scalar vs batched (numpy) engine: cold single-run
-   throughput on the L1-resident showcase workload (where the paper's
-   "L1 absorbs ~everything" premise holds and bulk retirement pays),
-   plus bit-identity and aggregate timing over the real suite prefix,
-   where the batched engine adaptively degrades to scalar bursts.
+2. **Engine** — scalar vs batched engine: cold single-run throughput
+   on the L1-resident showcase workload (where the paper's "L1 absorbs
+   ~everything" premise holds and bulk retirement pays), plus the CI
+   gate's number: median-of-5 aggregate speedup with bit-identity over
+   the six-workload suite prefix with dpPred+cbPred enabled — the
+   hybrid bulk+flat path, no scalar fallback allowed.
 3. **Matrix fan-out** — a (workloads x {baseline, dpPred}) matrix run
    serially and with ``--jobs`` worker processes; results must match
    bit-for-bit.
@@ -54,14 +55,20 @@ from repro.workloads.suite import clear_trace_cache, get_trace, workload_names
 #: Speedup targets enforced under --strict (see ISSUE/EXPERIMENTS.md).
 SINGLE_RUN_TARGET = 1.5
 PARALLEL_TARGET = 2.5
-#: Batched-engine cold single-run target on its showcase regime (an
-#: L1-resident working set, the paper's premise). CI relaxes this with
-#: --engine-target 1.5 to absorb shared-runner noise.
-ENGINE_TARGET = 3.0
-#: Workload for the engine throughput phase: L1-resident, no same-page
+#: Batched-engine suite-speedup floor: median-of-5 aggregate over the
+#: six-workload suite prefix with dpPred+cbPred enabled — the config the
+#: paper is about, not the L1-resident showcase.
+ENGINE_TARGET = 1.5
+#: Workload for the engine *showcase* phase: L1-resident, no same-page
 #: runs, so the scalar engine pays full per-record lookups while the
 #: batched engine retires nearly everything in bulk.
 ENGINE_WORKLOAD = "locality"
+#: The engine suite phase always measures this many suite workloads,
+#: independent of --workloads (which sizes the matrix phases): the CI
+#: gate is defined over the six-workload suite prefix.
+ENGINE_SUITE_WORKLOADS = 6
+#: Repetitions for the engine phase (median + min reported).
+ENGINE_REPEATS = 5
 
 
 def _fingerprint(result) -> bytes:
@@ -150,39 +157,77 @@ def bench_single_run(budget: int, repeats: int = 3):
     }
 
 
-def bench_engine(budget: int, num_workloads: int, repeats: int = 3):
-    """Batched vs scalar engine: cold single-run throughput on the
-    showcase workload, plus bit-identity and honest aggregate timing
-    across the (miss-dominated) suite prefix."""
-    config = fast_config()
+def bench_engine(budget: int, num_workloads: int, repeats: int = ENGINE_REPEATS):
+    """Batched vs scalar engine.
+
+    Two regimes, both bit-identity-checked:
+
+    * **showcase** — cold single-run throughput on the L1-resident
+      showcase workload (bulk retirement's best case);
+    * **suite** — the six-workload suite prefix with dpPred+cbPred
+      enabled (the paper's configuration), ``repeats`` reps per
+      (workload, engine), aggregate speedup reported as the ratio of
+      per-workload *median* times (plus a min-based figure). This is
+      the number the CI gate enforces.
+    """
     seed = machine_seed_for(42)
 
-    def best(trace, engine):
-        times, result = [], None
+    def measure(trace, config, engine):
+        times, result, stats = [], None, None
         for _ in range(repeats):
             machine = Machine(config, seed=seed)
             start = time.perf_counter()
             result = machine.run(trace, engine=engine)
             times.append(time.perf_counter() - start)
-        return min(times), result, machine.engine_stats
+            stats = machine.engine_stats
+        times.sort()
+        return {
+            "median": times[len(times) // 2],
+            "min": times[0],
+            "result": result,
+            "stats": stats,
+        }
 
     showcase = get_trace(ENGINE_WORKLOAD, max(budget, 100000))
-    t_scalar, r_scalar, _ = best(showcase, "scalar")
-    t_batched, r_batched, stats = best(showcase, "batched")
-    diverged = _fingerprint(r_scalar) != _fingerprint(r_batched)
+    base_cfg = fast_config()
+    m_scalar = measure(showcase, base_cfg, "scalar")
+    m_batched = measure(showcase, base_cfg, "batched")
+    t_scalar, t_batched = m_scalar["median"], m_batched["median"]
+    diverged = (
+        _fingerprint(m_scalar["result"]) != _fingerprint(m_batched["result"])
+    )
 
-    # Bit-identity + aggregate wall clock over the real suite, where the
-    # batched engine mostly degrades to scalar bursts (reported honestly:
-    # its win lives in the L1-resident regime, its suite cost is ~noise).
+    # The suite phase runs the configuration the paper studies — both
+    # predictors on — so a batched-engine regression on any predictor
+    # decision path shows up here as divergence or a fallback.
+    suite_cfg = fast_config(tlb_predictor="dppred", llc_predictor="cbpred")
+    suite_names = workload_names()[:ENGINE_SUITE_WORKLOADS]
     t_suite = {"scalar": 0.0, "batched": 0.0}
-    for name in workload_names()[:num_workloads]:
+    t_suite_min = {"scalar": 0.0, "batched": 0.0}
+    per_workload = {}
+    fallbacks = 0
+    for name in suite_names:
         trace = get_trace(name, budget)
         fps = {}
+        meas = {}
         for engine in ("scalar", "batched"):
-            dt, result, _st = best(trace, engine)
-            t_suite[engine] += dt
-            fps[engine] = _fingerprint(result)
+            m = measure(trace, suite_cfg, engine)
+            meas[engine] = m
+            t_suite[engine] += m["median"]
+            t_suite_min[engine] += m["min"]
+            fps[engine] = _fingerprint(m["result"])
+        stats = meas["batched"]["stats"]
+        if stats.get("fallback") or stats.get("engine") != "batched":
+            fallbacks += 1
         diverged = diverged or fps["scalar"] != fps["batched"]
+        per_workload[name] = {
+            "speedup": (
+                meas["scalar"]["median"] / meas["batched"]["median"]
+                if meas["batched"]["median"] else 0.0
+            ),
+            "t_scalar_median": meas["scalar"]["median"],
+            "t_batched_median": meas["batched"]["median"],
+        }
 
     return {
         "workload": ENGINE_WORKLOAD,
@@ -191,7 +236,13 @@ def bench_engine(budget: int, num_workloads: int, repeats: int = 3):
         "scalar_rec_per_sec": len(showcase) / t_scalar if t_scalar else 0.0,
         "batched_rec_per_sec": len(showcase) / t_batched if t_batched else 0.0,
         "speedup": t_scalar / t_batched if t_batched else 0.0,
-        "bulk_records": stats.get("bulk_records", 0) if stats else 0,
+        "bulk_records": (
+            m_batched["stats"].get("bulk_records", 0)
+            if m_batched["stats"] else 0
+        ),
+        "suite_workloads": suite_names,
+        "suite_config": "dppred+cbpred",
+        "suite_repeats": repeats,
         "suite_t_scalar": t_suite["scalar"],
         "suite_t_batched": t_suite["batched"],
         "suite_speedup": (
@@ -199,6 +250,13 @@ def bench_engine(budget: int, num_workloads: int, repeats: int = 3):
             if t_suite["batched"]
             else 0.0
         ),
+        "suite_speedup_min": (
+            t_suite_min["scalar"] / t_suite_min["batched"]
+            if t_suite_min["batched"]
+            else 0.0
+        ),
+        "suite_per_workload": per_workload,
+        "suite_fallbacks": fallbacks,
         "bit_identical": not diverged,
         "diverged": diverged,
     }
@@ -277,11 +335,13 @@ def main(argv=None) -> int:
                              "on output divergence")
     parser.add_argument("--engine-target", type=float, default=ENGINE_TARGET,
                         metavar="FLOAT",
-                        help="batched-engine speedup floor enforced under "
+                        help="batched-engine *suite* speedup floor "
+                             "(median-of-N over the six-workload suite with "
+                             "dpPred+cbPred) enforced under "
                              f"--strict/--strict-engine (default "
                              f"{ENGINE_TARGET})")
     parser.add_argument("--strict-engine", action="store_true",
-                        help="enforce only the batched-engine speedup floor "
+                        help="enforce only the batched-engine suite gate "
                              "(CI perf-smoke: the single-run and parallel "
                              "targets are too noisy for shared runners)")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -305,11 +365,14 @@ def main(argv=None) -> int:
          f"{engine['t_scalar']:.2f}s", f"{engine['t_batched']:.2f}s",
          f"{engine['speedup']:.2f}x",
          "DIVERGED" if engine["diverged"] else "identical"),
-        ("engine on suite (scalar vs batched)",
+        (f"engine on suite x{len(engine['suite_workloads'])} "
+         f"({engine['suite_config']}, median of {engine['suite_repeats']})",
          f"{engine['suite_t_scalar']:.2f}s",
          f"{engine['suite_t_batched']:.2f}s",
          f"{engine['suite_speedup']:.2f}x",
-         "DIVERGED" if engine["diverged"] else "identical"),
+         "DIVERGED" if engine["diverged"] else (
+             f"{engine['suite_fallbacks']} fallbacks"
+             if engine["suite_fallbacks"] else "identical")),
         (f"matrix {matrix['runs']} runs (serial vs --jobs={args.jobs})",
          f"{matrix['t_serial']:.2f}s", f"{matrix['t_parallel']:.2f}s",
          f"{matrix['speedup']:.2f}x",
@@ -354,13 +417,20 @@ def main(argv=None) -> int:
                         ("matrix", matrix), ("diskcache", cache)):
         if bench["diverged"]:
             failures.append(f"{name}: simulator outputs diverged")
-    if (args.strict or args.strict_engine) and (
-        engine["speedup"] < args.engine_target
-    ):
-        failures.append(
-            f"batched-engine speedup {engine['speedup']:.2f}x "
-            f"< {args.engine_target}x target on {engine['workload']}"
-        )
+    if args.strict or args.strict_engine:
+        if engine["suite_speedup"] < args.engine_target:
+            failures.append(
+                f"batched-engine suite speedup "
+                f"{engine['suite_speedup']:.2f}x < {args.engine_target}x "
+                f"target ({engine['suite_config']}, median of "
+                f"{engine['suite_repeats']})"
+            )
+        if engine["suite_fallbacks"]:
+            failures.append(
+                f"batched engine fell back to scalar on "
+                f"{engine['suite_fallbacks']} suite workload(s) with "
+                f"predictors enabled"
+            )
     if args.strict:
         if single["speedup"] < SINGLE_RUN_TARGET:
             failures.append(

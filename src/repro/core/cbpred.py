@@ -18,6 +18,13 @@ PFQ. The LLC flows are exactly Figure 8:
 The ``cbPred-PFQ`` ablation of Table VII (PFQ disabled) trains and predicts
 on *every* block, which shows exactly why the pre-filter is what buys the
 paper its >98 % accuracy.
+
+NOTE: the batched engine's flat interpreter
+(:class:`repro.sim.engine._FlatStepper`) inlines the hot fill-time
+decision (PFQ match, bHIST probe, bypass/DP-mark) at every LLC fill
+site — stat names and event order included. Changes here must be
+mirrored there; ``tests/test_engine_equivalence.py`` enforces the
+bit-identity.
 """
 
 from __future__ import annotations

@@ -17,6 +17,13 @@ Implements Section V-A faithfully:
 The ``dpPred-SH`` ablation of Table VI (shadow table disabled) is the
 ``shadow_entries=0`` configuration: bypasses still happen but there is no
 victim buffer and no negative feedback.
+
+NOTE: the batched engine's flat interpreter
+(:class:`repro.sim.engine._FlatStepper`) inlines the hot paths of
+:meth:`DeadPagePredictor.on_fill`, :meth:`on_evict`, and the shadow-miss
+branch of :meth:`on_miss` — stat names, event order, and table indexing
+included. Changes here must be mirrored there;
+``tests/test_engine_equivalence.py`` enforces the bit-identity.
 """
 
 from __future__ import annotations

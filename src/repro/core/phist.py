@@ -9,6 +9,11 @@ PC-indexed variant studied in Figure 11b (e.g. a 10-bit PC hash).
 The novel piece is :meth:`flush_column` — the negative feedback issued when
 the shadow table detects a misprediction: "The column of entries
 corresponding to the (hash of) given VPN is flushed from the pHIST".
+
+NOTE: the batched engine's flat interpreter probes and trains the
+counter array (``_counters._values``) in place with the same
+``row * num_cols + col`` indexing; see
+:class:`repro.sim.engine._FlatStepper`.
 """
 
 from __future__ import annotations

@@ -7,6 +7,11 @@ table indicates misprediction."
 Entries hold the full bypassed translation — VPN, PFN, and the PC hash that
 would have been stored in the LLT — so a shadow hit can refill the LLT
 without a page walk. Replacement is FIFO over the tiny capacity.
+
+NOTE: the batched engine's flat interpreter inlines the shadow *miss*
+probe and capacity-eviction insert against ``_entries`` directly
+(shadow hits take the real :meth:`ShadowTable.lookup` path); see
+:class:`repro.sim.engine._FlatStepper`.
 """
 
 from __future__ import annotations

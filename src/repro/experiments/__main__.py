@@ -227,7 +227,9 @@ def main(argv=None) -> int:
             import cProfile
 
             from repro.obs.export import profile_stats_top, write_profile_report
+            from repro.sim.engine import engine_totals, reset_engine_totals
 
+            reset_engine_totals()
             profiler = cProfile.Profile()
             profiler.enable()
             try:
@@ -236,12 +238,17 @@ def main(argv=None) -> int:
                 profiler.disable()
             wall = time.time() - start
             rows = profile_stats_top(profiler, args.profile)
+            totals = engine_totals()
             path = write_profile_report(
                 args.obs if args.obs is not None else ".",
                 experiment=exp_id,
                 rows=rows,
                 wall_time_s=wall,
-                params={"top_n": args.profile, "budget": args.budget},
+                params={
+                    "top_n": args.profile,
+                    "budget": args.budget,
+                    "engine": totals,
+                },
             )
             print(report.render())
             print(f"\n[profile -> {path}]")
@@ -251,6 +258,20 @@ def main(argv=None) -> int:
                     f"{row['tottime_s']:9.3f}s tot  "
                     f"{row['ncalls']:>10} calls  {row['function']}"
                 )
+            reasons = totals["fallback_reasons"]
+            print(
+                f"  engine: {totals['batched']}/{totals['runs']} runs "
+                f"batched, {totals['fallbacks']} scalar fallbacks"
+                + (
+                    " ("
+                    + ", ".join(
+                        f"{why}: {n}" for why, n in sorted(reasons.items())
+                    )
+                    + ")"
+                    if reasons
+                    else ""
+                )
+            )
         else:
             report = run_experiment(exp_id, **kwargs)
             print(report.render())

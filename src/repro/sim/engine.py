@@ -2,16 +2,32 @@
 
 The paper's premise is that the L1 structures absorb the bulk of
 references — only L1-TLB / L1-D misses ever reach the LLT and LLC where
-dpPred and cbPred live. This engine exploits that: a vectorized pre-pass
-over a numpy window of trace records computes VPN / PFN / block indices
-and tests them against array *mirrors* of the L1 I-TLB, L1 D-TLB, and
-L1D contents. The longest prefix of records that is guaranteed to hit in
-all three is then retired array-at-a-time — hit counters, fused-LRU
-stamp updates, Accessed/dirty bits, the same-page filter state, and the
-``(gap + 1) * base_cpi`` cycle fold are all applied in bulk with exactly
-the state transitions of the scalar loop — while the first residual
-(miss) record falls through to the ordinary per-access Python path that
-drives the L2 TLB, walker, LLC, and the predictors.
+dpPred and cbPred live. This engine exploits that with two tiers:
+
+* a **bulk** tier: a vectorized pre-pass over a numpy window of trace
+  records computes VPN / PFN / block indices and tests them against
+  array *mirrors* of the L1 I-TLB, L1 D-TLB, and L1D contents. The
+  longest prefix of records that is guaranteed to hit in all three is
+  retired array-at-a-time — hit counters, fused-LRU stamp updates,
+  Accessed/dirty bits, the same-page filter state, and the
+  ``(gap + 1) * base_cpi`` cycle fold are all applied in bulk with
+  exactly the state transitions of the scalar loop;
+* a **flat** tier (:class:`_FlatStepper`): residual (miss) records run
+  through a fully inlined per-record interpreter over the canonical
+  structures — L2 TLB (LLT), radix walker + PWCs, L2/LLC, writeback
+  cascades, SRRIP and residency tracking, and the paper's predictors.
+  dpPred's fill-time decision (pHIST probe, shadow-FIFO promote/evict,
+  PFQ push, bypass, eviction-time training) and cbPred's fill decision
+  (PFQ match, bHIST probe, LLC bypass, DP-marking) are inlined with
+  their stats and decision events byte-for-byte; rare paths (shadow
+  hits, the demote ablation) delegate to the real predictor methods.
+
+Configs the bulk tier can mirror (order-based L1 replacement, no L1
+listeners) run *hybrid* — bulk prefixes, flat residuals. Configs it
+cannot (SRRIP anywhere) run the flat tier for the whole trace. Configs
+the flat tier cannot model either (``ship``/``fifo``/``random``
+policies, reference tracking, odd dtypes) fall back to scalar with a
+per-reason counter (:func:`flat_reason`, :func:`engine_totals`).
 
 Bit-identity with the scalar engine is a hard guarantee, not a goal
 (``tests/test_engine_equivalence.py`` enforces it property-wise):
@@ -50,7 +66,25 @@ from typing import Optional
 
 import numpy as np
 
+from repro.common.bitops import fold_xor
+from repro.core.cbpred import CorrelatingDeadBlockPredictor
+from repro.core.dppred import ACTION_BYPASS, DeadPagePredictor
+from repro.mem.cache import CacheLine
+from repro.mem.replacement import LruPolicy, SrripPolicy
+from repro.obs.events import (
+    EV_LLC_BYPASS,
+    EV_LLC_MARK_DP,
+    EV_LLT_BYPASS,
+    EV_LLT_VERDICT,
+    EV_PFQ_HIT,
+    EV_PFQ_PUSH,
+    EV_SHADOW_EVICT,
+    EV_SHADOW_PROMOTE,
+    EV_WALK,
+)
+from repro.vm.pagetable import NUM_LEVELS
 from repro.vm.physmem import PAGE_SHIFT
+from repro.vm.tlb import TlbEntry
 from repro.vm.walker import BLOCK_SHIFT
 
 ENGINE_BATCHED = "batched"
@@ -133,6 +167,57 @@ def batchable(machine) -> bool:
     return True
 
 
+#: Fallback / flat-ineligibility reasons (``engine_stats["fallback_reasons"]``
+#: and the per-process :func:`engine_totals` accumulator).
+REASON_POLICY = "policy"        # fifo/random replacement: no flat model
+REASON_PREDICTOR = "predictor"  # non-dpPred/cbPred listener, or L1 wiring
+REASON_REFERENCE = "reference"  # ground-truth reference structures attached
+REASON_DTYPE = "dtype"          # unexpected trace array dtypes
+REASON_EMPTY = "empty"          # zero-record trace
+
+
+def flat_reason(machine) -> Optional[str]:
+    """Why the flat interpreter cannot run this machine (None = it can).
+
+    The flat path inlines the whole scalar access chain — L1 TLBs, LLT,
+    walker, L1D/L2/LLC, dpPred/cbPred — so it is restricted to the
+    structures and hooks it models exactly:
+
+    * every replacement policy must be LRU or SRRIP (fused stamp updates
+      / RRPV aging are inlined; FIFO and random are not modelled);
+    * the L1 TLBs, L1D and L2 must be bare (no listener, no residency) —
+      true for every shipped configuration;
+    * the LLT may carry dpPred (its ``on_miss``/``fill`` slow paths are
+      invoked as real calls), the LLC may carry cbPred (PFQ-filtered
+      fills are inlined, PFQ matches call the real fill) — any other
+      listener (SHiP, AIP, oracle, prefetch, correlation) declines;
+    * ground-truth reference structures hook the residual scalar path
+      only, so they keep the bulk+scalar hybrid instead.
+    """
+    if machine.ref_llt is not None or machine.ref_llc is not None:
+        return REASON_REFERENCE
+    for struct in (
+        machine.l1_itlb, machine.l1_dtlb, machine.l1d, machine.l2
+    ):
+        if struct.listener is not None or struct.residency is not None:
+            return REASON_PREDICTOR
+    for struct in (
+        machine.l1_itlb, machine.l1_dtlb, machine.l2_tlb,
+        machine.l1d, machine.l2, machine.llc,
+    ):
+        if type(struct.policy) not in (LruPolicy, SrripPolicy):
+            return REASON_POLICY
+    lt_listener = machine.l2_tlb.listener
+    if lt_listener is not None and type(lt_listener) is not DeadPagePredictor:
+        return REASON_PREDICTOR
+    llc_listener = machine.llc.listener
+    if llc_listener is not None and (
+        type(llc_listener) is not CorrelatingDeadBlockPredictor
+    ):
+        return REASON_PREDICTOR
+    return None
+
+
 def _trace_ok(trace) -> bool:
     return (
         len(trace) > 0
@@ -143,14 +228,77 @@ def _trace_ok(trace) -> bool:
     )
 
 
+# --------------------------------------------------------------------- #
+# Process-wide dispatch accounting (surfaced by the CLI's --profile)
+# --------------------------------------------------------------------- #
+_totals = {
+    "runs": 0,
+    "batched": 0,
+    "fallbacks": 0,
+    "bulk_records": 0,
+    "flat_records": 0,
+    "scalar_records": 0,
+    "fallback_reasons": {},
+}
+
+
+def engine_totals() -> dict:
+    """Snapshot of batched-engine dispatch since the last reset: runs,
+    fallbacks with per-reason counts, and the bulk/flat/scalar record
+    split. Diagnostics only — never part of simulation results."""
+    out = dict(_totals)
+    out["fallback_reasons"] = dict(_totals["fallback_reasons"])
+    return out
+
+
+def reset_engine_totals() -> None:
+    for key in _totals:
+        if key != "fallback_reasons":
+            _totals[key] = 0
+    _totals["fallback_reasons"].clear()
+
+
 def run_batched(machine, trace):
-    """Run ``trace`` on ``machine`` with the batched engine, falling back
-    to the scalar loop when the fast path is not sound for this machine
-    or trace. Bit-identical to :meth:`Machine.run_scalar` either way."""
-    if not batchable(machine) or not _trace_ok(trace):
-        machine.engine_stats = {"engine": ENGINE_SCALAR, "fallback": True}
-        return machine.run_scalar(trace)
-    return _BatchedRun(machine).run(trace)
+    """Run ``trace`` on ``machine`` with the batched engine.
+
+    Dispatch is three-tier, bit-identical to :meth:`Machine.run_scalar`
+    in every tier:
+
+    1. machines the flat interpreter models run hybrid (bulk numpy
+       prefixes + flat residual spans), or pure flat when the bulk
+       pre-pass is ineligible (e.g. SRRIP, which defeats the same-page
+       filter the bulk prefix test relies on);
+    2. machines with listeners the flat path excludes (SHiP/AIP/oracle/
+       correlation, reference tracking) keep the bulk + per-record
+       scalar hybrid;
+    3. everything else — FIFO/random policies, custom L1 wiring, odd
+       trace dtypes — falls back to the scalar loop, recording why in
+       ``engine_stats["fallback_reasons"]``.
+    """
+    _totals["runs"] += 1
+    if not _trace_ok(trace):
+        reason = REASON_EMPTY if len(trace) == 0 else REASON_DTYPE
+        return _fall_back(machine, trace, reason)
+    why = flat_reason(machine)
+    bulk_ok = batchable(machine)
+    if why is None:
+        run = _BatchedRun(machine, _FlatStepper(machine))
+        return run.run(trace) if bulk_ok else run.run_flat(trace)
+    if bulk_ok:
+        return _BatchedRun(machine, None, why).run(trace)
+    return _fall_back(machine, trace, why)
+
+
+def _fall_back(machine, trace, reason: str):
+    _totals["fallbacks"] += 1
+    reasons = _totals["fallback_reasons"]
+    reasons[reason] = reasons.get(reason, 0) + 1
+    machine.engine_stats = {
+        "engine": ENGINE_SCALAR,
+        "fallback": True,
+        "fallback_reasons": {reason: 1},
+    }
+    return machine.run_scalar(trace)
 
 
 # --------------------------------------------------------------------- #
@@ -203,8 +351,10 @@ class _Window:
 class _BatchedRun:
     """One trace execution under the batched engine."""
 
-    def __init__(self, machine):
+    def __init__(self, machine, flat=None, flat_why: Optional[str] = None):
         self.m = machine
+        self.flat = flat
+        self.flat_why = flat_why
         self.im = _Mirror(machine.l1_itlb, with_pfns=True)
         self.dm = _Mirror(machine.l1_dtlb, with_pfns=True)
         self.cm = _Mirror(machine.l1d, with_pfns=False)
@@ -222,7 +372,7 @@ class _BatchedRun:
         i = 0
         window = _WINDOW_MIN
         burst = 0
-        bulk_records = scalar_records = windows = 0
+        bulk_records = flat_records = scalar_records = windows = 0
         while i < n:
             b = min(i + window, n)
             win = self._precompute(pcs, vaddrs, gaps, i, b)
@@ -247,7 +397,10 @@ class _BatchedRun:
                 burst = min(burst * 2 if burst else _BURST_MIN, _BURST_MAX)
                 span_end = min(i + burst, n)
                 self._scalar_span(pcs, vaddrs, writes, gaps, i, span_end)
-                scalar_records += span_end - i
+                if self.flat is not None:
+                    flat_records += span_end - i
+                else:
+                    scalar_records += span_end - i
                 i = span_end
                 window = _WINDOW_MIN
         sampler = self.sampler
@@ -255,12 +408,48 @@ class _BatchedRun:
             not sampler.marks or sampler.marks[-1] != m.instructions
         ):
             sampler.sample(m.instructions, m.cycles)
-        m.engine_stats = {
+        stats = {
             "engine": ENGINE_BATCHED,
+            "mode": "hybrid",
             "bulk_records": bulk_records,
+            "flat_records": flat_records,
             "scalar_records": scalar_records,
             "windows": windows,
         }
+        if self.flat is None:
+            stats["flat_reason"] = self.flat_why
+        m.engine_stats = stats
+        _totals["batched"] += 1
+        _totals["bulk_records"] += bulk_records
+        _totals["flat_records"] += flat_records
+        _totals["scalar_records"] += scalar_records
+        return m.finalize(trace.name)
+
+    def run_flat(self, trace):
+        """Whole-trace flat execution. Used when the bulk pre-pass is
+        ineligible (SRRIP defeats the same-page filter and the fused-LRU
+        mirrors) but the flat interpreter models the machine exactly."""
+        m = self.m
+        n = len(trace)
+        self.next_at = self.flat.run_span(
+            trace.pcs, trace.vaddrs, trace.writes, trace.gaps, 0, n,
+            self.sampler, self.next_at,
+        )
+        sampler = self.sampler
+        if sampler is not None and (
+            not sampler.marks or sampler.marks[-1] != m.instructions
+        ):
+            sampler.sample(m.instructions, m.cycles)
+        m.engine_stats = {
+            "engine": ENGINE_BATCHED,
+            "mode": "flat",
+            "bulk_records": 0,
+            "flat_records": n,
+            "scalar_records": 0,
+            "windows": 0,
+        }
+        _totals["batched"] += 1
+        _totals["flat_records"] += n
         return m.finalize(trace.name)
 
     # -- window probe --------------------------------------------------- #
@@ -426,6 +615,11 @@ class _BatchedRun:
     def _scalar_span(self, pcs, vaddrs, writes, gaps, a, b) -> None:
         if a >= b:
             return
+        if self.flat is not None:
+            self.next_at = self.flat.run_span(
+                pcs, vaddrs, writes, gaps, a, b, self.sampler, self.next_at
+            )
+            return
         m = self.m
         access = m.access
         records = zip(
@@ -447,3 +641,1695 @@ class _BatchedRun:
                 sampler.sample(m.instructions, m.cycles)
                 next_at = m.instructions + interval
         self.next_at = next_at
+
+
+# --------------------------------------------------------------------- #
+# Flat interpreter
+# --------------------------------------------------------------------- #
+class _FlatStepper:
+    """Flattened per-record interpreter over the canonical structures.
+
+    The bulk pre-pass retires only guaranteed-L1-hit prefixes; this
+    interpreter executes *arbitrary* records — L1 misses, LLT misses and
+    page walks, LLC fills and inclusion victims, dpPred/cbPred
+    decisions, SRRIP aging, residency tracking — by inlining the scalar
+    access chain into one straight-line loop over Python scalars. It is
+    what makes miss-dominated (TLB-thrashing) workloads faster than the
+    scalar engine: the per-event method dispatch, listener checks and
+    Stats lookups of ``machine.access()`` collapse into locals and plain
+    dict operations on the very same state objects.
+
+    Soundness of mixing inline updates with real method calls: every
+    simulated event is handled exactly once, either inline or by the
+    real method. All *structural* state (tags, entries, stamps, RRPVs,
+    clocks, content versions, predictor tables, residency trackers)
+    lives on the real objects; the only locally buffered state is
+    additive Stats counter deltas, flushed into the live dicts before
+    every telemetry sample and at span end. Rare or complex events call
+    the real methods — dpPred's shadow *hits* (misprediction refills),
+    LLT fills under the demote ablation, DP-marked LLC evictions —
+    while the hot paths stay inline: dpPred's fill-time prediction
+    (pHIST probe, bypass bookkeeping, shadow-FIFO insert/evict, PFQ
+    push) and eviction-time training, the shadow-miss probe, and
+    cbPred's full fill decision (PFQ match, bHIST probe, bypass,
+    DP-mark) are replicated inline with identical stat bumps and
+    decision-event emissions; dp=False LLC victims make ``on_evict`` a
+    no-op and are skipped. ``fold_xor`` hashes are memoized per run
+    (pure function of its inputs).
+    """
+
+    __slots__ = ("m", "_fx_pc", "_fx_vpn", "_fx_blk")
+
+    def __init__(self, machine):
+        self.m = machine
+        # Memoized fold_xor results (pure function, narrow key spaces:
+        # PCs repeat per site, VPNs per page working set). One dict per
+        # bit width in use, living as long as the run.
+        self._fx_pc = {}
+        self._fx_vpn = {}
+        self._fx_blk = {}
+
+    def run_span(self, pcs, vaddrs, writes, gaps, a, b, sampler, next_at):
+        """Execute records ``[a, b)``; returns the updated telemetry
+        boundary. Machine state is read at entry and written back at
+        exit; counter deltas are flushed before each timeline sample so
+        samples observe exactly the scalar loop's counter values."""
+        if b <= a:
+            return next_at
+        m = self.m
+        fx_pc = self._fx_pc
+        fx_vpn = self._fx_vpn
+        fx_blk = self._fx_blk
+        # --- machine scalars ------------------------------------------- #
+        now = m.now
+        instructions = m.instructions
+        cycles = m.cycles
+        base_cpi = m._base_cpi
+        l2_tlb_hit_penalty = m._l2_tlb_hit_penalty
+        l2_hit_penalty = m._l2_hit_penalty
+        llc_hit_penalty = m._llc_hit_penalty
+        mem_penalty = m._mem_penalty
+        l2_tlb_latency = m._l2_tlb_latency
+        walk_exposure = m._walk_exposure
+        pfn_to_vpn = m.pfn_to_vpn
+        probe = m._probe
+        pf = m._page_filter
+        ps = PAGE_SHIFT
+        bs = BLOCK_SHIFT
+        boff = PAGE_SHIFT - BLOCK_SHIFT
+        bmask = (1 << boff) - 1
+        if sampler is not None:
+            interval = sampler.interval
+            sample = sampler.sample
+        else:
+            interval = 0
+            sample = None
+            next_at = float("inf")
+
+        # --- L1 I-TLB --------------------------------------------------- #
+        it = m.l1_itlb
+        it_mask = it._set_mask
+        it_assoc = it.assoc
+        it_tags = it._tags
+        it_entries = it._entries
+        it_lru = it._lru
+        it_stamps = it._lru_stamps
+        it_rrpv = None if it_lru is not None else it.policy._rrpv
+        it_rmax = 0 if it_lru is not None else it.policy.rrpv_max
+        it_stat = it._stat
+        it_hits = it_misses = it_fills = it_evicts = 0
+        # --- L1 D-TLB --------------------------------------------------- #
+        dt = m.l1_dtlb
+        dt_mask = dt._set_mask
+        dt_assoc = dt.assoc
+        dt_tags = dt._tags
+        dt_entries = dt._entries
+        dt_lru = dt._lru
+        dt_stamps = dt._lru_stamps
+        dt_rrpv = None if dt_lru is not None else dt.policy._rrpv
+        dt_rmax = 0 if dt_lru is not None else dt.policy.rrpv_max
+        dt_stat = dt._stat
+        dt_hits = dt_misses = dt_fills = dt_evicts = 0
+        # --- LLT (may carry dpPred and residency) ----------------------- #
+        lt = m.l2_tlb
+        lt_mask = lt._set_mask
+        lt_assoc = lt.assoc
+        lt_tags = lt._tags
+        lt_entries = lt._entries
+        lt_lru = lt._lru
+        lt_stamps = lt._lru_stamps
+        lt_rrpv = None if lt_lru is not None else lt.policy._rrpv
+        lt_rmax = 0 if lt_lru is not None else lt.policy.rrpv_max
+        lt_stat = lt._stat
+        lt_listener = lt.listener
+        lt_on_miss = None if lt_listener is None else lt_listener.on_miss
+        lt_fill = lt.fill
+        lt_res = lt.residency
+        lt_hits = lt_misses = lt_vbh = lt_fills = lt_evicts = lt_byp = 0
+        # dpPred wiring: fill-time prediction, bypass bookkeeping, the
+        # shadow FIFO and eviction-time training are inlined; shadow
+        # *hits* (misprediction refills) and the demote ablation call
+        # the real methods.
+        dp = lt_listener
+        if dp is not None:
+            dp_stat = dp.stats.counters
+            dp_probe = dp.probe
+            dp_obs = dp.prediction_observer
+            dp_sink = dp.pfn_sink
+            dp_pcbits = dp.config.pc_hash_bits
+            dp_vbits = dp.config.vpn_hash_bits
+            dp_thresh = dp.config.threshold
+            dp_demote = dp.config.action != ACTION_BYPASS
+            ph = dp.phist
+            ph_vals = ph._counters._values
+            ph_rows = ph.num_rows
+            ph_cols = ph.num_cols
+            ph_max = ph._counters._max
+            ph_stat = ph.stats.counters
+            sh = dp.shadow
+            sh_entries = None if sh is None else sh._entries
+            sh_cap = 0 if sh is None else sh.capacity
+            sh_stat = None if sh is None else sh.stats.counters
+            sh_probe = None if sh is None else sh.probe
+        else:
+            dp_demote = False
+            sh_entries = None
+        # --- caches ----------------------------------------------------- #
+        l1 = m.l1d
+        l1_mask = l1._set_mask
+        l1_assoc = l1.assoc
+        l1_tags = l1._tags
+        l1_lines = l1._lines
+        l1_lru = l1._lru
+        l1_stamps = l1._lru_stamps
+        l1_rrpv = None if l1_lru is not None else l1.policy._rrpv
+        l1_rmax = 0 if l1_lru is not None else l1.policy.rrpv_max
+        l1_stat = l1._stat
+        l1_hits = l1_misses = l1_fills = l1_evicts = l1_wb = l1_inv = 0
+        l2 = m.l2
+        l2_mask = l2._set_mask
+        l2_assoc = l2.assoc
+        l2_tags = l2._tags
+        l2_lines = l2._lines
+        l2_lru = l2._lru
+        l2_stamps = l2._lru_stamps
+        l2_rrpv = None if l2_lru is not None else l2.policy._rrpv
+        l2_rmax = 0 if l2_lru is not None else l2.policy.rrpv_max
+        l2_stat = l2._stat
+        l2_hits = l2_misses = l2_fills = l2_evicts = l2_wb = l2_inv = 0
+        l3 = m.llc
+        l3_mask = l3._set_mask
+        l3_assoc = l3.assoc
+        l3_tags = l3._tags
+        l3_lines = l3._lines
+        l3_lru = l3._lru
+        l3_stamps = l3._lru_stamps
+        l3_rrpv = None if l3_lru is not None else l3.policy._rrpv
+        l3_rmax = 0 if l3_lru is not None else l3.policy.rrpv_max
+        l3_stat = l3._stat
+        l3_fill = l3.fill
+        l3_res = l3.residency
+        l3_hits = l3_misses = l3_fills = l3_evicts = l3_wb = l3_byp = 0
+        # cbPred wiring: every LLC fill decision is inlined — the PFQ-miss
+        # fast path resets nothing and allocates; PFQ matches (and the
+        # no-PFQ ablation, which predicts on every fill) replicate
+        # ``on_fill``'s bHIST probe, bypass, and DP-marking exactly.
+        cb = l3.listener
+        cb_pfq = (
+            cb.pfq._members
+            if cb is not None and cb.config.use_pfq
+            else None
+        )
+        cb_on_evict = None if cb is None else cb.on_evict
+        cb_probe = None if cb is None else cb.probe
+        cb_obs = None if cb is None else cb.prediction_observer
+        cb_stat = None if cb is None else cb.stats.counters
+        if cb is not None:
+            bh_vals = cb.bhist._counters._values
+            bh_bits = cb.bhist.hash_bits
+            bh_thresh = cb.config.threshold
+        else:
+            bh_vals = None
+            bh_bits = bh_thresh = 0
+        # --- hierarchy / memory / walker -------------------------------- #
+        hier = m.hierarchy
+        h_stat = hier._stat
+        h_acc = h_demand = h_walkacc = h_incl = h_orphan = 0
+        mem = hier.memory
+        mem_stat = mem._stat
+        mem_lat = mem.latency
+        m_acc = m_reads = m_writes = 0
+        hl2_lat = hier.l2_latency
+        hl3_lat = hier.llc_latency
+        walker = m.walker
+        w_stat = walker._stat
+        page_table_walk_path = walker.page_table.walk_path
+        pwc_consult = walker.pwc.consult
+        pwc_fill = walker.pwc.fill
+        w_walks = w_memacc = w_cycles = 0
+        # --- same-page filter state ------------------------------------- #
+        last_ivpn = m._last_ivpn
+        last_ient = m._last_ientry
+        last_dvpn = m._last_dvpn
+        last_dent = m._last_dentry
+
+        pc = 0  # last processed PC (context write-back for empty guard)
+        pos = a
+        while pos < b:
+            seg = min(pos + 65536, b)
+            for pc, vaddr, is_write, gap in zip(
+                pcs[pos:seg].tolist(),
+                vaddrs[pos:seg].tolist(),
+                writes[pos:seg].tolist(),
+                gaps[pos:seg].tolist(),
+            ):
+                now += 1
+                instructions += gap + 1
+
+                # ---- instruction-side translation ---------------------- #
+                ivpn = pc >> ps
+                if pf and ivpn == last_ivpn:
+                    it_hits += 1
+                    last_ient.accessed = True
+                    penalty = 0.0
+                else:
+                    set_i = ivpn & it_mask
+                    tags_i = it_tags[set_i]
+                    way = tags_i.get(ivpn)
+                    if way is not None:
+                        it_hits += 1
+                        entry = it_entries[set_i][way]
+                        entry.accessed = True
+                        if it_lru is not None:
+                            it_lru._clock += 1
+                            it_stamps[set_i][way] = it_lru._clock
+                        else:
+                            it_rrpv[set_i][way] = 0
+                        penalty = 0.0
+                        if pf:
+                            last_ivpn = ivpn
+                            last_ient = entry
+                    else:
+                        it_misses += 1
+                        pfn_i = None
+                        set_l = ivpn & lt_mask
+                        tags_l = lt_tags[set_l]
+                        wl = tags_l.get(ivpn)
+                        if wl is not None:
+                            lt_hits += 1
+                            le = lt_entries[set_l][wl]
+                            le.accessed = True
+                            if lt_lru is not None:
+                                lt_lru._clock += 1
+                                lt_stamps[set_l][wl] = lt_lru._clock
+                            else:
+                                lt_rrpv[set_l][wl] = 0
+                            if lt_res is not None:
+                                lt_res.hit((set_l, wl), now)
+                            pfn_i = le.pfn
+                            penalty = l2_tlb_hit_penalty
+                        else:
+                            lt_misses += 1
+                            if sh_entries is not None:
+                                # shadow-miss fast path; hits (rare
+                                # misprediction refills) take the real
+                                # on_miss slow path
+                                if ivpn in sh_entries:
+                                    buffered = lt_on_miss(lt, ivpn, now)
+                                    if buffered is not None:
+                                        lt_vbh += 1
+                                        pfn_i = buffered
+                                        penalty = l2_tlb_hit_penalty
+                                else:
+                                    sh_stat["misses"] = (
+                                        sh_stat.get("misses", 0) + 1
+                                    )
+                            if pfn_i is None:
+                                # ---- page walk (inlined walker.walk) --- #
+                                w_walks += 1
+                                pfn_i, path = page_table_walk_path(ivpn)
+                                resolved, wlat = pwc_consult(ivpn)
+                                w_memacc += NUM_LEVELS - resolved
+                                for pte_paddr in path[resolved:]:
+                                    blk = pte_paddr >> bs
+                                    h_walkacc += 1
+                                    set_c = blk & l2_mask
+                                    tc = l2_tags[set_c]
+                                    wc = tc.get(blk)
+                                    if wc is not None:
+                                        l2_hits += 1
+                                        ln = l2_lines[set_c][wc]
+                                        ln.accessed = True
+                                        if l2_lru is not None:
+                                            l2_lru._clock += 1
+                                            l2_stamps[set_c][wc] = (
+                                                l2_lru._clock
+                                            )
+                                        else:
+                                            l2_rrpv[set_c][wc] = 0
+                                        wlat += hl2_lat
+                                        continue
+                                    l2_misses += 1
+                                    set_c3 = blk & l3_mask
+                                    tc3 = l3_tags[set_c3]
+                                    wc3 = tc3.get(blk)
+                                    if wc3 is not None:
+                                        l3_hits += 1
+                                        ln = l3_lines[set_c3][wc3]
+                                        ln.accessed = True
+                                        if l3_lru is not None:
+                                            l3_lru._clock += 1
+                                            l3_stamps[set_c3][wc3] = (
+                                                l3_lru._clock
+                                            )
+                                        else:
+                                            l3_rrpv[set_c3][wc3] = 0
+                                        if l3_res is not None:
+                                            l3_res.hit((set_c3, wc3), now)
+                                        wlat += hl3_lat
+                                    else:
+                                        l3_misses += 1
+                                        m_acc += 1
+                                        m_reads += 1
+                                        wlat += hl3_lat + mem_lat
+                                        # fill LLC (cbPred inlined)
+                                        bypass3 = mark_dp = False
+                                        if cb is not None and (
+                                            cb_pfq is None
+                                            or (blk >> boff) in cb_pfq
+                                        ):
+                                            if cb_pfq is not None:
+                                                cb_stat["pfq_matches"] = (
+                                                    cb_stat.get(
+                                                        "pfq_matches", 0
+                                                    ) + 1
+                                                )
+                                                if cb_probe is not None:
+                                                    cb_probe.emit(
+                                                        now, EV_PFQ_HIT, blk
+                                                    )
+                                            bhh = fx_blk.get(blk)
+                                            if bhh is None:
+                                                bhh = fx_blk[blk] = (
+                                                    fold_xor(blk, bh_bits)
+                                                )
+                                            doa = bh_vals[bhh] > bh_thresh
+                                            if cb_obs is not None:
+                                                cb_obs(blk, doa)
+                                            if doa:
+                                                cb_stat[
+                                                    "doa_predictions"
+                                                ] = cb_stat.get(
+                                                    "doa_predictions", 0
+                                                ) + 1
+                                                if cb_probe is not None:
+                                                    cb_probe.emit(
+                                                        now,
+                                                        EV_LLC_BYPASS,
+                                                        blk,
+                                                    )
+                                                bypass3 = True
+                                            elif cb_probe is not None:
+                                                mark_dp = True
+                                                cb_probe.emit(
+                                                    now, EV_LLC_MARK_DP, blk
+                                                )
+                                            else:
+                                                mark_dp = True
+                                        if bypass3:
+                                            l3_byp += 1
+                                            victim3 = None
+                                        else:
+                                            lines3 = l3_lines[set_c3]
+                                            victim3 = None
+                                            w3 = None
+                                            if len(tc3) < l3_assoc:
+                                                for wi2, ex in enumerate(
+                                                    lines3
+                                                ):
+                                                    if ex is None:
+                                                        w3 = wi2
+                                                        break
+                                            if w3 is None:
+                                                if l3_lru is not None:
+                                                    row = l3_stamps[set_c3]
+                                                    w3 = row.index(min(row))
+                                                else:
+                                                    row = l3_rrpv[set_c3]
+                                                    while l3_rmax not in row:
+                                                        for wi2 in range(
+                                                            l3_assoc
+                                                        ):
+                                                            row[wi2] += 1
+                                                    w3 = row.index(l3_rmax)
+                                                victim3 = lines3[w3]
+                                                del tc3[victim3.tag]
+                                                lines3[w3] = None
+                                                l3.content_version += 1
+                                                l3_evicts += 1
+                                                if victim3.dirty:
+                                                    l3_wb += 1
+                                                if l3_res is not None:
+                                                    l3_res.evict(
+                                                        (set_c3, w3), now
+                                                    )
+                                                if (
+                                                    cb is not None
+                                                    and victim3.dp
+                                                ):
+                                                    cb_on_evict(
+                                                        l3, victim3, now
+                                                    )
+                                            ln = CacheLine(blk, False)
+                                            if mark_dp:
+                                                ln.dp = True
+                                            lines3[w3] = ln
+                                            tc3[blk] = w3
+                                            l3.content_version += 1
+                                            if l3_lru is not None:
+                                                l3_lru._clock += 1
+                                                l3_stamps[set_c3][w3] = (
+                                                    l3_lru._clock
+                                                )
+                                            else:
+                                                l3_rrpv[set_c3][w3] = (
+                                                    l3_rmax - 1
+                                                )
+                                            l3_fills += 1
+                                            if l3_res is not None:
+                                                l3_res.fill(
+                                                    (set_c3, w3), now
+                                                )
+                                        if victim3 is not None:
+                                            vt = victim3.tag
+                                            s1 = vt & l1_mask
+                                            wv = l1_tags[s1].get(vt)
+                                            in1 = None
+                                            if wv is not None:
+                                                l1_inv += 1
+                                                in1 = l1_lines[s1][wv]
+                                                del l1_tags[s1][vt]
+                                                l1_lines[s1][wv] = None
+                                                l1.content_version += 1
+                                                l1_evicts += 1
+                                                if in1.dirty:
+                                                    l1_wb += 1
+                                                if l1_lru is None:
+                                                    l1_rrpv[s1][wv] = l1_rmax
+                                            s2 = vt & l2_mask
+                                            wv2 = l2_tags[s2].get(vt)
+                                            in2 = None
+                                            if wv2 is not None:
+                                                l2_inv += 1
+                                                in2 = l2_lines[s2][wv2]
+                                                del l2_tags[s2][vt]
+                                                l2_lines[s2][wv2] = None
+                                                l2.content_version += 1
+                                                l2_evicts += 1
+                                                if in2.dirty:
+                                                    l2_wb += 1
+                                                if l2_lru is None:
+                                                    l2_rrpv[s2][wv2] = (
+                                                        l2_rmax
+                                                    )
+                                            if (
+                                                in1 is not None
+                                                or in2 is not None
+                                            ):
+                                                h_incl += 1
+                                            if (
+                                                victim3.dirty
+                                                or (in1 and in1.dirty)
+                                                or (in2 and in2.dirty)
+                                            ):
+                                                m_acc += 1
+                                                m_writes += 1
+                                    # fill L2 (walk loads land in L2)
+                                    lines2 = l2_lines[set_c]
+                                    victim2 = None
+                                    w2 = None
+                                    if len(tc) < l2_assoc:
+                                        for wi2, ex in enumerate(lines2):
+                                            if ex is None:
+                                                w2 = wi2
+                                                break
+                                    if w2 is None:
+                                        if l2_lru is not None:
+                                            row = l2_stamps[set_c]
+                                            w2 = row.index(min(row))
+                                        else:
+                                            row = l2_rrpv[set_c]
+                                            while l2_rmax not in row:
+                                                for wi2 in range(l2_assoc):
+                                                    row[wi2] += 1
+                                            w2 = row.index(l2_rmax)
+                                        victim2 = lines2[w2]
+                                        del tc[victim2.tag]
+                                        lines2[w2] = None
+                                        l2.content_version += 1
+                                        l2_evicts += 1
+                                        if victim2.dirty:
+                                            l2_wb += 1
+                                    ln = CacheLine(blk, False)
+                                    lines2[w2] = ln
+                                    tc[blk] = w2
+                                    l2.content_version += 1
+                                    if l2_lru is not None:
+                                        l2_lru._clock += 1
+                                        l2_stamps[set_c][w2] = l2_lru._clock
+                                    else:
+                                        l2_rrpv[set_c][w2] = l2_rmax - 1
+                                    l2_fills += 1
+                                    if victim2 is not None and victim2.dirty:
+                                        vt = victim2.tag
+                                        s3 = vt & l3_mask
+                                        wv3 = l3_tags[s3].get(vt)
+                                        if wv3 is not None:
+                                            l3_lines[s3][wv3].dirty = True
+                                        else:
+                                            m_acc += 1
+                                            m_writes += 1
+                                            h_orphan += 1
+                                pwc_fill(ivpn)
+                                w_cycles += wlat
+                                pfn_to_vpn[pfn_i] = ivpn
+                                if probe is not None:
+                                    probe.emit(now, EV_WALK, ivpn, wlat)
+                                penalty = (
+                                    l2_tlb_latency + wlat * walk_exposure
+                                )
+                                # LLT fill (dpPred decision inlined)
+                                lt_install = True
+                                lt_pch = pc
+                                if dp is not None:
+                                    if dp_demote:
+                                        lt_fill(ivpn, pfn_i, pc, now)
+                                        lt_install = False
+                                    else:
+                                        pc_h = fx_pc.get(pc)
+                                        if pc_h is None:
+                                            pc_h = fx_pc[pc] = fold_xor(
+                                                pc, dp_pcbits
+                                            )
+                                        lt_pch = pc_h
+                                        if dp_vbits:
+                                            vh = fx_vpn.get(ivpn)
+                                            if vh is None:
+                                                vh = fx_vpn[ivpn] = (
+                                                    fold_xor(
+                                                        ivpn, dp_vbits
+                                                    )
+                                                )
+                                        else:
+                                            vh = 0
+                                        doa = (
+                                            ph_vals[pc_h * ph_cols + vh]
+                                            > dp_thresh
+                                        )
+                                        if dp_obs is not None:
+                                            dp_obs(ivpn, doa)
+                                        if doa:
+                                            lt_install = False
+                                            dp_stat["doa_predictions"] = (
+                                                dp_stat.get(
+                                                    "doa_predictions", 0
+                                                ) + 1
+                                            )
+                                            if dp_sink is not None:
+                                                dp_sink(pfn_i)
+                                                if dp_probe is not None:
+                                                    dp_probe.emit(
+                                                        now, EV_PFQ_PUSH,
+                                                        pfn_i,
+                                                    )
+                                            if sh_entries is not None:
+                                                if ivpn in sh_entries:
+                                                    del sh_entries[ivpn]
+                                                elif (
+                                                    len(sh_entries)
+                                                    >= sh_cap
+                                                ):
+                                                    ev_vpn, _ = (
+                                                        sh_entries.popitem(
+                                                            last=False
+                                                        )
+                                                    )
+                                                    sh_stat[
+                                                        "evictions"
+                                                    ] = sh_stat.get(
+                                                        "evictions", 0
+                                                    ) + 1
+                                                    if sh_probe is not None:
+                                                        sh_probe.emit(
+                                                            now,
+                                                            EV_SHADOW_EVICT,
+                                                            ev_vpn,
+                                                        )
+                                                sh_entries[ivpn] = (
+                                                    pfn_i, pc_h
+                                                )
+                                                sh_stat["inserts"] = (
+                                                    sh_stat.get(
+                                                        "inserts", 0
+                                                    ) + 1
+                                                )
+                                                if dp_probe is not None:
+                                                    dp_probe.emit(
+                                                        now,
+                                                        EV_SHADOW_PROMOTE,
+                                                        ivpn, pfn_i,
+                                                    )
+                                            if dp_probe is not None:
+                                                dp_probe.emit(
+                                                    now, EV_LLT_BYPASS,
+                                                    ivpn, pfn_i,
+                                                )
+                                            lt_byp += 1
+                                if lt_install:
+                                    set_l = ivpn & lt_mask
+                                    tags_l = lt_tags[set_l]
+                                    entries_l = lt_entries[set_l]
+                                    wl = None
+                                    if len(tags_l) < lt_assoc:
+                                        for wi2, ex in enumerate(entries_l):
+                                            if ex is None:
+                                                wl = wi2
+                                                break
+                                    if wl is None:
+                                        if lt_lru is not None:
+                                            row = lt_stamps[set_l]
+                                            wl = row.index(min(row))
+                                        else:
+                                            row = lt_rrpv[set_l]
+                                            while lt_rmax not in row:
+                                                for wi2 in range(lt_assoc):
+                                                    row[wi2] += 1
+                                            wl = row.index(lt_rmax)
+                                        victim_l = entries_l[wl]
+                                        del tags_l[victim_l.vpn]
+                                        entries_l[wl] = None
+                                        lt.content_version += 1
+                                        lt_evicts += 1
+                                        if lt_res is not None:
+                                            lt_res.evict((set_l, wl), now)
+                                        if dp is not None:
+                                            # on_evict training inlined
+                                            vv = victim_l.vpn
+                                            if dp_vbits:
+                                                vh2 = fx_vpn.get(vv)
+                                                if vh2 is None:
+                                                    vh2 = fx_vpn[vv] = (
+                                                        fold_xor(
+                                                            vv, dp_vbits
+                                                        )
+                                                    )
+                                            else:
+                                                vh2 = 0
+                                            pidx = (
+                                                (victim_l.pc_hash % ph_rows)
+                                                * ph_cols + vh2
+                                            )
+                                            if victim_l.accessed:
+                                                ph_vals[pidx] = 0
+                                                ph_stat[
+                                                    "not_doa_trainings"
+                                                ] = ph_stat.get(
+                                                    "not_doa_trainings", 0
+                                                ) + 1
+                                            else:
+                                                pv = ph_vals[pidx]
+                                                if pv < ph_max:
+                                                    ph_vals[pidx] = pv + 1
+                                                ph_stat[
+                                                    "doa_trainings"
+                                                ] = ph_stat.get(
+                                                    "doa_trainings", 0
+                                                ) + 1
+                                                dp_stat[
+                                                    "doa_evictions_observed"
+                                                ] = dp_stat.get(
+                                                    "doa_evictions_observed",
+                                                    0,
+                                                ) + 1
+                                            if dp_probe is not None:
+                                                dp_probe.emit(
+                                                    now, EV_LLT_VERDICT,
+                                                    victim_l.vpn, False,
+                                                    not victim_l.accessed,
+                                                )
+                                    le = TlbEntry(ivpn, pfn_i, lt_pch)
+                                    entries_l[wl] = le
+                                    tags_l[ivpn] = wl
+                                    lt.content_version += 1
+                                    if lt_lru is not None:
+                                        lt_lru._clock += 1
+                                        lt_stamps[set_l][wl] = lt_lru._clock
+                                    else:
+                                        lt_rrpv[set_l][wl] = lt_rmax - 1
+                                    lt_fills += 1
+                                    if lt_res is not None:
+                                        lt_res.fill((set_l, wl), now)
+                        # L1 I-TLB fill
+                        set_i = ivpn & it_mask
+                        tags_i = it_tags[set_i]
+                        entries_i = it_entries[set_i]
+                        wi_ = None
+                        if len(tags_i) < it_assoc:
+                            for wi2, ex in enumerate(entries_i):
+                                if ex is None:
+                                    wi_ = wi2
+                                    break
+                        if wi_ is None:
+                            if it_lru is not None:
+                                row = it_stamps[set_i]
+                                wi_ = row.index(min(row))
+                            else:
+                                row = it_rrpv[set_i]
+                                while it_rmax not in row:
+                                    for wi2 in range(it_assoc):
+                                        row[wi2] += 1
+                                wi_ = row.index(it_rmax)
+                            victim_i = entries_i[wi_]
+                            del tags_i[victim_i.vpn]
+                            entries_i[wi_] = None
+                            it.content_version += 1
+                            it_evicts += 1
+                        ent = TlbEntry(ivpn, pfn_i, pc)
+                        entries_i[wi_] = ent
+                        tags_i[ivpn] = wi_
+                        it.content_version += 1
+                        if it_lru is not None:
+                            it_lru._clock += 1
+                            it_stamps[set_i][wi_] = it_lru._clock
+                        else:
+                            it_rrpv[set_i][wi_] = it_rmax - 1
+                        it_fills += 1
+                        if pf:
+                            last_ivpn = ivpn
+                            last_ient = ent
+
+                # ---- data-side translation ----------------------------- #
+                dvpn = vaddr >> ps
+                if pf and dvpn == last_dvpn:
+                    dt_hits += 1
+                    last_dent.accessed = True
+                    pfn = last_dent.pfn
+                else:
+                    set_d = dvpn & dt_mask
+                    tags_d = dt_tags[set_d]
+                    wd = tags_d.get(dvpn)
+                    if wd is not None:
+                        dt_hits += 1
+                        dentry = dt_entries[set_d][wd]
+                        dentry.accessed = True
+                        if dt_lru is not None:
+                            dt_lru._clock += 1
+                            dt_stamps[set_d][wd] = dt_lru._clock
+                        else:
+                            dt_rrpv[set_d][wd] = 0
+                        pfn = dentry.pfn
+                        if pf:
+                            last_dvpn = dvpn
+                            last_dent = dentry
+                    else:
+                        dt_misses += 1
+                        pfn = None
+                        set_l = dvpn & lt_mask
+                        tags_l = lt_tags[set_l]
+                        wl = tags_l.get(dvpn)
+                        if wl is not None:
+                            lt_hits += 1
+                            le = lt_entries[set_l][wl]
+                            le.accessed = True
+                            if lt_lru is not None:
+                                lt_lru._clock += 1
+                                lt_stamps[set_l][wl] = lt_lru._clock
+                            else:
+                                lt_rrpv[set_l][wl] = 0
+                            if lt_res is not None:
+                                lt_res.hit((set_l, wl), now)
+                            pfn = le.pfn
+                            penalty += l2_tlb_hit_penalty
+                        else:
+                            lt_misses += 1
+                            if sh_entries is not None:
+                                # shadow-miss fast path; hits (rare
+                                # misprediction refills) take the real
+                                # on_miss slow path
+                                if dvpn in sh_entries:
+                                    buffered = lt_on_miss(lt, dvpn, now)
+                                    if buffered is not None:
+                                        lt_vbh += 1
+                                        pfn = buffered
+                                        penalty += l2_tlb_hit_penalty
+                                else:
+                                    sh_stat["misses"] = (
+                                        sh_stat.get("misses", 0) + 1
+                                    )
+                            if pfn is None:
+                                # ---- page walk (inlined walker.walk) --- #
+                                w_walks += 1
+                                pfn, path = page_table_walk_path(dvpn)
+                                resolved, wlat = pwc_consult(dvpn)
+                                w_memacc += NUM_LEVELS - resolved
+                                for pte_paddr in path[resolved:]:
+                                    blk = pte_paddr >> bs
+                                    h_walkacc += 1
+                                    set_c = blk & l2_mask
+                                    tc = l2_tags[set_c]
+                                    wc = tc.get(blk)
+                                    if wc is not None:
+                                        l2_hits += 1
+                                        ln = l2_lines[set_c][wc]
+                                        ln.accessed = True
+                                        if l2_lru is not None:
+                                            l2_lru._clock += 1
+                                            l2_stamps[set_c][wc] = (
+                                                l2_lru._clock
+                                            )
+                                        else:
+                                            l2_rrpv[set_c][wc] = 0
+                                        wlat += hl2_lat
+                                        continue
+                                    l2_misses += 1
+                                    set_c3 = blk & l3_mask
+                                    tc3 = l3_tags[set_c3]
+                                    wc3 = tc3.get(blk)
+                                    if wc3 is not None:
+                                        l3_hits += 1
+                                        ln = l3_lines[set_c3][wc3]
+                                        ln.accessed = True
+                                        if l3_lru is not None:
+                                            l3_lru._clock += 1
+                                            l3_stamps[set_c3][wc3] = (
+                                                l3_lru._clock
+                                            )
+                                        else:
+                                            l3_rrpv[set_c3][wc3] = 0
+                                        if l3_res is not None:
+                                            l3_res.hit((set_c3, wc3), now)
+                                        wlat += hl3_lat
+                                    else:
+                                        l3_misses += 1
+                                        m_acc += 1
+                                        m_reads += 1
+                                        wlat += hl3_lat + mem_lat
+                                        # fill LLC (cbPred inlined)
+                                        bypass3 = mark_dp = False
+                                        if cb is not None and (
+                                            cb_pfq is None
+                                            or (blk >> boff) in cb_pfq
+                                        ):
+                                            if cb_pfq is not None:
+                                                cb_stat["pfq_matches"] = (
+                                                    cb_stat.get(
+                                                        "pfq_matches", 0
+                                                    ) + 1
+                                                )
+                                                if cb_probe is not None:
+                                                    cb_probe.emit(
+                                                        now, EV_PFQ_HIT, blk
+                                                    )
+                                            bhh = fx_blk.get(blk)
+                                            if bhh is None:
+                                                bhh = fx_blk[blk] = (
+                                                    fold_xor(blk, bh_bits)
+                                                )
+                                            doa = bh_vals[bhh] > bh_thresh
+                                            if cb_obs is not None:
+                                                cb_obs(blk, doa)
+                                            if doa:
+                                                cb_stat[
+                                                    "doa_predictions"
+                                                ] = cb_stat.get(
+                                                    "doa_predictions", 0
+                                                ) + 1
+                                                if cb_probe is not None:
+                                                    cb_probe.emit(
+                                                        now,
+                                                        EV_LLC_BYPASS,
+                                                        blk,
+                                                    )
+                                                bypass3 = True
+                                            elif cb_probe is not None:
+                                                mark_dp = True
+                                                cb_probe.emit(
+                                                    now, EV_LLC_MARK_DP, blk
+                                                )
+                                            else:
+                                                mark_dp = True
+                                        if bypass3:
+                                            l3_byp += 1
+                                            victim3 = None
+                                        else:
+                                            lines3 = l3_lines[set_c3]
+                                            victim3 = None
+                                            w3 = None
+                                            if len(tc3) < l3_assoc:
+                                                for wi2, ex in enumerate(
+                                                    lines3
+                                                ):
+                                                    if ex is None:
+                                                        w3 = wi2
+                                                        break
+                                            if w3 is None:
+                                                if l3_lru is not None:
+                                                    row = l3_stamps[set_c3]
+                                                    w3 = row.index(min(row))
+                                                else:
+                                                    row = l3_rrpv[set_c3]
+                                                    while l3_rmax not in row:
+                                                        for wi2 in range(
+                                                            l3_assoc
+                                                        ):
+                                                            row[wi2] += 1
+                                                    w3 = row.index(l3_rmax)
+                                                victim3 = lines3[w3]
+                                                del tc3[victim3.tag]
+                                                lines3[w3] = None
+                                                l3.content_version += 1
+                                                l3_evicts += 1
+                                                if victim3.dirty:
+                                                    l3_wb += 1
+                                                if l3_res is not None:
+                                                    l3_res.evict(
+                                                        (set_c3, w3), now
+                                                    )
+                                                if (
+                                                    cb is not None
+                                                    and victim3.dp
+                                                ):
+                                                    cb_on_evict(
+                                                        l3, victim3, now
+                                                    )
+                                            ln = CacheLine(blk, False)
+                                            if mark_dp:
+                                                ln.dp = True
+                                            lines3[w3] = ln
+                                            tc3[blk] = w3
+                                            l3.content_version += 1
+                                            if l3_lru is not None:
+                                                l3_lru._clock += 1
+                                                l3_stamps[set_c3][w3] = (
+                                                    l3_lru._clock
+                                                )
+                                            else:
+                                                l3_rrpv[set_c3][w3] = (
+                                                    l3_rmax - 1
+                                                )
+                                            l3_fills += 1
+                                            if l3_res is not None:
+                                                l3_res.fill(
+                                                    (set_c3, w3), now
+                                                )
+                                        if victim3 is not None:
+                                            vt = victim3.tag
+                                            s1 = vt & l1_mask
+                                            wv = l1_tags[s1].get(vt)
+                                            in1 = None
+                                            if wv is not None:
+                                                l1_inv += 1
+                                                in1 = l1_lines[s1][wv]
+                                                del l1_tags[s1][vt]
+                                                l1_lines[s1][wv] = None
+                                                l1.content_version += 1
+                                                l1_evicts += 1
+                                                if in1.dirty:
+                                                    l1_wb += 1
+                                                if l1_lru is None:
+                                                    l1_rrpv[s1][wv] = l1_rmax
+                                            s2 = vt & l2_mask
+                                            wv2 = l2_tags[s2].get(vt)
+                                            in2 = None
+                                            if wv2 is not None:
+                                                l2_inv += 1
+                                                in2 = l2_lines[s2][wv2]
+                                                del l2_tags[s2][vt]
+                                                l2_lines[s2][wv2] = None
+                                                l2.content_version += 1
+                                                l2_evicts += 1
+                                                if in2.dirty:
+                                                    l2_wb += 1
+                                                if l2_lru is None:
+                                                    l2_rrpv[s2][wv2] = (
+                                                        l2_rmax
+                                                    )
+                                            if (
+                                                in1 is not None
+                                                or in2 is not None
+                                            ):
+                                                h_incl += 1
+                                            if (
+                                                victim3.dirty
+                                                or (in1 and in1.dirty)
+                                                or (in2 and in2.dirty)
+                                            ):
+                                                m_acc += 1
+                                                m_writes += 1
+                                    # fill L2 (walk loads land in L2)
+                                    lines2 = l2_lines[set_c]
+                                    victim2 = None
+                                    w2 = None
+                                    if len(tc) < l2_assoc:
+                                        for wi2, ex in enumerate(lines2):
+                                            if ex is None:
+                                                w2 = wi2
+                                                break
+                                    if w2 is None:
+                                        if l2_lru is not None:
+                                            row = l2_stamps[set_c]
+                                            w2 = row.index(min(row))
+                                        else:
+                                            row = l2_rrpv[set_c]
+                                            while l2_rmax not in row:
+                                                for wi2 in range(l2_assoc):
+                                                    row[wi2] += 1
+                                            w2 = row.index(l2_rmax)
+                                        victim2 = lines2[w2]
+                                        del tc[victim2.tag]
+                                        lines2[w2] = None
+                                        l2.content_version += 1
+                                        l2_evicts += 1
+                                        if victim2.dirty:
+                                            l2_wb += 1
+                                    ln = CacheLine(blk, False)
+                                    lines2[w2] = ln
+                                    tc[blk] = w2
+                                    l2.content_version += 1
+                                    if l2_lru is not None:
+                                        l2_lru._clock += 1
+                                        l2_stamps[set_c][w2] = l2_lru._clock
+                                    else:
+                                        l2_rrpv[set_c][w2] = l2_rmax - 1
+                                    l2_fills += 1
+                                    if victim2 is not None and victim2.dirty:
+                                        vt = victim2.tag
+                                        s3 = vt & l3_mask
+                                        wv3 = l3_tags[s3].get(vt)
+                                        if wv3 is not None:
+                                            l3_lines[s3][wv3].dirty = True
+                                        else:
+                                            m_acc += 1
+                                            m_writes += 1
+                                            h_orphan += 1
+                                pwc_fill(dvpn)
+                                w_cycles += wlat
+                                pfn_to_vpn[pfn] = dvpn
+                                if probe is not None:
+                                    probe.emit(now, EV_WALK, dvpn, wlat)
+                                penalty += (
+                                    l2_tlb_latency + wlat * walk_exposure
+                                )
+                                # LLT fill (dpPred decision inlined)
+                                lt_install = True
+                                lt_pch = pc
+                                if dp is not None:
+                                    if dp_demote:
+                                        lt_fill(dvpn, pfn, pc, now)
+                                        lt_install = False
+                                    else:
+                                        pc_h = fx_pc.get(pc)
+                                        if pc_h is None:
+                                            pc_h = fx_pc[pc] = fold_xor(
+                                                pc, dp_pcbits
+                                            )
+                                        lt_pch = pc_h
+                                        if dp_vbits:
+                                            vh = fx_vpn.get(dvpn)
+                                            if vh is None:
+                                                vh = fx_vpn[dvpn] = (
+                                                    fold_xor(
+                                                        dvpn, dp_vbits
+                                                    )
+                                                )
+                                        else:
+                                            vh = 0
+                                        doa = (
+                                            ph_vals[pc_h * ph_cols + vh]
+                                            > dp_thresh
+                                        )
+                                        if dp_obs is not None:
+                                            dp_obs(dvpn, doa)
+                                        if doa:
+                                            lt_install = False
+                                            dp_stat["doa_predictions"] = (
+                                                dp_stat.get(
+                                                    "doa_predictions", 0
+                                                ) + 1
+                                            )
+                                            if dp_sink is not None:
+                                                dp_sink(pfn)
+                                                if dp_probe is not None:
+                                                    dp_probe.emit(
+                                                        now, EV_PFQ_PUSH,
+                                                        pfn,
+                                                    )
+                                            if sh_entries is not None:
+                                                if dvpn in sh_entries:
+                                                    del sh_entries[dvpn]
+                                                elif (
+                                                    len(sh_entries)
+                                                    >= sh_cap
+                                                ):
+                                                    ev_vpn, _ = (
+                                                        sh_entries.popitem(
+                                                            last=False
+                                                        )
+                                                    )
+                                                    sh_stat[
+                                                        "evictions"
+                                                    ] = sh_stat.get(
+                                                        "evictions", 0
+                                                    ) + 1
+                                                    if sh_probe is not None:
+                                                        sh_probe.emit(
+                                                            now,
+                                                            EV_SHADOW_EVICT,
+                                                            ev_vpn,
+                                                        )
+                                                sh_entries[dvpn] = (
+                                                    pfn, pc_h
+                                                )
+                                                sh_stat["inserts"] = (
+                                                    sh_stat.get(
+                                                        "inserts", 0
+                                                    ) + 1
+                                                )
+                                                if dp_probe is not None:
+                                                    dp_probe.emit(
+                                                        now,
+                                                        EV_SHADOW_PROMOTE,
+                                                        dvpn, pfn,
+                                                    )
+                                            if dp_probe is not None:
+                                                dp_probe.emit(
+                                                    now, EV_LLT_BYPASS,
+                                                    dvpn, pfn,
+                                                )
+                                            lt_byp += 1
+                                if lt_install:
+                                    set_l = dvpn & lt_mask
+                                    tags_l = lt_tags[set_l]
+                                    entries_l = lt_entries[set_l]
+                                    wl = None
+                                    if len(tags_l) < lt_assoc:
+                                        for wi2, ex in enumerate(entries_l):
+                                            if ex is None:
+                                                wl = wi2
+                                                break
+                                    if wl is None:
+                                        if lt_lru is not None:
+                                            row = lt_stamps[set_l]
+                                            wl = row.index(min(row))
+                                        else:
+                                            row = lt_rrpv[set_l]
+                                            while lt_rmax not in row:
+                                                for wi2 in range(lt_assoc):
+                                                    row[wi2] += 1
+                                            wl = row.index(lt_rmax)
+                                        victim_l = entries_l[wl]
+                                        del tags_l[victim_l.vpn]
+                                        entries_l[wl] = None
+                                        lt.content_version += 1
+                                        lt_evicts += 1
+                                        if lt_res is not None:
+                                            lt_res.evict((set_l, wl), now)
+                                        if dp is not None:
+                                            # on_evict training inlined
+                                            vv = victim_l.vpn
+                                            if dp_vbits:
+                                                vh2 = fx_vpn.get(vv)
+                                                if vh2 is None:
+                                                    vh2 = fx_vpn[vv] = (
+                                                        fold_xor(
+                                                            vv, dp_vbits
+                                                        )
+                                                    )
+                                            else:
+                                                vh2 = 0
+                                            pidx = (
+                                                (victim_l.pc_hash % ph_rows)
+                                                * ph_cols + vh2
+                                            )
+                                            if victim_l.accessed:
+                                                ph_vals[pidx] = 0
+                                                ph_stat[
+                                                    "not_doa_trainings"
+                                                ] = ph_stat.get(
+                                                    "not_doa_trainings", 0
+                                                ) + 1
+                                            else:
+                                                pv = ph_vals[pidx]
+                                                if pv < ph_max:
+                                                    ph_vals[pidx] = pv + 1
+                                                ph_stat[
+                                                    "doa_trainings"
+                                                ] = ph_stat.get(
+                                                    "doa_trainings", 0
+                                                ) + 1
+                                                dp_stat[
+                                                    "doa_evictions_observed"
+                                                ] = dp_stat.get(
+                                                    "doa_evictions_observed",
+                                                    0,
+                                                ) + 1
+                                            if dp_probe is not None:
+                                                dp_probe.emit(
+                                                    now, EV_LLT_VERDICT,
+                                                    victim_l.vpn, False,
+                                                    not victim_l.accessed,
+                                                )
+                                    le = TlbEntry(dvpn, pfn, lt_pch)
+                                    entries_l[wl] = le
+                                    tags_l[dvpn] = wl
+                                    lt.content_version += 1
+                                    if lt_lru is not None:
+                                        lt_lru._clock += 1
+                                        lt_stamps[set_l][wl] = lt_lru._clock
+                                    else:
+                                        lt_rrpv[set_l][wl] = lt_rmax - 1
+                                    lt_fills += 1
+                                    if lt_res is not None:
+                                        lt_res.fill((set_l, wl), now)
+                        # L1 D-TLB fill
+                        set_d = dvpn & dt_mask
+                        tags_d = dt_tags[set_d]
+                        entries_d = dt_entries[set_d]
+                        wd_ = None
+                        if len(tags_d) < dt_assoc:
+                            for wi2, ex in enumerate(entries_d):
+                                if ex is None:
+                                    wd_ = wi2
+                                    break
+                        if wd_ is None:
+                            if dt_lru is not None:
+                                row = dt_stamps[set_d]
+                                wd_ = row.index(min(row))
+                            else:
+                                row = dt_rrpv[set_d]
+                                while dt_rmax not in row:
+                                    for wi2 in range(dt_assoc):
+                                        row[wi2] += 1
+                                wd_ = row.index(dt_rmax)
+                            victim_d = entries_d[wd_]
+                            del tags_d[victim_d.vpn]
+                            entries_d[wd_] = None
+                            dt.content_version += 1
+                            dt_evicts += 1
+                        dent = TlbEntry(dvpn, pfn, pc)
+                        entries_d[wd_] = dent
+                        tags_d[dvpn] = wd_
+                        dt.content_version += 1
+                        if dt_lru is not None:
+                            dt_lru._clock += 1
+                            dt_stamps[set_d][wd_] = dt_lru._clock
+                        else:
+                            dt_rrpv[set_d][wd_] = dt_rmax - 1
+                        dt_fills += 1
+                        if pf:
+                            last_dvpn = dvpn
+                            last_dent = dent
+
+                # ---- physical data access ------------------------------ #
+                block = (pfn << boff) | ((vaddr >> bs) & bmask)
+                h_acc += 1
+                set_1 = block & l1_mask
+                t1 = l1_tags[set_1]
+                w1 = t1.get(block)
+                if w1 is not None:
+                    l1_hits += 1
+                    ln = l1_lines[set_1][w1]
+                    ln.accessed = True
+                    if is_write:
+                        ln.dirty = True
+                    if l1_lru is not None:
+                        l1_lru._clock += 1
+                        l1_stamps[set_1][w1] = l1_lru._clock
+                    else:
+                        l1_rrpv[set_1][w1] = 0
+                else:
+                    l1_misses += 1
+                    set_2 = block & l2_mask
+                    t2 = l2_tags[set_2]
+                    w2_ = t2.get(block)
+                    if w2_ is not None:
+                        l2_hits += 1
+                        ln = l2_lines[set_2][w2_]
+                        ln.accessed = True
+                        if is_write:
+                            ln.dirty = True
+                        if l2_lru is not None:
+                            l2_lru._clock += 1
+                            l2_stamps[set_2][w2_] = l2_lru._clock
+                        else:
+                            l2_rrpv[set_2][w2_] = 0
+                        penalty += l2_hit_penalty
+                    else:
+                        l2_misses += 1
+                        set_3 = block & l3_mask
+                        t3 = l3_tags[set_3]
+                        w3_ = t3.get(block)
+                        if w3_ is not None:
+                            l3_hits += 1
+                            ln = l3_lines[set_3][w3_]
+                            ln.accessed = True
+                            if is_write:
+                                ln.dirty = True
+                            if l3_lru is not None:
+                                l3_lru._clock += 1
+                                l3_stamps[set_3][w3_] = l3_lru._clock
+                            else:
+                                l3_rrpv[set_3][w3_] = 0
+                            if l3_res is not None:
+                                l3_res.hit((set_3, w3_), now)
+                            penalty += llc_hit_penalty
+                        else:
+                            l3_misses += 1
+                            m_acc += 1
+                            if is_write:
+                                m_writes += 1
+                            else:
+                                m_reads += 1
+                            h_demand += 1
+                            penalty += mem_penalty
+                            # fill LLC (cbPred inlined)
+                            bypass3 = mark_dp = False
+                            if cb is not None and (
+                                cb_pfq is None
+                                or (block >> boff) in cb_pfq
+                            ):
+                                if cb_pfq is not None:
+                                    cb_stat["pfq_matches"] = (
+                                        cb_stat.get("pfq_matches", 0) + 1
+                                    )
+                                    if cb_probe is not None:
+                                        cb_probe.emit(
+                                            now, EV_PFQ_HIT, block
+                                        )
+                                bhh = fx_blk.get(block)
+                                if bhh is None:
+                                    bhh = fx_blk[block] = fold_xor(
+                                        block, bh_bits
+                                    )
+                                doa = bh_vals[bhh] > bh_thresh
+                                if cb_obs is not None:
+                                    cb_obs(block, doa)
+                                if doa:
+                                    cb_stat["doa_predictions"] = (
+                                        cb_stat.get("doa_predictions", 0)
+                                        + 1
+                                    )
+                                    if cb_probe is not None:
+                                        cb_probe.emit(
+                                            now, EV_LLC_BYPASS, block
+                                        )
+                                    bypass3 = True
+                                elif cb_probe is not None:
+                                    mark_dp = True
+                                    cb_probe.emit(
+                                        now, EV_LLC_MARK_DP, block
+                                    )
+                                else:
+                                    mark_dp = True
+                            if bypass3:
+                                l3_byp += 1
+                                victim3 = None
+                            else:
+                                lines3 = l3_lines[set_3]
+                                victim3 = None
+                                w3f = None
+                                if len(t3) < l3_assoc:
+                                    for wi2, ex in enumerate(lines3):
+                                        if ex is None:
+                                            w3f = wi2
+                                            break
+                                if w3f is None:
+                                    if l3_lru is not None:
+                                        row = l3_stamps[set_3]
+                                        w3f = row.index(min(row))
+                                    else:
+                                        row = l3_rrpv[set_3]
+                                        while l3_rmax not in row:
+                                            for wi2 in range(l3_assoc):
+                                                row[wi2] += 1
+                                        w3f = row.index(l3_rmax)
+                                    victim3 = lines3[w3f]
+                                    del t3[victim3.tag]
+                                    lines3[w3f] = None
+                                    l3.content_version += 1
+                                    l3_evicts += 1
+                                    if victim3.dirty:
+                                        l3_wb += 1
+                                    if l3_res is not None:
+                                        l3_res.evict((set_3, w3f), now)
+                                    if cb is not None and victim3.dp:
+                                        cb_on_evict(l3, victim3, now)
+                                ln = CacheLine(block, False)
+                                if mark_dp:
+                                    ln.dp = True
+                                lines3[w3f] = ln
+                                t3[block] = w3f
+                                l3.content_version += 1
+                                if l3_lru is not None:
+                                    l3_lru._clock += 1
+                                    l3_stamps[set_3][w3f] = l3_lru._clock
+                                else:
+                                    l3_rrpv[set_3][w3f] = l3_rmax - 1
+                                l3_fills += 1
+                                if l3_res is not None:
+                                    l3_res.fill((set_3, w3f), now)
+                            if victim3 is not None:
+                                vt = victim3.tag
+                                s1 = vt & l1_mask
+                                wv = l1_tags[s1].get(vt)
+                                in1 = None
+                                if wv is not None:
+                                    l1_inv += 1
+                                    in1 = l1_lines[s1][wv]
+                                    del l1_tags[s1][vt]
+                                    l1_lines[s1][wv] = None
+                                    l1.content_version += 1
+                                    l1_evicts += 1
+                                    if in1.dirty:
+                                        l1_wb += 1
+                                    if l1_lru is None:
+                                        l1_rrpv[s1][wv] = l1_rmax
+                                s2 = vt & l2_mask
+                                wv2 = l2_tags[s2].get(vt)
+                                in2 = None
+                                if wv2 is not None:
+                                    l2_inv += 1
+                                    in2 = l2_lines[s2][wv2]
+                                    del l2_tags[s2][vt]
+                                    l2_lines[s2][wv2] = None
+                                    l2.content_version += 1
+                                    l2_evicts += 1
+                                    if in2.dirty:
+                                        l2_wb += 1
+                                    if l2_lru is None:
+                                        l2_rrpv[s2][wv2] = l2_rmax
+                                if in1 is not None or in2 is not None:
+                                    h_incl += 1
+                                if (
+                                    victim3.dirty
+                                    or (in1 and in1.dirty)
+                                    or (in2 and in2.dirty)
+                                ):
+                                    m_acc += 1
+                                    m_writes += 1
+                        # fill L2
+                        set_2b = block & l2_mask
+                        t2b = l2_tags[set_2b]
+                        lines2 = l2_lines[set_2b]
+                        victim2 = None
+                        w2f = None
+                        if len(t2b) < l2_assoc:
+                            for wi2, ex in enumerate(lines2):
+                                if ex is None:
+                                    w2f = wi2
+                                    break
+                        if w2f is None:
+                            if l2_lru is not None:
+                                row = l2_stamps[set_2b]
+                                w2f = row.index(min(row))
+                            else:
+                                row = l2_rrpv[set_2b]
+                                while l2_rmax not in row:
+                                    for wi2 in range(l2_assoc):
+                                        row[wi2] += 1
+                                w2f = row.index(l2_rmax)
+                            victim2 = lines2[w2f]
+                            del t2b[victim2.tag]
+                            lines2[w2f] = None
+                            l2.content_version += 1
+                            l2_evicts += 1
+                            if victim2.dirty:
+                                l2_wb += 1
+                        ln = CacheLine(block, False)
+                        lines2[w2f] = ln
+                        t2b[block] = w2f
+                        l2.content_version += 1
+                        if l2_lru is not None:
+                            l2_lru._clock += 1
+                            l2_stamps[set_2b][w2f] = l2_lru._clock
+                        else:
+                            l2_rrpv[set_2b][w2f] = l2_rmax - 1
+                        l2_fills += 1
+                        if victim2 is not None and victim2.dirty:
+                            vt = victim2.tag
+                            s3 = vt & l3_mask
+                            wv3 = l3_tags[s3].get(vt)
+                            if wv3 is not None:
+                                l3_lines[s3][wv3].dirty = True
+                            else:
+                                m_acc += 1
+                                m_writes += 1
+                                h_orphan += 1
+                    # fill L1
+                    lines1 = l1_lines[set_1]
+                    victim1 = None
+                    w1f = None
+                    if len(t1) < l1_assoc:
+                        for wi2, ex in enumerate(lines1):
+                            if ex is None:
+                                w1f = wi2
+                                break
+                    if w1f is None:
+                        if l1_lru is not None:
+                            row = l1_stamps[set_1]
+                            w1f = row.index(min(row))
+                        else:
+                            row = l1_rrpv[set_1]
+                            while l1_rmax not in row:
+                                for wi2 in range(l1_assoc):
+                                    row[wi2] += 1
+                            w1f = row.index(l1_rmax)
+                        victim1 = lines1[w1f]
+                        del t1[victim1.tag]
+                        lines1[w1f] = None
+                        l1.content_version += 1
+                        l1_evicts += 1
+                        if victim1.dirty:
+                            l1_wb += 1
+                    ln = CacheLine(block, is_write)
+                    lines1[w1f] = ln
+                    t1[block] = w1f
+                    l1.content_version += 1
+                    if l1_lru is not None:
+                        l1_lru._clock += 1
+                        l1_stamps[set_1][w1f] = l1_lru._clock
+                    else:
+                        l1_rrpv[set_1][w1f] = l1_rmax - 1
+                    l1_fills += 1
+                    if victim1 is not None and victim1.dirty:
+                        vt = victim1.tag
+                        s2 = vt & l2_mask
+                        wv2 = l2_tags[s2].get(vt)
+                        if wv2 is not None:
+                            l2_lines[s2][wv2].dirty = True
+                        else:
+                            s3 = vt & l3_mask
+                            wv3 = l3_tags[s3].get(vt)
+                            if wv3 is not None:
+                                l3_lines[s3][wv3].dirty = True
+                            else:
+                                m_acc += 1
+                                m_writes += 1
+                                h_orphan += 1
+
+                cycles += (gap + 1) * base_cpi + penalty
+
+                # ---- telemetry boundary -------------------------------- #
+                if instructions >= next_at:
+                    it_stat["hits"] += it_hits
+                    it_stat["misses"] += it_misses
+                    it_stat["fills"] += it_fills
+                    it_stat["evictions"] += it_evicts
+                    it_hits = it_misses = it_fills = it_evicts = 0
+                    dt_stat["hits"] += dt_hits
+                    dt_stat["misses"] += dt_misses
+                    dt_stat["fills"] += dt_fills
+                    dt_stat["evictions"] += dt_evicts
+                    dt_hits = dt_misses = dt_fills = dt_evicts = 0
+                    lt_stat["hits"] += lt_hits
+                    lt_stat["misses"] += lt_misses
+                    lt_stat["victim_buffer_hits"] += lt_vbh
+                    lt_stat["fills"] += lt_fills
+                    lt_stat["evictions"] += lt_evicts
+                    lt_stat["bypasses"] += lt_byp
+                    lt_hits = lt_misses = lt_vbh = lt_fills = 0
+                    lt_evicts = lt_byp = 0
+                    l1_stat["hits"] += l1_hits
+                    l1_stat["misses"] += l1_misses
+                    l1_stat["fills"] += l1_fills
+                    l1_stat["evictions"] += l1_evicts
+                    l1_stat["writebacks"] += l1_wb
+                    l1_stat["invalidations"] += l1_inv
+                    l1_hits = l1_misses = l1_fills = 0
+                    l1_evicts = l1_wb = l1_inv = 0
+                    l2_stat["hits"] += l2_hits
+                    l2_stat["misses"] += l2_misses
+                    l2_stat["fills"] += l2_fills
+                    l2_stat["evictions"] += l2_evicts
+                    l2_stat["writebacks"] += l2_wb
+                    l2_stat["invalidations"] += l2_inv
+                    l2_hits = l2_misses = l2_fills = 0
+                    l2_evicts = l2_wb = l2_inv = 0
+                    l3_stat["hits"] += l3_hits
+                    l3_stat["misses"] += l3_misses
+                    l3_stat["fills"] += l3_fills
+                    l3_stat["evictions"] += l3_evicts
+                    l3_stat["writebacks"] += l3_wb
+                    l3_stat["bypasses"] += l3_byp
+                    l3_hits = l3_misses = l3_fills = 0
+                    l3_evicts = l3_wb = l3_byp = 0
+                    h_stat["accesses"] += h_acc
+                    h_stat["llc_demand_misses"] += h_demand
+                    h_stat["walk_accesses"] += h_walkacc
+                    h_stat["inclusion_victims"] += h_incl
+                    h_stat["orphan_writebacks"] += h_orphan
+                    h_acc = h_demand = h_walkacc = h_incl = h_orphan = 0
+                    mem_stat["accesses"] += m_acc
+                    mem_stat["reads"] += m_reads
+                    mem_stat["writes"] += m_writes
+                    m_acc = m_reads = m_writes = 0
+                    w_stat["walks"] += w_walks
+                    w_stat["walk_memory_accesses"] += w_memacc
+                    w_stat["walk_cycles"] += w_cycles
+                    w_walks = w_memacc = w_cycles = 0
+                    sample(instructions, cycles)
+                    next_at = instructions + interval
+            pos = seg
+
+        # --- span-end flush and state write-back ------------------------ #
+        it_stat["hits"] += it_hits
+        it_stat["misses"] += it_misses
+        it_stat["fills"] += it_fills
+        it_stat["evictions"] += it_evicts
+        dt_stat["hits"] += dt_hits
+        dt_stat["misses"] += dt_misses
+        dt_stat["fills"] += dt_fills
+        dt_stat["evictions"] += dt_evicts
+        lt_stat["hits"] += lt_hits
+        lt_stat["misses"] += lt_misses
+        lt_stat["victim_buffer_hits"] += lt_vbh
+        lt_stat["fills"] += lt_fills
+        lt_stat["evictions"] += lt_evicts
+        lt_stat["bypasses"] += lt_byp
+        l1_stat["hits"] += l1_hits
+        l1_stat["misses"] += l1_misses
+        l1_stat["fills"] += l1_fills
+        l1_stat["evictions"] += l1_evicts
+        l1_stat["writebacks"] += l1_wb
+        l1_stat["invalidations"] += l1_inv
+        l2_stat["hits"] += l2_hits
+        l2_stat["misses"] += l2_misses
+        l2_stat["fills"] += l2_fills
+        l2_stat["evictions"] += l2_evicts
+        l2_stat["writebacks"] += l2_wb
+        l2_stat["invalidations"] += l2_inv
+        l3_stat["hits"] += l3_hits
+        l3_stat["misses"] += l3_misses
+        l3_stat["fills"] += l3_fills
+        l3_stat["evictions"] += l3_evicts
+        l3_stat["writebacks"] += l3_wb
+        l3_stat["bypasses"] += l3_byp
+        h_stat["accesses"] += h_acc
+        h_stat["llc_demand_misses"] += h_demand
+        h_stat["walk_accesses"] += h_walkacc
+        h_stat["inclusion_victims"] += h_incl
+        h_stat["orphan_writebacks"] += h_orphan
+        mem_stat["accesses"] += m_acc
+        mem_stat["reads"] += m_reads
+        mem_stat["writes"] += m_writes
+        w_stat["walks"] += w_walks
+        w_stat["walk_memory_accesses"] += w_memacc
+        w_stat["walk_cycles"] += w_cycles
+        m.now = now
+        m.instructions = instructions
+        m.cycles = cycles
+        m._last_ivpn = last_ivpn
+        m._last_ientry = last_ient
+        m._last_dvpn = last_dvpn
+        m._last_dentry = last_dent
+        return next_at

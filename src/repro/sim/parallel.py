@@ -211,10 +211,20 @@ def _worker_init(
 ) -> None:
     """Propagate the parent's disk-cache and auto-telemetry settings into
     pool workers (the fork start method would inherit them, but spawn
-    would not), attach any shared-memory traces the parent published, and
-    mark the process as a supervised worker."""
+    would not), pre-import the simulator's lazily-loaded hot modules,
+    attach any shared-memory traces the parent published, and mark the
+    process as a supervised worker."""
     global _in_pool_worker
     _in_pool_worker = True
+    # Front-load the imports every cell would otherwise pay inside its
+    # first (timed, supervised) run: Machine.run lazily imports the
+    # batched engine, and the workload generators live behind their own
+    # module boundary. Doing it here overlaps the cost across workers at
+    # pool start instead of serialising it into the first wave of cells.
+    import repro.sim.engine  # noqa: F401
+    import repro.sim.machine  # noqa: F401
+    import repro.workloads.suite  # noqa: F401
+
     if cache_directory is not None:
         diskcache.enable(cache_directory)
     else:
@@ -341,7 +351,10 @@ class _Supervisor:
         jobs: int,
         shm_descriptors: Sequence[dict] = (),
     ) -> None:
-        max_workers = min(jobs, len(pending))
+        # Never oversubscribe the machine: workers beyond the real core
+        # count only add scheduling and startup overhead (the requested
+        # job count is an upper bound, not a demand).
+        max_workers = min(jobs, len(pending), os.cpu_count() or 1)
         cache_directory = (
             str(diskcache.cache_dir()) if diskcache.is_enabled() else None
         )

@@ -159,16 +159,96 @@ def test_random_traces_with_predictors(records):
 # --------------------------------------------------------------------- #
 # Fallback + selection
 # --------------------------------------------------------------------- #
-def test_srrip_policy_falls_back_to_scalar():
-    """SRRIP has no fused-LRU path (and no same-page filter), so the
-    batched engine must decline and still match the scalar run."""
+def test_srrip_policy_runs_flat():
+    """SRRIP has no fused-LRU bulk path (and no same-page filter), so the
+    batched engine runs the flat interpreter for the whole trace."""
     trace = get_trace("locality", BUDGET, SEED)
     config = fast_config(tlb_policy="srrip", cache_policy="srrip")
+    machine = assert_equivalent(trace, config, telemetry=True)
+    stats = machine.engine_stats
+    assert stats["engine"] == ENGINE_BATCHED
+    assert stats["mode"] == "flat"
+    assert stats["flat_records"] == len(trace)
+    assert "fallback" not in stats
+
+
+def test_predictor_configs_run_batched_without_fallback():
+    """The headline configs — dpPred alone and dpPred+cbPred — must take
+    the batched engine's hybrid (bulk + flat) path, not scalar."""
+    trace = get_trace("sssp", BUDGET, SEED)
+    for kwargs in (
+        {"tlb_predictor": "dppred"},
+        {"tlb_predictor": "dppred", "llc_predictor": "cbpred"},
+    ):
+        machine = assert_equivalent(trace, fast_config(**kwargs), telemetry=True)
+        stats = machine.engine_stats
+        assert stats["engine"] == ENGINE_BATCHED
+        assert "fallback" not in stats
+        assert stats["flat_records"] > 0
+        assert (
+            stats["bulk_records"] + stats["flat_records"]
+            + stats["scalar_records"] == len(trace)
+        )
+
+
+def test_fifo_policy_falls_back_with_reason():
+    """FIFO replacement has neither a bulk nor a flat model; the engine
+    must fall back to scalar and say why."""
+    trace = get_trace("locality", BUDGET, SEED)
+    config = fast_config(tlb_policy="fifo")
     machine = assert_equivalent(trace, config)
-    assert machine.engine_stats == {
-        "engine": ENGINE_SCALAR,
-        "fallback": True,
-    }
+    stats = machine.engine_stats
+    assert stats["engine"] == ENGINE_SCALAR
+    assert stats["fallback"]
+    assert stats["fallback_reasons"] == {"policy": 1}
+
+
+def test_engine_totals_accumulate_fallback_reasons():
+    engine_mod.reset_engine_totals()
+    trace = get_trace("locality", 500, SEED)
+    Machine(fast_config(tlb_policy="fifo"), seed=SEED).run(
+        trace, engine=ENGINE_BATCHED
+    )
+    Machine(fast_config(), seed=SEED).run(trace, engine=ENGINE_BATCHED)
+    totals = engine_mod.engine_totals()
+    assert totals["runs"] == 2
+    assert totals["batched"] == 1
+    assert totals["fallbacks"] == 1
+    assert totals["fallback_reasons"] == {"policy": 1}
+    assert totals["bulk_records"] + totals["flat_records"] + totals[
+        "scalar_records"
+    ] == len(trace)
+    engine_mod.reset_engine_totals()
+
+
+# --------------------------------------------------------------------- #
+# Decision-event rings (batched-mode obs telemetry)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("workload", ["sssp", "mcf"])
+def test_decision_event_rings_byte_identical(workload):
+    """The predictors' decision-event ring buffers — LLT bypass/demote,
+    shadow promote/hit/evict, PFQ push/hit, DP-mark, verdicts, walks —
+    must be byte-identical between the batched and scalar engines."""
+    trace = get_trace(workload, BUDGET, SEED)
+    config = fast_config(tlb_predictor="dppred", llc_predictor="cbpred")
+    (r_s, m_s), (r_b, m_b) = run_both(trace, config, telemetry=True)
+    assert fingerprint(r_s) == fingerprint(r_b)
+    ev_s = m_s.telemetry.probe.events()
+    ev_b = m_b.telemetry.probe.events()
+    assert json.dumps(ev_s).encode() == json.dumps(ev_b).encode()
+    counts = m_b.telemetry.probe.counts()
+    # The suite workloads must actually exercise the decision streams —
+    # otherwise byte-equality above is vacuous.
+    assert counts.get("walk", 0) > 0
+    assert sum(
+        counts.get(kind, 0)
+        for kind in (
+            "llt_bypass", "llt_demote", "shadow_promote", "shadow_hit",
+            "shadow_evict", "pfq_push", "pfq_hit", "llc_bypass",
+            "llc_mark_dp", "llt_verdict", "llc_verdict",
+        )
+    ) > 0
+    assert m_s.telemetry.probe.emitted == m_b.telemetry.probe.emitted
 
 
 def test_unexpected_trace_dtype_falls_back():
