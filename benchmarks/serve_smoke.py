@@ -1,0 +1,159 @@
+"""CI smoke for the simulation server (:mod:`repro.serve`).
+
+End-to-end over a real socket, in one process (so the reference
+simulation shares this interpreter's determinism):
+
+1. start a background server with a warm worker pool over a fresh cache;
+2. fire 8 concurrent *duplicate* ``POST /run`` requests plus 1 distinct
+   one, behind a barrier, while a poller thread hits ``/healthz``;
+3. assert exactly **2** simulations executed (the duplicates coalesced),
+   every duplicate response is byte-identical, both results are
+   byte-identical to the CLI path (an independent ``run_trace``), and
+   ``/healthz`` stayed green throughout;
+4. assert a warm cache hit answers in under 50 ms without touching the
+   worker pool;
+5. stop gracefully and verify the listener is down.
+
+Exits non-zero on any violation. Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import repro.sim.diskcache as diskcache
+from repro.serve import ServeClient, start_background
+from repro.sim.config import fast_config
+from repro.sim.parallel import close_shared_pool
+from repro.sim.results import wire_bytes
+from repro.sim.runner import machine_seed_for, run_trace
+from repro.workloads.suite import get_trace
+
+BUDGET = 6000
+SEED = 42
+DUPLICATES = 8
+WARM_HIT_BUDGET_S = 0.050
+
+DUP_CONFIG = {"tlb_predictor": "dppred", "llc_predictor": "cbpred"}
+DISTINCT_CONFIG = {"tlb_predictor": "dppred"}
+
+_failures = []
+
+
+def check(ok: bool, message: str) -> None:
+    print(("ok  " if ok else "FAIL") + f"  {message}")
+    if not ok:
+        _failures.append(message)
+
+
+def reference(config_overrides) -> bytes:
+    config = fast_config(**config_overrides)
+    result = run_trace(
+        get_trace("mcf", BUDGET, SEED), config,
+        seed=machine_seed_for(SEED),
+    )
+    return result.to_wire()
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="serve-smoke-")
+    diskcache.enable(tmp)
+    server = start_background(workers=2)
+    client = ServeClient(port=server.port)
+    health_failures = []
+    stop_polling = threading.Event()
+
+    def poll_health():
+        while not stop_polling.is_set():
+            if not client.healthz():
+                health_failures.append(time.monotonic())
+            time.sleep(0.05)
+
+    poller = threading.Thread(target=poll_health, daemon=True)
+    poller.start()
+    try:
+        barrier = threading.Barrier(DUPLICATES + 1)
+
+        def fire(config):
+            barrier.wait()
+            return client.run_bytes("mcf", config, budget=BUDGET, seed=SEED)
+
+        with ThreadPoolExecutor(DUPLICATES + 1) as pool:
+            futures = [
+                pool.submit(fire, DUP_CONFIG) for _ in range(DUPLICATES)
+            ]
+            futures.append(pool.submit(fire, DISTINCT_CONFIG))
+            raws = [f.result(timeout=300) for f in futures]
+
+        # Provenance legitimately differs (one leader, N-1 followers);
+        # the byte-identity contract is over the result payload.
+        dup_results = {
+            wire_bytes(json.loads(raw.decode())["result"])
+            for raw in raws[:DUPLICATES]
+        }
+        check(
+            len(dup_results) == 1,
+            f"{DUPLICATES} duplicate results byte-identical "
+            f"(got {len(dup_results)} distinct)",
+        )
+        counters = client.status()["counters"]
+        check(
+            counters["computed"] == 2,
+            f"exactly 2 simulations executed (computed="
+            f"{counters['computed']}, coalesced={counters['coalesced']}, "
+            f"hits={counters['hits']})",
+        )
+
+        dup_result = json.loads(raws[0].decode())["result"]
+        distinct_result = json.loads(raws[-1].decode())["result"]
+        check(
+            wire_bytes(dup_result) == reference(DUP_CONFIG),
+            "duplicate-config result byte-identical to CLI run",
+        )
+        check(
+            wire_bytes(distinct_result) == reference(DISTINCT_CONFIG),
+            "distinct-config result byte-identical to CLI run",
+        )
+
+        start = time.perf_counter()
+        warm = client.run("mcf", DUP_CONFIG, budget=BUDGET, seed=SEED)
+        elapsed = time.perf_counter() - start
+        check(
+            warm["provenance"]["cached"] is True,
+            "warm request served from cache",
+        )
+        check(
+            elapsed < WARM_HIT_BUDGET_S,
+            f"warm cache hit in {elapsed * 1000:.1f} ms "
+            f"(< {WARM_HIT_BUDGET_S * 1000:.0f} ms)",
+        )
+        check(
+            client.status()["counters"]["computed"] == 2,
+            "warm hit did not touch the worker pool",
+        )
+
+        check(not health_failures, "/healthz stayed green under load")
+    finally:
+        stop_polling.set()
+        poller.join(timeout=5)
+        server.stop()
+        close_shared_pool()
+
+    check(client.healthz() is False, "listener down after graceful stop")
+
+    if _failures:
+        print(f"\n{len(_failures)} smoke failure(s)", file=sys.stderr)
+        return 1
+    print("\nserve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

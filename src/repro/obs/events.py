@@ -70,6 +70,28 @@ EV_CACHE_CORRUPT = "cache_corrupt"
 EV_RESUME_SKIP = "resume_skip"
 #: A :class:`~repro.sim.faults.FaultPlan` fault fired (test harness only).
 EV_FAULT_INJECT = "fault_inject"
+#: A duplicate in-flight computation was coalesced onto its leader
+#: (matrix executor side of :mod:`repro.sim.inflight`).
+EV_INFLIGHT_COALESCE = "inflight_coalesce"
+
+# --------------------------------------------------------------------- #
+# Serve (``repro.serve``) request-lifecycle event kinds — one event per
+# request milestone, recorded into the process-wide harness trace so
+# ``GET /status`` and the serve tests can audit exactly how each request
+# was satisfied. ``now`` is the harness sequence number.
+# --------------------------------------------------------------------- #
+#: An HTTP request was accepted (any endpoint).
+EV_SERVE_REQUEST = "serve_request"
+#: A ``POST /run`` was answered straight from the result cache.
+EV_SERVE_HIT = "serve_hit"
+#: A ``POST /run`` missed and this request led the computation.
+EV_SERVE_COMPUTE = "serve_compute"
+#: A ``POST /run`` duplicated an in-flight computation and waited on it.
+EV_SERVE_COALESCE = "serve_coalesce"
+#: A timeline was streamed to a client as NDJSON chunks.
+EV_SERVE_STREAM = "serve_stream"
+#: Graceful shutdown began draining this many in-flight requests.
+EV_SERVE_DRAIN = "serve_drain"
 
 #: Payload field names per kind, in tuple order after ``(now, kind)``.
 EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -92,6 +114,13 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     EV_CACHE_CORRUPT: ("store", "path", "reason"),
     EV_RESUME_SKIP: ("workload", "config", "seed"),
     EV_FAULT_INJECT: ("workload", "fault", "attempt"),
+    EV_INFLIGHT_COALESCE: ("key",),
+    EV_SERVE_REQUEST: ("method", "path"),
+    EV_SERVE_HIT: ("key",),
+    EV_SERVE_COMPUTE: ("key",),
+    EV_SERVE_COALESCE: ("key",),
+    EV_SERVE_STREAM: ("key", "rows"),
+    EV_SERVE_DRAIN: ("pending",),
 }
 
 

@@ -78,6 +78,24 @@ def write_jsonl(path, rows: Iterable[dict]) -> Path:
     return path
 
 
+def ndjson_line(row: dict) -> bytes:
+    """One NDJSON line (sorted keys: byte-stable streams).
+
+    The serve subsystem streams timelines to clients chunk-by-chunk in
+    exactly this encoding, so a streamed timeline concatenates to the
+    same bytes :func:`write_jsonl` would have written.
+    """
+    return (json.dumps(row, sort_keys=True) + "\n").encode()
+
+
+def stream_timeline_rows(timeline) -> Iterable[dict]:
+    """Request-stream form of a timeline: :func:`timeline_rows` tagged
+    with ``kind`` markers so NDJSON consumers can route rows without
+    positional knowledge."""
+    for row in timeline_rows(timeline):
+        yield {"kind": "interval", **row}
+
+
 # --------------------------------------------------------------------- #
 # Timeline
 # --------------------------------------------------------------------- #

@@ -1,0 +1,36 @@
+"""Simulation-as-a-service: a long-running HTTP/JSON front to the runner.
+
+``python -m repro.serve`` starts an asyncio server (stdlib only — a
+minimal HTTP/1.1 layer over :func:`asyncio.start_server`) that holds a
+persistent warm worker pool, coalesces duplicate in-flight requests by
+content-addressed config hash, and serves ``.repro_cache/`` with
+read-through semantics. See :mod:`repro.serve.app` for the endpoints and
+the invariants (a served result is byte-identical to the same config run
+through the CLI).
+"""
+
+from repro.serve.app import BackgroundServer, ReproServer, start_background
+from repro.serve.client import ServeClient
+from repro.serve.pool import ServePool
+from repro.serve.protocol import (
+    ProtocolError,
+    config_from_wire,
+    config_to_wire,
+    parse_matrix_body,
+    parse_run_body,
+    run_key,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServePool",
+    "config_from_wire",
+    "config_to_wire",
+    "parse_matrix_body",
+    "parse_run_body",
+    "run_key",
+    "start_background",
+]

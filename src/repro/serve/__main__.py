@@ -1,0 +1,72 @@
+"""``python -m repro.serve`` — run the simulation server in the foreground.
+
+SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
+requests finish, the worker pool is released, then the process exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import sys
+
+import repro.sim.diskcache as diskcache
+from repro.serve.app import ReproServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Long-running simulation server over the run cache.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument(
+        "--workers", type=int, default=os.cpu_count() or 1,
+        help="warm pool size; 0 runs simulations on server threads",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"disk cache directory (default {diskcache.DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the persistent result cache",
+    )
+    return parser
+
+
+async def _serve(args) -> None:
+    server = ReproServer(
+        host=args.host, port=args.port, workers=args.workers
+    )
+    await server.start()
+    print(
+        f"repro.serve listening on http://{server.host}:{server.port} "
+        f"(workers={args.workers}, cache="
+        f"{diskcache.cache_dir() if diskcache.is_enabled() else 'off'})",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    print("draining...", flush=True)
+    await server.stop(drain=True)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.no_cache:
+        diskcache.disable()
+    else:
+        diskcache.enable(args.cache_dir)
+    asyncio.run(_serve(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Stdlib HTTP client for the simulation server.
+
+Thin :mod:`http.client` wrapper used by the tests, the CI smoke script,
+and anyone driving a server from Python without pulling in a dependency.
+``run``/``matrix``/``status`` return parsed JSON; the ``*_bytes``
+variants return the raw response body for byte-identity assertions;
+``stream_run`` yields the NDJSON rows of a streamed run as dicts.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Optional
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, body: bytes):
+        self.status = status
+        self.body = body
+        super().__init__(f"HTTP {status}: {body.decode(errors='replace')}")
+
+
+class ServeClient:
+    """One server address; a fresh connection per request (the server
+    closes connections after each response anyway)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642,
+        timeout: float = 300.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> tuple:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, body=None) -> dict:
+        status, raw = self._request(method, path, body)
+        if status != 200:
+            raise ServeError(status, raw)
+        return json.loads(raw.decode())
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> bool:
+        try:
+            return self._json("GET", "/healthz").get("ok", False)
+        except (OSError, ServeError):
+            return False
+
+    def status(self) -> dict:
+        return self._json("GET", "/status")
+
+    def run(
+        self,
+        workload: str,
+        config="fast",
+        budget: Optional[int] = None,
+        seed: Optional[int] = None,
+        telemetry=None,
+    ) -> dict:
+        return json.loads(
+            self.run_bytes(
+                workload, config, budget=budget, seed=seed,
+                telemetry=telemetry,
+            ).decode()
+        )
+
+    def run_bytes(
+        self,
+        workload: str,
+        config="fast",
+        budget: Optional[int] = None,
+        seed: Optional[int] = None,
+        telemetry=None,
+    ) -> bytes:
+        """Raw ``POST /run`` response body (byte-identity assertions)."""
+        body = {"workload": workload, "config": config}
+        if budget is not None:
+            body["budget"] = budget
+        if seed is not None:
+            body["seed"] = seed
+        if telemetry is not None:
+            body["telemetry"] = telemetry
+        status, raw = self._request("POST", "/run", body)
+        if status != 200:
+            raise ServeError(status, raw)
+        return raw
+
+    def stream_run(
+        self,
+        workload: str,
+        config="fast",
+        budget: Optional[int] = None,
+        seed: Optional[int] = None,
+        telemetry=None,
+    ) -> Iterator[dict]:
+        """Yield the NDJSON rows of a streamed run, in arrival order."""
+        body = {"workload": workload, "config": config, "stream": True}
+        if budget is not None:
+            body["budget"] = budget
+        if seed is not None:
+            body["seed"] = seed
+        if telemetry is not None:
+            body["telemetry"] = telemetry
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "POST", "/run", body=json.dumps(body).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()  # http.client de-chunks for us
+            if response.status != 200:
+                raise ServeError(response.status, response.read())
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()
+
+    def matrix(self, cells: list, jobs: Optional[int] = None) -> dict:
+        body = {"cells": cells}
+        if jobs is not None:
+            body["jobs"] = jobs
+        return self._json("POST", "/matrix", body)
+
+    def result_bytes(self, key: str) -> Optional[bytes]:
+        """Raw stored payload for ``key``, or None when not stored."""
+        status, raw = self._request("GET", f"/result/{key}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServeError(status, raw)
+        return raw

@@ -1,0 +1,213 @@
+"""Wire forms for the serve subsystem: configs, run and matrix bodies.
+
+The server speaks plain JSON. A *config wire form* is any of:
+
+* a profile name string (``"fast"`` or ``"paper"``);
+* a dict with an optional ``"profile"`` key plus flat
+  :class:`~repro.sim.config.SystemConfig` field overrides — nested
+  geometry/timing fields may be given as dicts, and the page-walk-cache
+  tuples as lists (JSON has no tuples);
+* the full dict :func:`config_to_wire` produces (every field present),
+  which round-trips to an equal frozen config.
+
+Round-tripping matters because the byte-identity contract — a served
+result equals the CLI's result for the same config — only holds if both
+sides hash the *same* frozen :class:`SystemConfig`.
+
+Malformed input raises :class:`ProtocolError`, which the server maps to
+HTTP 400 (never 500: a bad request is the client's bug, not ours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields, replace
+from typing import List, Optional, Tuple
+
+import repro.sim.diskcache as diskcache
+from repro.obs.telemetry import TelemetrySpec
+from repro.sim.config import (
+    CacheGeometry,
+    SystemConfig,
+    TimingConfig,
+    TlbGeometry,
+    fast_config,
+    paper_config,
+)
+from repro.sim.parallel import RunRequest
+from repro.sim.runner import DEFAULT_SEED
+from repro.workloads.suite import DEFAULT_BUDGET, workload_names
+
+
+class ProtocolError(ValueError):
+    """A request body the server cannot honour (HTTP 400)."""
+
+
+#: Named base profiles a wire config may start from.
+PROFILES = {"fast": fast_config, "paper": paper_config}
+
+#: Nested dataclass fields a wire config may give as plain dicts.
+_NESTED = {
+    "l1_itlb": TlbGeometry,
+    "l1_dtlb": TlbGeometry,
+    "l2_tlb": TlbGeometry,
+    "l1d": CacheGeometry,
+    "l2": CacheGeometry,
+    "llc": CacheGeometry,
+    "timing": TimingConfig,
+}
+
+#: Tuple-typed fields JSON delivers as lists.
+_TUPLE_FIELDS = ("pwc_entries", "pwc_latencies")
+
+
+def config_to_wire(config: SystemConfig) -> dict:
+    """JSON-safe dict form of a frozen config (full field set)."""
+    return asdict(config)
+
+
+def config_from_wire(spec) -> SystemConfig:
+    """Rebuild a frozen :class:`SystemConfig` from its wire form."""
+    if isinstance(spec, str):
+        base = PROFILES.get(spec)
+        if base is None:
+            raise ProtocolError(
+                f"unknown config profile {spec!r}; "
+                f"choose from {sorted(PROFILES)}"
+            )
+        return base()
+    if not isinstance(spec, dict):
+        raise ProtocolError(
+            f"config must be a profile name or an object, "
+            f"got {type(spec).__name__}"
+        )
+    data = dict(spec)
+    profile = data.pop("profile", "fast")
+    base = PROFILES.get(profile)
+    if base is None:
+        raise ProtocolError(
+            f"unknown config profile {profile!r}; "
+            f"choose from {sorted(PROFILES)}"
+        )
+    known = {f.name for f in fields(SystemConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ProtocolError(f"unknown config fields: {sorted(unknown)}")
+    overrides = {}
+    for name, value in data.items():
+        cls = _NESTED.get(name)
+        try:
+            if cls is not None and isinstance(value, dict):
+                value = cls(**value)
+            elif name in _TUPLE_FIELDS and isinstance(value, list):
+                value = tuple(value)
+        except TypeError as exc:
+            raise ProtocolError(f"bad {name!r} value: {exc}")
+        overrides[name] = value
+    try:
+        config = replace(base(), **overrides)
+        config.validate()
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid config: {exc}")
+    return config
+
+
+def _parse_telemetry(value) -> Optional[TelemetrySpec]:
+    if value is None or value is False:
+        return None
+    if value is True:
+        return TelemetrySpec()
+    if isinstance(value, dict):
+        try:
+            spec = TelemetrySpec(**value)
+            spec.validate()
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid telemetry spec: {exc}")
+        return spec
+    raise ProtocolError(
+        f"telemetry must be a bool or an object, got {type(value).__name__}"
+    )
+
+
+def _int_field(body: dict, name: str, default: int) -> int:
+    value = body.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{name} must be an integer")
+    if value <= 0 and name == "budget":
+        raise ProtocolError(f"budget must be positive, got {value}")
+    return value
+
+
+def parse_run_body(
+    body,
+) -> Tuple[RunRequest, Optional[TelemetrySpec], bool]:
+    """Validate one run description: ``(request, telemetry_spec, stream)``.
+
+    ``stream`` implies telemetry (a timeline is what gets streamed); a
+    bare ``{"stream": true}`` gets the default spec.
+    """
+    if not isinstance(body, dict):
+        raise ProtocolError("run body must be a JSON object")
+    workload = body.get("workload")
+    if not isinstance(workload, str):
+        raise ProtocolError("run body needs a workload name")
+    if workload not in workload_names():
+        raise ProtocolError(
+            f"unknown workload {workload!r}; "
+            f"choose from {workload_names()}"
+        )
+    config = config_from_wire(body.get("config", "fast"))
+    budget = _int_field(body, "budget", DEFAULT_BUDGET)
+    seed = _int_field(body, "seed", DEFAULT_SEED)
+    request = RunRequest(workload, config, budget, seed)
+    spec = _parse_telemetry(body.get("telemetry"))
+    stream = bool(body.get("stream", False))
+    if stream and spec is None:
+        spec = TelemetrySpec()
+    if stream and not spec.timeline:
+        raise ProtocolError("streaming needs a timeline-enabled spec")
+    return request, spec, stream
+
+
+def parse_matrix_body(body) -> Tuple[List[RunRequest], Optional[int]]:
+    """Validate a matrix description: ``(requests, jobs)``."""
+    if not isinstance(body, dict):
+        raise ProtocolError("matrix body must be a JSON object")
+    cells = body.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise ProtocolError("matrix body needs a non-empty cells list")
+    requests = []
+    for i, cell in enumerate(cells):
+        try:
+            request, spec, stream = parse_run_body(cell)
+        except ProtocolError as exc:
+            raise ProtocolError(f"cells[{i}]: {exc}")
+        if spec is not None or stream:
+            raise ProtocolError(
+                f"cells[{i}]: matrix cells take neither telemetry nor stream"
+            )
+        requests.append(request)
+    jobs = body.get("jobs")
+    if jobs is not None and (
+        isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1
+    ):
+        raise ProtocolError("jobs must be a positive integer")
+    return requests, jobs
+
+
+def run_key(
+    request: RunRequest, telemetry_spec: Optional[TelemetrySpec] = None
+) -> str:
+    """Coalescing/provenance key for one run request.
+
+    Plain runs use the disk-cache result key verbatim, so a server
+    request coalesces with an in-flight ``run_matrix`` cell for the same
+    config hash. Observed runs append a spec marker: they carry dynamics
+    a plain run does not, so the two must never coalesce (observed runs
+    still coalesce with *identical* observed requests).
+    """
+    key = diskcache.result_key(
+        request.workload, request.config, request.budget, request.seed
+    )
+    if telemetry_spec is not None:
+        key = f"{key}|obs:{telemetry_spec!r}"
+    return key

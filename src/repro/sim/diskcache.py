@@ -39,8 +39,14 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
+
+try:  # POSIX advisory locks; Windows falls back to atomic-rename only.
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None
 
 from repro.obs import harness as obs_harness
 from repro.obs.events import EV_CACHE_CORRUPT
@@ -148,6 +154,33 @@ def _write_atomic(path: Path, write_fn) -> None:
         raise
 
 
+@contextmanager
+def entry_lock(key: str):
+    """Per-key advisory lock serialising publishers of one cache entry.
+
+    Atomic rename already guarantees readers never see a torn envelope;
+    this lock additionally serialises concurrent *writers* of the same
+    key — two coalescing misses racing through ``store_result`` (server
+    threads, pool workers, separate processes sharing one cache) take
+    turns, and the loser sees the winner's file and skips its redundant
+    republish. Lock files live under ``<cache>/locks/`` and are tiny and
+    reusable; they are cleaned by :func:`purge`. No-op when the cache is
+    disabled or the platform has no ``fcntl`` (atomic rename still keeps
+    readers safe there).
+    """
+    if not _enabled or fcntl is None:
+        yield
+        return
+    path = cache_dir() / "locks" / f"{key}.lock"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 # ---------------------------------------------------------------------- #
 # Corruption handling
 # ---------------------------------------------------------------------- #
@@ -177,20 +210,9 @@ def _result_payload_bytes(data: dict) -> bytes:
     return json.dumps(data, sort_keys=True).encode()
 
 
-def load_result(
-    workload: str, config: SystemConfig, budget: int, seed: int
-) -> Optional[SimResult]:
-    """Fetch a cached result, or None on miss / disabled cache.
-
-    Entries failing any integrity check — unparseable, missing envelope
-    fields, schema mismatch, checksum mismatch — are quarantined and
-    reported as a miss so the caller recomputes.
-    """
-    if not _enabled:
-        return None
-    path = _result_path(result_key(workload, config, budget, seed))
-    if not path.exists():
-        return None
+def _load_payload(path: Path) -> Optional[dict]:
+    """Integrity-checked payload dict of one result envelope, or None
+    (quarantining the entry) on any failure."""
     try:
         with open(path, "rb") as f:
             envelope = json.loads(f.read().decode())
@@ -211,6 +233,38 @@ def load_result(
     if digest != envelope.get("sha256"):
         _quarantine(path, "result", "payload checksum mismatch")
         return None
+    return payload
+
+
+def load_payload(key: str) -> Optional[dict]:
+    """Fetch a stored result payload by raw content key (read-through
+    lookup for the server's ``GET /result/<key>``), or None on miss,
+    disabled cache, or a quarantined integrity failure."""
+    if not _enabled:
+        return None
+    path = _result_path(key)
+    if not path.exists():
+        return None
+    return _load_payload(path)
+
+
+def load_result(
+    workload: str, config: SystemConfig, budget: int, seed: int
+) -> Optional[SimResult]:
+    """Fetch a cached result, or None on miss / disabled cache.
+
+    Entries failing any integrity check — unparseable, missing envelope
+    fields, schema mismatch, checksum mismatch — are quarantined and
+    reported as a miss so the caller recomputes.
+    """
+    if not _enabled:
+        return None
+    path = _result_path(result_key(workload, config, budget, seed))
+    if not path.exists():
+        return None
+    payload = _load_payload(path)
+    if payload is None:
+        return None
     try:
         return SimResult.from_dict(payload)
     except (ValueError, TypeError):
@@ -223,19 +277,30 @@ def store_result(
     result: SimResult,
 ) -> None:
     """Persist a result inside a checksummed envelope (no-op when the
-    cache is disabled)."""
+    cache is disabled).
+
+    Publication is atomic (tmp file + rename) and serialised per key via
+    :func:`entry_lock`; a writer that takes the lock and finds the entry
+    already published — the other side of a coalesced miss got there
+    first — skips its redundant rewrite (results are deterministic in
+    their key, so the existing entry is byte-equal by contract).
+    """
     if not _enabled:
         return
-    path = _result_path(result_key(workload, config, budget, seed))
-    data = result.to_dict()
-    envelope = {
-        "magic": RESULT_MAGIC,
-        "schema": CACHE_SCHEMA_VERSION,
-        "sha256": hashlib.sha256(_result_payload_bytes(data)).hexdigest(),
-        "payload": data,
-    }
-    payload = json.dumps(envelope, sort_keys=True).encode()
-    _write_atomic(path, lambda f: f.write(payload))
+    key = result_key(workload, config, budget, seed)
+    path = _result_path(key)
+    with entry_lock(key):
+        if path.exists():
+            return
+        data = result.to_dict()
+        envelope = {
+            "magic": RESULT_MAGIC,
+            "schema": CACHE_SCHEMA_VERSION,
+            "sha256": hashlib.sha256(_result_payload_bytes(data)).hexdigest(),
+            "payload": data,
+        }
+        payload = json.dumps(envelope, sort_keys=True).encode()
+        _write_atomic(path, lambda f: f.write(payload))
 
 
 def tear_result_entry(
@@ -302,10 +367,16 @@ def store_trace(workload: str, budget: int, seed: int, trace: Trace) -> None:
     an unverifiable entry."""
     if not _enabled:
         return
-    path = _trace_path(trace_key(workload, budget, seed))
-    _write_atomic(path, trace.save)
-    digest = hashlib.sha256(path.read_bytes()).hexdigest()
-    _write_atomic(_trace_sidecar(path), lambda f: f.write(digest.encode()))
+    key = trace_key(workload, budget, seed)
+    path = _trace_path(key)
+    with entry_lock(key):
+        if path.exists() and _trace_sidecar(path).exists():
+            return
+        _write_atomic(path, trace.save)
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        _write_atomic(
+            _trace_sidecar(path), lambda f: f.write(digest.encode())
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -316,12 +387,12 @@ def purge() -> int:
     quarantined files); returns the number of files removed."""
     removed = 0
     base = cache_dir()
-    for sub in ("results", "traces", "checkpoints", "quarantine"):
+    for sub in ("results", "traces", "checkpoints", "quarantine", "locks"):
         d = base / sub
         if not d.is_dir():
             continue
         for path in d.iterdir():
-            if path.suffix in (".json", ".npz", ".sha256", ".jsonl"):
+            if path.suffix in (".json", ".npz", ".sha256", ".jsonl", ".lock"):
                 path.unlink()
                 removed += 1
     return removed

@@ -1,0 +1,114 @@
+"""Keyed in-flight computation registry: coalesce duplicate concurrent work.
+
+Both the matrix executor (:mod:`repro.sim.parallel`) and the simulation
+server (:mod:`repro.serve`) face the same shape of problem: several
+concurrent callers want the result of one content-addressed simulation
+key, and exactly one of them should pay for the compute. This module
+generalises the executor's duplicate-request dedup into a reusable,
+thread-safe registry: the first caller to ask for a key becomes its
+*leader* and computes; everyone else becomes a *follower* and waits on
+the same :class:`concurrent.futures.Future`.
+
+The registry is deliberately dumb about *what* is computed — the leader
+is responsible for eventually calling :meth:`KeyedInflight.resolve` or
+:meth:`KeyedInflight.fail` (typically in a ``finally``), after which the
+key leaves the registry and later callers lead a fresh computation
+(which, for cached simulations, will hit the run cache instead of
+re-simulating).
+
+Futures are :class:`concurrent.futures.Future`, so synchronous callers
+block on ``future.result()`` while asyncio callers await
+``asyncio.wrap_future(future)`` — one registry serves both worlds, which
+is what lets ``POST /run`` on the server coalesce with an in-flight
+``run_matrix`` cell for the same config hash.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, List, Tuple
+
+
+class KeyedInflight:
+    """Thread-safe leader/follower coalescing of keyed computations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        #: Lifetime counters (read by ``GET /status`` and tests).
+        self.led = 0
+        self.coalesced = 0
+
+    def lead_or_follow(self, key: str) -> Tuple[bool, Future]:
+        """Claim ``key`` or join its in-flight computation.
+
+        Returns ``(True, future)`` when the caller is the leader — it MUST
+        later resolve or fail the key, or followers hang — and
+        ``(False, future)`` when another caller is already computing it.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self.coalesced += 1
+                return False, future
+            future = Future()
+            self._inflight[key] = future
+            self.led += 1
+            return True, future
+
+    def resolve(self, key: str, value) -> None:
+        """Publish the leader's result and retire the key."""
+        with self._lock:
+            future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(value)
+
+    def fail(self, key: str, exc: BaseException) -> None:
+        """Propagate the leader's failure to every follower."""
+        with self._lock:
+            future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(exc)
+
+    def abandon(self, key: str, reason: str = "leader abandoned") -> None:
+        """Fail a key the leader can no longer compute (cleanup paths).
+
+        No-op when the key was already resolved — safe to call
+        unconditionally from a leader's ``finally``.
+        """
+        self.fail(key, RuntimeError(f"in-flight key {key[:16]}…: {reason}"))
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._inflight)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters for status endpoints and manifests."""
+        with self._lock:
+            return {
+                "inflight": len(self._inflight),
+                "led": self.led,
+                "coalesced": self.coalesced,
+            }
+
+
+#: Process-wide registry shared by the matrix executor and the server,
+#: keyed by disk-cache result keys (plus a telemetry marker for observed
+#: runs, which never coalesce with plain ones).
+_global = KeyedInflight()
+
+
+def global_inflight() -> KeyedInflight:
+    """The process-wide registry (server + matrix executor share it)."""
+    return _global
+
+
+def reset_global_inflight() -> None:
+    """Replace the process-wide registry (test isolation only)."""
+    global _global
+    _global = KeyedInflight()

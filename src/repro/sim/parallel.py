@@ -40,9 +40,10 @@ chosen cells; see ``tests/test_sim_faults.py``.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
 from concurrent.futures import wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -54,11 +55,13 @@ import repro.sim.diskcache as diskcache
 import repro.sim.faults as faults_mod
 from repro.obs.events import (
     EV_FAULT_INJECT,
+    EV_INFLIGHT_COALESCE,
     EV_POOL_REBUILD,
     EV_RESUME_SKIP,
     EV_RUN_RETRY,
     EV_RUN_TIMEOUT,
 )
+from repro.sim.inflight import global_inflight
 from repro.sim.checkpoint import MatrixJournal, resolve_resume
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
@@ -204,6 +207,34 @@ def resolve_retry(retry: Optional[RetryPolicy] = None) -> RetryPolicy:
 # ---------------------------------------------------------------------- #
 # Worker side
 # ---------------------------------------------------------------------- #
+#: Worker-side memo of shared-trace keys already attached, so tasks that
+#: ship descriptors (reused warm pools see traces published *after* pool
+#: start) attach each segment at most once per worker process.
+_attached_trace_keys: set = set()
+
+
+def _attach_shared_traces(shm_descriptors: Sequence[dict]) -> None:
+    """Attach published shared-memory traces this worker has not seen yet
+    and register them with the suite's shared-trace registry."""
+    if not shm_descriptors:
+        return
+    from repro.workloads import shm, suite
+
+    for descriptor in shm_descriptors:
+        key = tuple(descriptor["key"])
+        if key in _attached_trace_keys:
+            continue
+        trace = shm.attach_trace(descriptor)
+        if trace is None:
+            # Segment gone (parent closed its arena): fall back to the
+            # ordinary generate/disk-load path, and retry next time in
+            # case the same key is re-published.
+            continue
+        _attached_trace_keys.add(key)
+        name, budget, seed = descriptor["key"]
+        suite.register_shared_trace(name, int(budget), int(seed), trace)
+
+
 def _worker_init(
     cache_directory: Optional[str],
     obs_state=None,
@@ -230,14 +261,7 @@ def _worker_init(
     else:
         diskcache.disable()
     obs_telemetry.set_auto_state(obs_state)
-    if shm_descriptors:
-        from repro.workloads import shm, suite
-
-        for descriptor in shm_descriptors:
-            trace = shm.attach_trace(descriptor)
-            if trace is not None:
-                name, budget, seed = descriptor["key"]
-                suite.register_shared_trace(name, int(budget), int(seed), trace)
+    _attach_shared_traces(shm_descriptors)
 
 
 def _execute_cell(request, attempt, faults, telemetry_spec, in_pool):
@@ -272,10 +296,191 @@ def _execute_cell(request, attempt, faults, telemetry_spec, in_pool):
 
 
 def _worker_cell(args) -> tuple:
-    request, attempt, faults, telemetry_spec = args
+    request, attempt, faults, telemetry_spec, shm_descriptors = args
+    _attach_shared_traces(shm_descriptors)
     return _execute_cell(
         request, attempt, faults, telemetry_spec, _in_pool_worker
     )
+
+
+# ---------------------------------------------------------------------- #
+# Warm worker pool
+# ---------------------------------------------------------------------- #
+def _kill_executor(executor: ProcessPoolExecutor) -> None:
+    """Shut an executor down without waiting on possibly-hung workers."""
+    processes = getattr(executor, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except (OSError, ValueError, AttributeError):
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+class WarmPool:
+    """A reusable handle on a warm, pre-initialised worker pool.
+
+    ``run_matrix`` historically built and tore down a
+    :class:`ProcessPoolExecutor` per call, so back-to-back matrix
+    executions (and every server request) paid worker spawn plus the
+    pre-import cost of :func:`_worker_init` each time. A ``WarmPool``
+    decouples worker lifetime from matrix lifetime:
+
+    * the executor is created lazily on first use and *kept alive* after
+      a matrix finishes (idle-worker keepalive), so the next caller finds
+      warm workers;
+    * ``acquire()``/``release()`` refcount concurrent users — the pool
+      only shuts down on an explicit :meth:`close` (or a ``release``
+      with ``close_idle=True`` that drops the last reference);
+    * :meth:`kill_workers` / :meth:`rebuild` give the supervisor the same
+      crash/hang recovery it had with throwaway pools.
+
+    Disk-cache and telemetry settings are captured at each executor
+    (re)creation, so a pool built before ``diskcache.enable()`` picks the
+    setting up on its next rebuild; :func:`shared_warm_pool` goes further
+    and rebuilds automatically when the settings change. Traces published
+    to shared memory after pool start are shipped per-task (see
+    :func:`_worker_cell`), so a reused pool still gets zero-copy traces.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        shm_descriptors: Sequence[dict] = (),
+    ):
+        cores = os.cpu_count() or 1
+        if max_workers is None:
+            max_workers = cores
+        self.max_workers = max(1, min(max_workers, cores))
+        self._descriptors = tuple(shm_descriptors)
+        self._lock = threading.RLock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._settings: Optional[tuple] = None
+        self._refs = 0
+        self._closed = False
+
+    @staticmethod
+    def _current_settings() -> tuple:
+        cache_directory = (
+            str(diskcache.cache_dir()) if diskcache.is_enabled() else None
+        )
+        return (cache_directory, obs_telemetry.auto_state())
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, created (warm) on first use."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WarmPool is closed")
+            if self._executor is None:
+                self._settings = self._current_settings()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_worker_init,
+                    initargs=self._settings + (self._descriptors,),
+                )
+            return self._executor
+
+    def matches_current_settings(self) -> bool:
+        """Whether live workers were initialised under the caller's current
+        disk-cache and telemetry settings (idle pools always match)."""
+        with self._lock:
+            return (
+                self._executor is None
+                or self._settings == self._current_settings()
+            )
+
+    def kill_workers(self) -> None:
+        """Kill the executor (hang/crash recovery); the next
+        :meth:`executor` call builds a fresh one."""
+        with self._lock:
+            if self._executor is not None:
+                _kill_executor(self._executor)
+                self._executor = None
+
+    def rebuild(self) -> ProcessPoolExecutor:
+        """Kill and immediately replace the executor."""
+        with self._lock:
+            self.kill_workers()
+            return self.executor()
+
+    @property
+    def warm(self) -> bool:
+        """True when worker processes are currently alive."""
+        with self._lock:
+            return self._executor is not None
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def acquire(self) -> "WarmPool":
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WarmPool is closed")
+            self._refs += 1
+            return self
+
+    def release(self, close_idle: bool = False) -> None:
+        """Drop one reference; with ``close_idle`` the last release shuts
+        the pool down instead of keeping workers warm."""
+        with self._lock:
+            self._refs = max(0, self._refs - 1)
+            if close_idle and self._refs == 0:
+                self.close()
+
+    def close(self) -> None:
+        """Tear the pool down for good (idempotent)."""
+        with self._lock:
+            self.kill_workers()
+            self._closed = True
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "max_workers": self.max_workers,
+                "warm": self._executor is not None,
+                "refs": self._refs,
+                "closed": self._closed,
+            }
+
+
+_shared_pool: Optional[WarmPool] = None
+_shared_pool_lock = threading.Lock()
+
+
+def shared_warm_pool(max_workers: Optional[int] = None) -> WarmPool:
+    """The process-wide warm pool, (re)built on demand.
+
+    Back-to-back ``run_matrix(pool=shared_warm_pool())`` calls — and the
+    server, which holds one for its whole lifetime — reuse the same warm
+    workers. The pool is replaced when the caller's disk-cache/telemetry
+    settings no longer match the ones its workers were initialised with,
+    or when a larger ``max_workers`` is requested.
+    """
+    global _shared_pool
+    with _shared_pool_lock:
+        want = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        pool = _shared_pool
+        if pool is not None and (
+            pool.closed
+            or not pool.matches_current_settings()
+            or pool.max_workers < min(want, os.cpu_count() or 1)
+        ):
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = _shared_pool = WarmPool(want)
+        return pool
+
+
+def close_shared_pool() -> None:
+    """Shut down the process-wide warm pool (cleanup / test isolation)."""
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is not None:
+            _shared_pool.close()
+            _shared_pool = None
 
 
 # ---------------------------------------------------------------------- #
@@ -350,31 +555,28 @@ class _Supervisor:
         pending: Sequence[RunRequest],
         jobs: int,
         shm_descriptors: Sequence[dict] = (),
+        pool: Optional[WarmPool] = None,
     ) -> None:
         # Never oversubscribe the machine: workers beyond the real core
         # count only add scheduling and startup overhead (the requested
         # job count is an upper bound, not a demand).
         max_workers = min(jobs, len(pending), os.cpu_count() or 1)
-        cache_directory = (
-            str(diskcache.cache_dir()) if diskcache.is_enabled() else None
-        )
-
-        def make_pool() -> ProcessPoolExecutor:
-            # Rebuilt pools reuse the same initargs, so replacement
-            # workers re-attach the same shared-memory segments.
-            return ProcessPoolExecutor(
-                max_workers=max_workers,
-                initializer=_worker_init,
-                initargs=(
-                    cache_directory,
-                    obs_telemetry.auto_state(),
-                    tuple(shm_descriptors),
-                ),
-            )
+        own_pool = pool is None
+        if own_pool:
+            # Transient pool: bakes this matrix's shm descriptors into
+            # the initargs so rebuilt workers re-attach the segments.
+            pool = WarmPool(max_workers, shm_descriptors)
+        else:
+            pool.acquire()
+            max_workers = min(max_workers, pool.max_workers)
+        # Borrowed (warm) pools may predate this matrix's published
+        # traces, so descriptors also ride along with every task and
+        # workers attach unseen segments on demand.
+        task_descriptors = tuple(shm_descriptors)
 
         queue = deque(pending)
         inflight: Dict = {}  # future -> (request, deadline or None)
-        pool = make_pool()
+        executor = pool.executor()
         try:
             while queue or inflight:
                 # Sliding window: at most max_workers outstanding, so a
@@ -390,10 +592,10 @@ class _Supervisor:
                         else None
                     )
                     try:
-                        future = pool.submit(
+                        future = executor.submit(
                             _worker_cell,
                             (request, attempt, self.faults,
-                             self.telemetry_spec),
+                             self.telemetry_spec, task_descriptors),
                         )
                     except BrokenProcessPool:
                         # A worker died between the completion sweep and
@@ -406,8 +608,8 @@ class _Supervisor:
                     inflight[future] = (request, deadline)
 
                 if broken:
-                    pool = self._rebuild_broken_pool(
-                        pool, make_pool, inflight, queue
+                    executor = self._rebuild_broken_pool(
+                        pool, inflight, queue
                     )
                     continue
 
@@ -447,10 +649,9 @@ class _Supervisor:
                     # attempt (bounded collateral; retries are cheap
                     # against the disk cache).
                     obs_harness.record(EV_POOL_REBUILD, len(inflight))
-                    pool.shutdown(wait=False, cancel_futures=True)
                     requests = [req for req, _ in inflight.values()]
                     inflight.clear()
-                    pool = make_pool()
+                    executor = pool.rebuild()
                     for request in requests:
                         self._failed(request, "worker process died")
                         queue.append(request)
@@ -467,14 +668,19 @@ class _Supervisor:
                         and not future.done()
                     ]
                     if expired:
-                        pool = self._handle_timeouts(
-                            pool, make_pool, inflight, expired, queue
+                        executor = self._handle_timeouts(
+                            pool, inflight, expired, queue
                         )
         finally:
-            self._kill_pool(pool)
+            if own_pool:
+                pool.close()
+            else:
+                # Borrowed pool: leave the workers warm for the next
+                # matrix (that is the whole point of sharing it).
+                pool.release()
 
     def _rebuild_broken_pool(
-        self, pool, make_pool, inflight, queue
+        self, pool: WarmPool, inflight, queue
     ) -> ProcessPoolExecutor:
         """The pool broke during submit: a worker died after the last
         completion sweep, so the breakage surfaces from ``submit``
@@ -482,7 +688,7 @@ class _Supervisor:
         rebuild, except cells that finished cleanly before the collapse
         keep their results."""
         obs_harness.record(EV_POOL_REBUILD, len(inflight))
-        pool.shutdown(wait=False, cancel_futures=True)
+        pool.kill_workers()
         for future, (request, _) in list(inflight.items()):
             if future.done() and future.exception() is None:
                 self.on_complete(request, future.result())
@@ -490,10 +696,10 @@ class _Supervisor:
                 self._failed(request, "worker process died")
                 queue.append(request)
         inflight.clear()
-        return make_pool()
+        return pool.executor()
 
     def _handle_timeouts(
-        self, pool, make_pool, inflight, expired, queue
+        self, pool: WarmPool, inflight, expired, queue
     ) -> ProcessPoolExecutor:
         """A worker exceeded its per-run wall clock. Hung processes can
         only be stopped by killing them, which takes the pool down: the
@@ -510,7 +716,7 @@ class _Supervisor:
                 self.retry.timeout,
             )
         obs_harness.record(EV_POOL_REBUILD, len(inflight))
-        self._kill_pool(pool)
+        pool.kill_workers()
         expired_set = set(expired)
         timed_out: List[RunRequest] = []
         for future, (request, _) in list(inflight.items()):
@@ -531,18 +737,7 @@ class _Supervisor:
                 f"timed out after {self.retry.timeout:.3g}s",
             )
             queue.append(request)
-        return make_pool()
-
-    @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor) -> None:
-        """Shut a pool down without waiting on possibly-hung workers."""
-        processes = getattr(pool, "_processes", None) or {}
-        for proc in list(processes.values()):
-            try:
-                proc.kill()
-            except (OSError, ValueError, AttributeError):
-                pass
-        pool.shutdown(wait=False, cancel_futures=True)
+        return pool.executor()
 
 
 # ---------------------------------------------------------------------- #
@@ -558,12 +753,17 @@ def run_matrix(
     faults=None,
     resume: Optional[bool] = None,
     checkpoint_dir=None,
+    pool: Optional[WarmPool] = None,
 ) -> Dict[RunRequest, SimResult]:
     """Execute a declared run matrix, parallelising cache misses.
 
     Duplicate requests are coalesced; requests already satisfied by the
     resume journal, the in-process cache, or the disk cache never reach
-    the pool. Results are merged into the run cache so later
+    the pool. Cells another thread is *already computing* (a concurrent
+    ``run_matrix`` or a server request, via the process-wide
+    :func:`repro.sim.inflight.global_inflight` registry) are likewise
+    coalesced: this matrix waits for that in-flight result instead of
+    re-simulating. Results are merged into the run cache so later
     ``run_cached`` calls hit in-process, and the returned mapping is
     rebuilt in declared request order, so its serialised form is
     byte-stable regardless of completion order, retries, or resume.
@@ -572,7 +772,8 @@ def run_matrix(
     request is then simulated live (cached aggregates carry no dynamics)
     with its own bundle, and the JSON-safe payloads are merged into
     ``telemetry_out`` keyed by request. Journal/resume skipping is
-    disabled for such sweeps — a skipped cell would carry no dynamics.
+    disabled for such sweeps — a skipped cell would carry no dynamics —
+    and so is in-flight coalescing (each caller needs its own dynamics).
 
     ``retry`` / ``faults`` / ``resume`` / ``checkpoint_dir`` — the
     resilience controls (see the module docstring). Checkpointing is on
@@ -582,6 +783,13 @@ def run_matrix(
     :class:`MatrixError`; completed cells stay journaled, so rerunning
     with ``resume=True`` (CLI ``--resume``, env ``REPRO_RESUME=1``)
     skips them.
+
+    ``pool`` — an optional :class:`WarmPool` to run worker cells on;
+    the pool is borrowed (acquired/released, never torn down), so
+    back-to-back matrix calls passing the same handle — e.g.
+    ``shared_warm_pool()`` — reuse warm workers instead of paying spawn
+    cost each time. Without it, a transient pool is built and closed as
+    before.
     """
     unique: List[RunRequest] = list(dict.fromkeys(requests))
     retry = resolve_retry(retry)
@@ -642,6 +850,30 @@ def run_matrix(
             else:
                 pending.append(req)
 
+    # Cross-thread coalescing: claim each miss in the process-wide
+    # in-flight registry. Cells another thread (a concurrent matrix, a
+    # server request) is already computing become *followers* — this
+    # matrix waits for their result after its own leaders finish, so a
+    # duplicated sweep simulates each distinct cell exactly once
+    # process-wide. Telemetry sweeps opt out (each needs own dynamics).
+    registry = global_inflight()
+    leaders: Dict[RunRequest, str] = {}
+    followers: Dict[RunRequest, Future] = {}
+    if telemetry_spec is None and pending:
+        claimed: List[RunRequest] = []
+        for req in pending:
+            key = keys.get(req) or diskcache.result_key(
+                req.workload, req.config, req.budget, req.seed
+            )
+            is_leader, future = registry.lead_or_follow(key)
+            if is_leader:
+                leaders[req] = key
+                claimed.append(req)
+            else:
+                obs_harness.record(EV_INFLIGHT_COALESCE, key)
+                followers[req] = future
+        pending = claimed
+
     def on_complete(req: RunRequest, outcome: tuple) -> None:
         result, payload = outcome
         if payload is not None and telemetry_out is not None:
@@ -654,6 +886,9 @@ def run_matrix(
         if journal is not None:
             journal.record(keys[req], result)
         results[req] = result
+        key = leaders.pop(req, None)
+        if key is not None:
+            registry.resolve(key, result)
 
     supervisor = _Supervisor(retry, faults, telemetry_spec, on_complete)
     jobs = resolve_jobs(jobs)
@@ -666,12 +901,36 @@ def run_matrix(
             arena = _publish_traces(pending)
             if arena is not None:
                 descriptors = arena.descriptors
-            supervisor.run_pool(pending, jobs, descriptors)
+            supervisor.run_pool(pending, jobs, descriptors, pool=pool)
+        # Own leaders are done (and resolved); now collect cells other
+        # threads were computing. Safe to block: every leader eventually
+        # resolves or abandons its key in a ``finally`` like this one.
+        for req, future in followers.items():
+            try:
+                result = future.result()
+            except BaseException:
+                # The other thread's leader failed or abandoned the key;
+                # compute locally (a disk-cache hit if it got that far).
+                result = run_cached(
+                    req.workload, req.config, req.budget, req.seed
+                )
+            prime_run_cache(
+                req.workload, req.config, req.budget, req.seed, result,
+                persist=False,
+            )
+            if journal is not None:
+                journal.record(keys[req], result)
+            results[req] = result
     finally:
+        # Leaders that never completed (MatrixError, crash) must not
+        # leave followers in other threads hanging.
+        for req, key in leaders.items():
+            registry.abandon(key, "matrix execution aborted")
         if arena is not None:
             arena.close()
         if journal is not None:
             journal.close()
+
     return {req: results[req] for req in unique}
 
 

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Optional
 
 from repro.common.residency import ResidencySummary
+
+
+def wire_bytes(data: dict) -> bytes:
+    """Canonical byte encoding of a JSON-safe payload dict.
+
+    Sorted keys and fixed separators make the encoding a pure function of
+    the data: two equal payloads always serialise to identical bytes.
+    This is the transport form the serve subsystem puts on the wire, and
+    the form the byte-identity contract (served result == CLI result) is
+    asserted over.
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":")
+    ).encode()
 
 
 @dataclass
@@ -203,6 +218,15 @@ class SimResult:
         if unknown:
             raise ValueError(f"unknown SimResult fields: {sorted(unknown)}")
         return cls(**data)
+
+    def to_wire(self) -> bytes:
+        """Byte-stable wire encoding (see :func:`wire_bytes`)."""
+        return wire_bytes(self.to_dict())
+
+    @classmethod
+    def from_wire(cls, blob: bytes) -> "SimResult":
+        """Rebuild a result from its :meth:`to_wire` bytes."""
+        return cls.from_dict(json.loads(blob.decode()))
 
     def summary_line(self) -> str:
         return (

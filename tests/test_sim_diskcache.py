@@ -137,7 +137,8 @@ class TestMaintenance:
         assert stats["results"] == 1
         assert stats["traces"] == 1
         assert stats["bytes"] > 0
-        # Purge removes the result, the trace npz, and its sidecar.
-        assert diskcache.purge() == 3
+        # Purge removes the result, the trace npz, its sidecar, and the
+        # two per-key advisory lock files the stores left behind.
+        assert diskcache.purge() == 5
         after = diskcache.stats()
         assert after["results"] == 0 and after["traces"] == 0
