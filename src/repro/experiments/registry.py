@@ -35,6 +35,7 @@ from repro.experiments.sensitivity import (
     fig11f_srrip,
 )
 from repro.experiments.storage import storage_overhead
+from repro.experiments.tenancy import tenancy_mix
 
 #: id -> callable producing an ExperimentReport. Callables accept an
 #: optional ``budget`` keyword except ``storage`` (analytic).
@@ -61,6 +62,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation_action": ablation_bypass_vs_demote,
     "ablation_threshold": ablation_threshold,
     "extension_prefetch": extension_prefetch,
+    "tenancy": tenancy_mix,
 }
 
 

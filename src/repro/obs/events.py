@@ -51,6 +51,10 @@ EV_LLT_VERDICT = "llt_verdict"
 EV_LLC_VERDICT = "llc_verdict"
 #: A page walk completed (machine-level; rare enough to record each one).
 EV_WALK = "walk"
+#: The tenant scheduler switched address spaces (multi-tenant traces).
+EV_CTX_SWITCH = "ctx_switch"
+#: A TLB shootdown fired (scope: "page" / "asid" / "all").
+EV_SHOOTDOWN = "shootdown"
 
 # --------------------------------------------------------------------- #
 # Harness (run-matrix resilience) event kinds — emitted by the executor
@@ -107,6 +111,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     EV_LLT_VERDICT: ("vpn", "predicted_doa", "actual_doa"),
     EV_LLC_VERDICT: ("block", "predicted_doa", "actual_doa"),
     EV_WALK: ("vpn", "latency"),
+    EV_CTX_SWITCH: ("from_asid", "to_asid"),
+    EV_SHOOTDOWN: ("asid", "scope"),
     EV_RUN_RETRY: ("workload", "config", "seed", "attempt", "reason"),
     EV_RUN_TIMEOUT: ("workload", "config", "seed", "attempt", "timeout_s"),
     EV_POOL_REBUILD: ("pending",),

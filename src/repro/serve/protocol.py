@@ -2,7 +2,8 @@
 
 The server speaks plain JSON. A *config wire form* is any of:
 
-* a profile name string (``"fast"`` or ``"paper"``);
+* a profile name string (``"fast"``, ``"paper"``, ``"mix2"``,
+  ``"mix4"``, or ``"hugepage"``);
 * a dict with an optional ``"profile"`` key plus flat
   :class:`~repro.sim.config.SystemConfig` field overrides — nested
   geometry/timing fields may be given as dicts, and the page-walk-cache
@@ -31,11 +32,14 @@ from repro.sim.config import (
     TimingConfig,
     TlbGeometry,
     fast_config,
+    hugepage_config,
+    mix2_config,
+    mix4_config,
     paper_config,
 )
 from repro.sim.parallel import RunRequest
 from repro.sim.runner import DEFAULT_SEED
-from repro.workloads.suite import DEFAULT_BUDGET, workload_names
+from repro.workloads.suite import DEFAULT_BUDGET, all_workload_names
 
 
 class ProtocolError(ValueError):
@@ -43,7 +47,13 @@ class ProtocolError(ValueError):
 
 
 #: Named base profiles a wire config may start from.
-PROFILES = {"fast": fast_config, "paper": paper_config}
+PROFILES = {
+    "fast": fast_config,
+    "paper": paper_config,
+    "mix2": mix2_config,
+    "mix4": mix4_config,
+    "hugepage": hugepage_config,
+}
 
 #: Nested dataclass fields a wire config may give as plain dicts.
 _NESTED = {
@@ -150,10 +160,10 @@ def parse_run_body(
     workload = body.get("workload")
     if not isinstance(workload, str):
         raise ProtocolError("run body needs a workload name")
-    if workload not in workload_names():
+    if workload not in all_workload_names():
         raise ProtocolError(
             f"unknown workload {workload!r}; "
-            f"choose from {workload_names()}"
+            f"choose from {all_workload_names()}"
         )
     config = config_from_wire(body.get("config", "fast"))
     budget = _int_field(body, "budget", DEFAULT_BUDGET)

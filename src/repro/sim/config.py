@@ -136,6 +136,18 @@ class SystemConfig:
     # SHiP knobs
     ship_tlb_signature_bits: int = 8
     ship_llc_signature_bits: int = 14
+    # --- multi-tenant / huge-page scenario layer ---
+    #: Number of interleaved address spaces the workload trace carries
+    #: (1 = the paper's single-process machine). Informational for cache
+    #: keys and engine dispatch; the trace's asids array is authoritative.
+    num_tenants: int = 1
+    #: Shoot down the outgoing tenant's TLB + PWC entries on every
+    #: context switch (models ASID-recycling kernels; False models
+    #: ASID-rich hardware where entries survive switches).
+    shootdown_on_switch: bool = False
+    #: Fraction of 2 MB virtual regions backed by huge pages (leaf at the
+    #: PD level). 0.0 keeps the paper's pure-4 KB address spaces.
+    huge_fraction: float = 0.0
     # --- instrumentation ---
     track_residency: bool = False
     track_reference: bool = False
@@ -144,6 +156,14 @@ class SystemConfig:
     timing: TimingConfig = field(default_factory=TimingConfig)
 
     def validate(self) -> None:
+        if self.num_tenants < 1:
+            raise ValueError(
+                f"num_tenants must be >= 1, got {self.num_tenants}"
+            )
+        if not 0.0 <= self.huge_fraction <= 1.0:
+            raise ValueError(
+                f"huge_fraction must be in [0, 1], got {self.huge_fraction}"
+            )
         if self.tlb_predictor not in TLB_PREDICTORS:
             raise ValueError(
                 f"unknown tlb_predictor {self.tlb_predictor!r}; "
@@ -197,6 +217,26 @@ def paper_config(**overrides) -> SystemConfig:
         llc=CacheGeometry(2048, 16, 40),   # 2 MB
         cbpred_bhist_entries=4096,
     )
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def mix2_config(**overrides) -> SystemConfig:
+    """Two-tenant interleaving profile (fast geometry, shootdowns on
+    context switch). Pair with the ``mix2`` workload."""
+    cfg = SystemConfig(name="mix2", num_tenants=2, shootdown_on_switch=True)
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def mix4_config(**overrides) -> SystemConfig:
+    """Four-tenant interleaving profile. Pair with the ``mix4`` workload."""
+    cfg = SystemConfig(name="mix4", num_tenants=4, shootdown_on_switch=True)
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def hugepage_config(**overrides) -> SystemConfig:
+    """Half the address space backed by 2 MB huge pages (fast geometry);
+    works with any workload — the page tables splinter per region."""
+    cfg = SystemConfig(name="hugepage", huge_fraction=0.5)
     return replace(cfg, **overrides) if overrides else cfg
 
 

@@ -174,6 +174,8 @@ REASON_PREDICTOR = "predictor"  # non-dpPred/cbPred listener, or L1 wiring
 REASON_REFERENCE = "reference"  # ground-truth reference structures attached
 REASON_DTYPE = "dtype"          # unexpected trace array dtypes
 REASON_EMPTY = "empty"          # zero-record trace
+REASON_TENANT = "tenant"        # ASID-carrying trace / multi-tenant config
+REASON_HUGEPAGE = "hugepage"    # huge-page mappings: LLT keys diverge
 
 
 def flat_reason(machine) -> Optional[str]:
@@ -279,6 +281,10 @@ def run_batched(machine, trace):
     if not _trace_ok(trace):
         reason = REASON_EMPTY if len(trace) == 0 else REASON_DTYPE
         return _fall_back(machine, trace, reason)
+    if getattr(trace, "asids", None) is not None or machine.config.num_tenants > 1:
+        return _fall_back(machine, trace, REASON_TENANT)
+    if machine.config.huge_fraction > 0:
+        return _fall_back(machine, trace, REASON_HUGEPAGE)
     why = flat_reason(machine)
     bulk_ok = batchable(machine)
     if why is None:

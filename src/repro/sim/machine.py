@@ -27,7 +27,8 @@ from repro.core.dppred import DeadPagePredictor, DpPredConfig
 from repro.mem.cache import CacheLine, CacheListener, SetAssocCache
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.mainmem import MainMemory
-from repro.obs.events import EV_WALK
+from repro.common.stats import Stats
+from repro.obs.events import EV_CTX_SWITCH, EV_SHOOTDOWN, EV_WALK
 from repro.predictors.aip import AipCachePredictor, AipTlbPredictor
 from repro.predictors.base import AccessContext
 from repro.predictors.oracle import (
@@ -57,24 +58,57 @@ from repro.sim.config import (
 )
 from repro.sim.reference import ReferenceStructure
 from repro.sim.results import SimResult
-from repro.vm.pagetable import RadixPageTable
+from repro.vm.pagetable import (
+    RadixPageTable,
+    huge_region_policy,
+)
 from repro.vm.physmem import PAGE_SHIFT, FrameAllocator
 from repro.vm.pwc import PageWalkCaches
-from repro.vm.tlb import Tlb, TlbEntry, TlbListener
+from repro.vm.tlb import (
+    ASID_SHIFT,
+    GLOBAL_KEY_BASE,
+    HUGE_KEY_BASE,
+    HUGE_SPAN_BITS,
+    Tlb,
+    TlbEntry,
+    TlbListener,
+    tlb_key,
+)
 from repro.vm.walker import BLOCK_SHIFT, PageTableWalker
 
 _BLOCK_OFFSET_BITS = PAGE_SHIFT - BLOCK_SHIFT  # block-in-page bits (6)
 _BLOCK_IN_PAGE_MASK = (1 << _BLOCK_OFFSET_BITS) - 1
+_VPN_KEY_MASK = (1 << ASID_SHIFT) - 1  # VPN bits of a combined (asid, vpn) key
 
 
 class _CorrelationTlbListener(TlbListener):
-    """Records each VPN's most recent LLT DOA outcome (Table III support)."""
+    """Records each page's most recent LLT DOA outcome (Table III support).
+
+    Keys are the LLT's namespaced tags (``entry.vpn`` stores the full
+    key), so per-ASID 4 KB entries, huge-region entries, and global
+    entries all record without colliding — and a shootdown, which ends
+    the residency through the same eviction path, records the verdict
+    too."""
 
     def __init__(self) -> None:
         self.last_doa_status: Dict[int, bool] = {}
 
     def on_evict(self, tlb: Tlb, entry: TlbEntry, now: int) -> None:
         self.last_doa_status[entry.vpn] = not entry.accessed
+
+    def lookup(self, vpn: int, asid: int) -> Optional[bool]:
+        """Most recent DOA verdict for ``(asid, vpn)``, trying the same
+        namespaces a lookup would: 4 KB, covering huge region, global."""
+        status = self.last_doa_status
+        verdict = status.get(tlb_key(vpn, asid))
+        if verdict is not None:
+            return verdict
+        verdict = status.get(
+            HUGE_KEY_BASE | tlb_key(vpn >> HUGE_SPAN_BITS, asid)
+        )
+        if verdict is not None:
+            return verdict
+        return status.get(GLOBAL_KEY_BASE | vpn)
 
 
 class _CorrelationCacheListener(CacheListener):
@@ -92,16 +126,19 @@ class _CorrelationCacheListener(CacheListener):
             return
         self.doa_blocks_total += 1
         pfn = line.tag >> _BLOCK_OFFSET_BITS
-        vpn = self.machine.pfn_to_vpn.get(pfn)
-        if vpn is None:
+        key = self.machine.pfn_to_vpn.get(pfn)
+        if key is None:
             return  # page-table block, not a demand page
-        resident = self.machine.l2_tlb.probe(vpn)
+        vpn = key & _VPN_KEY_MASK
+        asid = key >> ASID_SHIFT
+        resident = self.machine.l2_tlb.probe_translation(vpn, asid)
         if resident is not None:
             page_doa = not resident.accessed
-        elif vpn in self.tlb_side.last_doa_status:
-            page_doa = self.tlb_side.last_doa_status[vpn]
         else:
-            return  # never completed an LLT residency; unclassifiable
+            verdict = self.tlb_side.lookup(vpn, asid)
+            if verdict is None:
+                return  # never completed an LLT residency; unclassifiable
+            page_doa = verdict
         self.doa_blocks_classified += 1
         if page_doa:
             self.doa_blocks_on_doa_page += 1
@@ -198,13 +235,28 @@ class Machine:
         )
 
         # --- virtual memory -------------------------------------------- #
-        self.page_table = RadixPageTable(
-            FrameAllocator(num_frames=config.phys_frames, seed=seed)
+        # Huge mappings are decided per 2 MB region by a seed-stable hash
+        # (None at huge_fraction == 0: the table then behaves — and
+        # performs — exactly as the pre-huge-page one).
+        self._huge_policy = (
+            huge_region_policy(config.huge_fraction, seed)
+            if config.huge_fraction > 0
+            else None
         )
+        allocator = FrameAllocator(num_frames=config.phys_frames, seed=seed)
+        self.page_table = RadixPageTable(
+            allocator, huge_policy=self._huge_policy
+        )
+        # Every tenant's table shares one allocator: PFNs stay globally
+        # unique, so the physically-indexed caches model real
+        # inter-tenant interference.
         self.walker = PageTableWalker(
             self.page_table,
             PageWalkCaches(config.pwc_entries, config.pwc_latencies),
             self.hierarchy,
+            table_factory=lambda asid: RadixPageTable(
+                allocator, huge_policy=self._huge_policy
+            ),
         )
         self._tlb_predictor = self._build_tlb_predictor(oracle_outcomes)
         if isinstance(self._tlb_predictor, DistanceTlbPrefetcher):
@@ -229,6 +281,15 @@ class Machine:
             listener=tlb_listener,
             track_residency=config.track_residency,
         )
+        # Shootdowns through the LLT must also drop the PWC's partial
+        # walks for the region (the walker refills the LLT, so the LLT is
+        # the TLB whose invalidations track walk state).
+        self.l2_tlb.pwc = self.walker.pwc
+
+        # Multi-tenant bookkeeping (context switches, shootdowns). Kept
+        # out of result.raw unless a multi-tenant trace actually ran, so
+        # single-tenant SimResults stay byte-stable.
+        self.tenancy = Stats()
 
         # Per-access bound-method aliases (structures are fixed after
         # construction; saves repeated attribute chains in the hot loop).
@@ -388,64 +449,81 @@ class Machine:
     # ------------------------------------------------------------------ #
     # Access path
     # ------------------------------------------------------------------ #
-    def _translate(self, l1_tlb: Tlb, vpn: int, pc: int, now: int):
+    def _translate(self, l1_tlb: Tlb, vpn: int, pc: int, now: int, asid: int):
         """Returns ``(pfn, exposed_translation_penalty)``."""
-        pfn = l1_tlb.lookup(vpn, now)
+        pfn = l1_tlb.lookup(vpn, now, asid)
         if pfn is not None:
             return pfn, 0.0
         if self.ref_llt is not None:
-            self.ref_llt.access(vpn, now)
-        pfn = self._l2_tlb_lookup(vpn, now)
+            self.ref_llt.access(
+                vpn if asid == 0 else (asid << ASID_SHIFT) | vpn, now
+            )
+        pfn = self._l2_tlb_lookup(vpn, now, asid)
         if pfn is not None:
             penalty = self._l2_tlb_hit_penalty
         else:
             # The PC travels in the LLT MSHR to be available at fill time.
-            pfn, walk_latency = self._walker_walk(vpn, now)
-            self.pfn_to_vpn[pfn] = vpn
+            pfn, walk_latency, huge_base = self._walker_walk(vpn, now, asid)
+            # Stored as the combined (asid, vpn) key — raw VPN at ASID 0 —
+            # so the correlation listener can classify per address space.
+            self.pfn_to_vpn[pfn] = tlb_key(vpn, asid)
             probe = self._probe
             if probe is not None:
                 probe.emit(now, EV_WALK, vpn, walk_latency)
             penalty = (
                 self._l2_tlb_latency + walk_latency * self._walk_exposure
             )
-            self._l2_tlb_fill(vpn, pfn, pc, now)
-        l1_tlb.fill(vpn, pfn, pc, now)
+            if huge_base is None:
+                self._l2_tlb_fill(vpn, pfn, pc, now, asid)
+            else:
+                # Only the LLT holds the 2 MB entry; the L1 TLBs below get
+                # splintered 4 KB granules, so their geometry, the
+                # same-page filter, and the batched engine's L1 mirrors
+                # are untouched by huge mappings.
+                self._l2_tlb_fill(vpn, huge_base, pc, now, asid, huge=True)
+        l1_tlb.fill(vpn, pfn, pc, now, asid)
         return pfn, penalty
 
-    def access(self, pc: int, vaddr: int, is_write: bool, gap: int) -> None:
+    def access(
+        self, pc: int, vaddr: int, is_write: bool, gap: int, asid: int = 0
+    ) -> None:
         """Simulate one memory instruction preceded by ``gap`` non-memory
-        instructions."""
+        instructions, issued by address space ``asid``."""
         self.now = now = self.now + 1
         self.instructions += gap + 1
         self.context.pc = pc
         translate = self._translate
 
         # Instruction-side translation (small code footprint; nearly
-        # always an L1 I-TLB hit after warm-up).
+        # always an L1 I-TLB hit after warm-up). The same-page filter
+        # caches the *combined* (asid, vpn) key, so a context switch to a
+        # tenant sharing the VPN can never reuse the wrong entry.
         ivpn = pc >> PAGE_SHIFT
-        if ivpn == self._last_ivpn:
+        ikey = ivpn if asid == 0 else (asid << ASID_SHIFT) | ivpn
+        if ikey == self._last_ivpn:
             self._itlb_stat["hits"] += 1
             self._last_ientry.accessed = True
             penalty = 0.0
         else:
-            _, penalty = translate(self.l1_itlb, ivpn, pc, now)
+            _, penalty = translate(self.l1_itlb, ivpn, pc, now, asid)
             if self._page_filter:
-                self._last_ivpn = ivpn
-                self._last_ientry = self.l1_itlb.probe(ivpn)
+                self._last_ivpn = ikey
+                self._last_ientry = self.l1_itlb.probe(ivpn, asid)
 
         # Data-side translation.
         dvpn = vaddr >> PAGE_SHIFT
-        if dvpn == self._last_dvpn:
+        dkey = dvpn if asid == 0 else (asid << ASID_SHIFT) | dvpn
+        if dkey == self._last_dvpn:
             self._dtlb_stat["hits"] += 1
             dentry = self._last_dentry
             dentry.accessed = True
             pfn = dentry.pfn
         else:
-            pfn, dpenalty = translate(self.l1_dtlb, dvpn, pc, now)
+            pfn, dpenalty = translate(self.l1_dtlb, dvpn, pc, now, asid)
             penalty += dpenalty
             if self._page_filter:
-                self._last_dvpn = dvpn
-                self._last_dentry = self.l1_dtlb.probe(dvpn)
+                self._last_dvpn = dkey
+                self._last_dentry = self.l1_dtlb.probe(dvpn, asid)
 
         # Physical data access.
         block = (pfn << _BLOCK_OFFSET_BITS) | (
@@ -484,6 +562,8 @@ class Machine:
 
     def run_scalar(self, trace) -> SimResult:
         """Reference per-record execution loop (the scalar engine)."""
+        if getattr(trace, "asids", None) is not None:
+            return self._run_scalar_tenants(trace)
         access = self.access
         sampler = self._timeline
         if sampler is None:
@@ -504,6 +584,98 @@ class Machine:
         if not sampler.marks or sampler.marks[-1] != self.instructions:
             sampler.sample(self.instructions, self.cycles)
         return self.finalize(trace.name)
+
+    def _run_scalar_tenants(self, trace) -> SimResult:
+        """Scalar loop for ASID-carrying traces: every record passes its
+        tenant's ASID into :meth:`access`, and ASID changes between
+        consecutive records become context-switch events (optionally
+        shooting down the outgoing tenant, per ``shootdown_on_switch``)."""
+        access = self.access
+        sampler = self._timeline
+        interval = sampler.interval if sampler is not None else None
+        next_at = interval
+        current = -1
+        seen = set()
+        tenancy = self.tenancy
+        for (pc, vaddr, is_write, gap), asid in zip(
+            trace.iter_records(), trace.iter_asids()
+        ):
+            if asid != current:
+                if current >= 0:
+                    self._context_switch(current, asid)
+                if asid not in seen:
+                    seen.add(asid)
+                    tenancy.add("tenants_seen")
+                current = asid
+            access(pc, vaddr, is_write, gap, asid)
+            if sampler is not None and self.instructions >= next_at:
+                sampler.sample(self.instructions, self.cycles)
+                next_at = self.instructions + interval
+        if sampler is not None and (
+            not sampler.marks or sampler.marks[-1] != self.instructions
+        ):
+            sampler.sample(self.instructions, self.cycles)
+        return self.finalize(trace.name)
+
+    def _context_switch(self, outgoing: int, incoming: int) -> None:
+        tenancy = self.tenancy
+        tenancy.add("context_switches")
+        probe = self._probe
+        if probe is not None:
+            probe.emit(self.now, EV_CTX_SWITCH, outgoing, incoming)
+        if self.config.shootdown_on_switch:
+            self.shootdown_asid(outgoing)
+
+    # ------------------------------------------------------------------ #
+    # TLB shootdowns
+    # ------------------------------------------------------------------ #
+    def _reset_page_filter(self) -> None:
+        # The same-page filter carries live TlbEntry references; any
+        # shootdown may have invalidated them, so drop the cached state
+        # (the next access re-probes and repopulates it).
+        self._last_ivpn = None
+        self._last_ientry = None
+        self._last_dvpn = None
+        self._last_dentry = None
+
+    def shootdown_page(self, vpn: int, asid: int = 0) -> None:
+        """INVLPG: drop one translation (all TLB levels + PWC region)."""
+        now = self.now
+        self.tenancy.add("shootdowns")
+        for tlb in (self.l1_itlb, self.l1_dtlb, self.l2_tlb):
+            tlb.invalidate(vpn, now, asid)
+        probe = self._probe
+        if probe is not None:
+            probe.emit(now, EV_SHOOTDOWN, asid, "page")
+        self._reset_page_filter()
+
+    def shootdown_asid(self, asid: int) -> int:
+        """Drop every translation belonging to ``asid`` (ASID recycle);
+        returns the number of TLB entries dropped across all levels."""
+        now = self.now
+        self.tenancy.add("shootdowns")
+        dropped = 0
+        for tlb in (self.l1_itlb, self.l1_dtlb, self.l2_tlb):
+            dropped += tlb.invalidate_asid(asid, now)
+        probe = self._probe
+        if probe is not None:
+            probe.emit(now, EV_SHOOTDOWN, asid, "asid")
+        self._reset_page_filter()
+        return dropped
+
+    def shootdown_all(self, keep_global: bool = True) -> int:
+        """Broadcast shootdown: every TLB level and the whole PWC;
+        returns the number of TLB entries dropped across all levels."""
+        now = self.now
+        self.tenancy.add("shootdowns")
+        dropped = 0
+        for tlb in (self.l1_itlb, self.l1_dtlb, self.l2_tlb):
+            dropped += tlb.invalidate_all(now, keep_global=keep_global)
+        probe = self._probe
+        if probe is not None:
+            probe.emit(now, EV_SHOOTDOWN, -1, "all")
+        self._reset_page_filter()
+        return dropped
 
     # ------------------------------------------------------------------ #
     # Result assembly
@@ -559,6 +731,11 @@ class Machine:
             "walker": self.walker.stats.snapshot(),
             "memory": self.hierarchy.memory.stats.snapshot(),
         }
+        # Multi-tenant runs carry their scheduling/shootdown counters;
+        # the key is absent on single-tenant runs so their serialized
+        # results stay byte-identical to pre-scenario-layer ones.
+        if self.tenancy.counters:
+            result.raw["tenants"] = self.tenancy.snapshot()
         return result
 
     def _config_label(self) -> str:

@@ -12,7 +12,7 @@ accesses. Translations (and intermediate nodes) are created on first touch
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.stats import Stats
 from repro.vm.physmem import PAGE_SHIFT, FrameAllocator
@@ -44,12 +44,53 @@ class _Node:
         self.children: Dict[int, object] = {}
 
 
-class RadixPageTable:
-    """x86-64-style 4-level page table with demand population."""
+class _HugeLeaf:
+    """A 2 MB mapping stored directly in a PD entry (leaf at level 2)."""
 
-    def __init__(self, allocator: Optional[FrameAllocator] = None):
+    __slots__ = ("base",)
+
+    def __init__(self, base: int):
+        self.base = base
+
+
+def huge_region_policy(
+    fraction: float, seed: int
+) -> Callable[[int], bool]:
+    """Deterministic huge-mapping decision: maps ``fraction`` of 2 MB
+    regions hugely, chosen by a splitmix-style hash of the region number
+    so the choice is stable across runs, processes, and resume."""
+    threshold = int(fraction * (1 << 32))
+    mixed_seed = (seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+
+    def policy(region: int) -> bool:
+        x = (region ^ mixed_seed) & 0xFFFFFFFFFFFFFFFF
+        x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 31
+        return (x & 0xFFFFFFFF) < threshold
+
+    return policy
+
+
+class RadixPageTable:
+    """x86-64-style 4-level page table with demand population.
+
+    ``huge_policy`` (a callable of the 2 MB region number ``vpn >>
+    LEVEL_BITS``) decides — once, at first touch of each region — whether
+    the region is backed by a 2 MB huge page: the PD entry then becomes
+    the leaf (a 3-load walk) and the region receives 512 contiguous,
+    naturally aligned frames. ``None`` (the default) keeps every mapping
+    at 4 KB granularity with behaviour identical to the pre-huge-page
+    table.
+    """
+
+    def __init__(
+        self,
+        allocator: Optional[FrameAllocator] = None,
+        huge_policy: Optional[Callable[[int], bool]] = None,
+    ):
         self.allocator = allocator or FrameAllocator()
         self._root = _Node(self.allocator.allocate())
+        self._huge_policy = huge_policy
         self.stats = Stats()
 
     @staticmethod
@@ -61,12 +102,17 @@ class RadixPageTable:
     def lookup(self, vpn: int) -> Optional[int]:
         """Translate without allocating. Returns PFN or None."""
         node = self._root
-        for level in range(NUM_LEVELS - 1):
+        for level in range(NUM_LEVELS - 2):
             child = node.children.get(self.level_index(vpn, level))
             if child is None:
                 return None
             node = child  # type: ignore[assignment]
-        return node.children.get(self.level_index(vpn, NUM_LEVELS - 1))
+        child = node.children.get(self.level_index(vpn, NUM_LEVELS - 2))
+        if child is None:
+            return None
+        if type(child) is _HugeLeaf:
+            return child.base + (vpn & _IDX_MASK)
+        return child.children.get(self.level_index(vpn, NUM_LEVELS - 1))
 
     def translate(self, vpn: int) -> int:
         """Translate ``vpn``, allocating the mapping on first touch."""
@@ -76,8 +122,11 @@ class RadixPageTable:
     def walk_path(self, vpn: int) -> Tuple[int, List[int]]:
         """Translate ``vpn`` and return the PTE physical addresses touched.
 
-        Returns ``(pfn, [pte_paddr_level0, ..., pte_paddr_level3])`` — the
-        four physical addresses a full hardware walk loads, root first.
+        Returns ``(pfn, [pte_paddr_level0, ...])`` — the physical
+        addresses a hardware walk loads, root first: four for a 4 KB
+        mapping, three for a 2 MB huge mapping (the PD entry is the
+        leaf, so ``len(path) == NUM_LEVELS - 1`` identifies a huge walk
+        and ``pfn - (vpn & 511)`` recovers the region's base frame).
         Missing nodes/mappings are created (demand paging).
         """
         if vpn < 0 or vpn >= (1 << VPN_BITS):
@@ -85,7 +134,7 @@ class RadixPageTable:
         path: List[int] = []
         append = path.append
         node = self._root
-        for shift in _LEVEL_SHIFTS[:-1]:
+        for shift in _LEVEL_SHIFTS[:-2]:
             idx = (vpn >> shift) & _IDX_MASK
             append((node.frame << PAGE_SHIFT) | (idx * PTE_SIZE))
             child = node.children.get(idx)
@@ -94,6 +143,26 @@ class RadixPageTable:
                 node.children[idx] = child
                 self.stats.add("nodes_allocated")
             node = child  # type: ignore[assignment]
+        # PD level: the entry is either a pointer to a PT node or — for
+        # huge-mapped regions — the 2 MB leaf itself.
+        idx = (vpn >> _LEVEL_SHIFTS[-2]) & _IDX_MASK
+        append((node.frame << PAGE_SHIFT) | (idx * PTE_SIZE))
+        child = node.children.get(idx)
+        if child is None:
+            if self._huge_policy is not None and self._huge_policy(
+                vpn >> LEVEL_BITS
+            ):
+                child = _HugeLeaf(
+                    self.allocator.allocate_huge(ENTRIES_PER_NODE)
+                )
+                self.stats.add("huge_pages_mapped")
+            else:
+                child = _Node(self.allocator.allocate())
+                self.stats.add("nodes_allocated")
+            node.children[idx] = child
+        if type(child) is _HugeLeaf:
+            return child.base + (vpn & _IDX_MASK), path
+        node = child  # type: ignore[assignment]
         idx = vpn & _IDX_MASK
         append((node.frame << PAGE_SHIFT) | (idx * PTE_SIZE))
         pfn = node.children.get(idx)
@@ -103,9 +172,40 @@ class RadixPageTable:
             self.stats.add("pages_mapped")
         return pfn, path
 
+    def unmap(self, vpn: int) -> Optional[int]:
+        """Remove the leaf mapping covering ``vpn`` (4 KB PTE or whole
+        2 MB huge leaf). Returns the unmapped PFN (for huge regions, the
+        frame ``vpn`` itself resolved to) or None if unmapped already.
+        Intermediate nodes are kept — real kernels rarely tear those
+        down, and the walker may repopulate the leaf on the next touch.
+        """
+        node = self._root
+        for level in range(NUM_LEVELS - 2):
+            child = node.children.get(self.level_index(vpn, level))
+            if child is None:
+                return None
+            node = child  # type: ignore[assignment]
+        idx = self.level_index(vpn, NUM_LEVELS - 2)
+        child = node.children.get(idx)
+        if child is None:
+            return None
+        if type(child) is _HugeLeaf:
+            del node.children[idx]
+            self.stats.add("pages_unmapped")
+            return child.base + (vpn & _IDX_MASK)
+        leaf_idx = vpn & _IDX_MASK
+        pfn = child.children.pop(leaf_idx, None)
+        if pfn is not None:
+            self.stats.add("pages_unmapped")
+        return pfn
+
     @property
     def pages_mapped(self) -> int:
         return self.stats.get("pages_mapped")
+
+    @property
+    def huge_pages_mapped(self) -> int:
+        return self.stats.get("huge_pages_mapped")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RadixPageTable(pages_mapped={self.pages_mapped})"

@@ -41,6 +41,7 @@ class FrameAllocator:
         self._next = 0
         self._scramble = scramble
         self._salt = (seed * 0x85EBCA6B) & self._mask
+        self._huge_next = 0
         self.stats = Stats()
 
     def allocate(self) -> int:
@@ -56,9 +57,41 @@ class FrameAllocator:
             return i
         return ((i * self._ODD_MULTIPLIER) + self._salt) & self._mask
 
+    def allocate_huge(self, span: int = 512) -> int:
+        """Return the base frame of ``span`` contiguous, naturally aligned
+        frames (2 MB huge pages need 512).
+
+        Huge regions come from a dedicated frame region *above* the 4 KB
+        pool (frame numbers ``num_frames ..``): the scramble is a
+        bijection over the whole 4 KB pool, so carving contiguous runs
+        out of it could alias huge frames with scrambled 4 KB
+        allocations. A disjoint namespace keeps every PFN unique —
+        which is what the physically-indexed caches and predictors key
+        on — at the cost of never back-pressuring huge allocations
+        against 4 KB ones. The huge region is bounded at ``num_frames``
+        frames, mirroring the 4 KB pool.
+        """
+        if not is_power_of_two(span) or span > self.num_frames:
+            raise ValueError(
+                f"huge span must be a power of two <= {self.num_frames}, "
+                f"got {span}"
+            )
+        if self._huge_next + span > self.num_frames:
+            raise OutOfPhysicalMemory(
+                f"exhausted {self.num_frames} huge-region frames"
+            )
+        base = self.num_frames + self._huge_next
+        self._huge_next += span
+        self.stats.add("huge_regions_allocated")
+        return base
+
     @property
     def allocated(self) -> int:
         return self._next
+
+    @property
+    def huge_frames_allocated(self) -> int:
+        return self._huge_next
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

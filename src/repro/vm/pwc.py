@@ -15,7 +15,13 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.common.stats import Stats
-from repro.vm.pagetable import LEVEL_BITS, NUM_LEVELS
+from repro.vm.pagetable import LEVEL_BITS, NUM_LEVELS, VPN_BITS
+
+#: ASIDs are folded into PWC tags above the VPN-prefix bits. Prefixes are
+#: at most ``VPN_BITS - LEVEL_BITS`` wide, so ASID-0 tags stay the raw
+#: prefixes (bit-identical to single-tenant behaviour) and distinct
+#: address spaces never share partial-walk entries.
+_ASID_SHIFT = VPN_BITS
 
 
 class _FullyAssocLru:
@@ -90,26 +96,99 @@ class PageWalkCaches:
         """Tag covering the top ``levels_resolved`` radix levels of ``vpn``."""
         return vpn >> (LEVEL_BITS * (NUM_LEVELS - levels_resolved))
 
-    def consult(self, vpn: int) -> Tuple[int, int]:
+    def consult(
+        self, vpn: int, asid: int = 0, max_resolved: int = NUM_LEVELS - 1
+    ) -> Tuple[int, int]:
         """Returns ``(levels_resolved, lookup_latency)``.
 
         Tries the L1 PWC (3 levels resolved) down to the L3 PWC (1 level);
         latency accumulates over the levels actually probed.
+
+        ``max_resolved`` caps the probe plan for walks that terminate
+        early: a 2 MB huge walk has only 3 loads (the PD entry *is* the
+        leaf), so resolving 3 levels from the L1 PWC would wrongly skip
+        the leaf load — huge walks consult with ``max_resolved=2`` and
+        the L1 PWC is neither probed nor charged.
         """
         latency = 0
         stat = self._stat
-        for level, resolved, shift, level_latency, hit_key in self._probe_plan:
-            latency += level_latency
-            if level.lookup(vpn >> shift):
-                stat[hit_key] += 1
-                return resolved, latency
+        if asid == 0:
+            for level, resolved, shift, level_latency, hit_key in (
+                self._probe_plan
+            ):
+                if resolved > max_resolved:
+                    continue
+                latency += level_latency
+                if level.lookup(vpn >> shift):
+                    stat[hit_key] += 1
+                    return resolved, latency
+        else:
+            base = asid << _ASID_SHIFT
+            for level, resolved, shift, level_latency, hit_key in (
+                self._probe_plan
+            ):
+                if resolved > max_resolved:
+                    continue
+                latency += level_latency
+                if level.lookup(base | (vpn >> shift)):
+                    stat[hit_key] += 1
+                    return resolved, latency
         stat["pwc_misses"] += 1
         return 0, latency
 
-    def fill(self, vpn: int) -> None:
-        """Install the completed walk's partial translations at every level."""
+    def fill(
+        self, vpn: int, asid: int = 0, max_resolved: int = NUM_LEVELS - 1
+    ) -> None:
+        """Install the completed walk's partial translations at every level
+        the walk actually resolved (huge walks cap at ``max_resolved=2``:
+        an L1-PWC entry would claim a page-table node that does not
+        exist below the huge leaf)."""
+        base = 0 if asid == 0 else asid << _ASID_SHIFT
+        for level, resolved, shift, _latency, _key in self._probe_plan:
+            if resolved > max_resolved:
+                continue
+            level.fill(base | (vpn >> shift))
+
+    # ------------------------------------------------------------------ #
+    # Shootdown support (see Tlb.invalidate / Machine.shootdown_*)
+    # ------------------------------------------------------------------ #
+    def invalidate(self, vpn: int, asid: int = 0) -> int:
+        """Drop every partial-walk entry covering ``vpn`` under ``asid``
+        (INVLPG also invalidates paging-structure caches for the address).
+        Returns the number of entries dropped."""
+        base = 0 if asid == 0 else asid << _ASID_SHIFT
+        dropped = 0
         for level, _resolved, shift, _latency, _key in self._probe_plan:
-            level.fill(vpn >> shift)
+            if level._stamps.pop(base | (vpn >> shift), None) is not None:
+                dropped += 1
+        if dropped:
+            self.stats.add("pwc_invalidations", dropped)
+        return dropped
+
+    def invalidate_asid(self, asid: int) -> int:
+        """Drop every entry belonging to ``asid`` (ASID recycle). Returns
+        the number of entries dropped."""
+        dropped = 0
+        for level in self._levels:
+            stale = [
+                tag for tag in level._stamps if tag >> _ASID_SHIFT == asid
+            ]
+            for tag in stale:
+                del level._stamps[tag]
+            dropped += len(stale)
+        if dropped:
+            self.stats.add("pwc_invalidations", dropped)
+        return dropped
+
+    def flush(self) -> int:
+        """Drop everything (broadcast shootdown). Returns entries dropped."""
+        dropped = 0
+        for level in self._levels:
+            dropped += len(level._stamps)
+            level._stamps.clear()
+        if dropped:
+            self.stats.add("pwc_invalidations", dropped)
+        return dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         sizes = ", ".join(str(lvl.capacity) for lvl in self._levels)

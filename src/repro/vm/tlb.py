@@ -10,6 +10,17 @@ shadow table).
 Per-entry metadata is exactly what the paper adds: an ``Accessed`` bit set
 on the first hit, and a small hash of the PC of the instruction that
 brought the entry in (stored at fill time; Section V-A).
+
+Multi-tenant scenarios tag every entry with an ASID. Tags are stored as a
+single combined key ``(asid << VPN_BITS) | vpn`` so that ASID-0 (the only
+address space single-tenant runs ever use) keys are bit-identical to the
+raw VPNs the rest of the simulator — including the batched engine's numpy
+mirrors — already handles. Two further key namespaces share the same tag
+dicts: *global* pages (kernel-style mappings valid under every ASID) and
+2 MB *huge* pages (one entry covering 512 consecutive VPNs; only the LLT
+installs these — the L1 TLBs are filled with splintered 4 KB granules, as
+several real cores do). Both extra probes are gated on per-TLB entry
+counts, so single-tenant 4 KB-only runs never pay for them.
 """
 
 from __future__ import annotations
@@ -20,23 +31,55 @@ from repro.common.bitops import is_power_of_two
 from repro.common.residency import ResidencyTracker
 from repro.common.stats import Stats
 from repro.mem.replacement import LruPolicy, ReplacementPolicy, make_policy
+from repro.vm.pagetable import LEVEL_BITS, VPN_BITS
 
 FILL_ALLOCATE = "allocate"
 FILL_BYPASS = "bypass"
 FILL_DISTANT = "distant"
 
+#: Bits by which the ASID is folded into a combined tag key. VPNs are
+#: < 2**VPN_BITS, so ASID-0 keys equal the raw VPN (bit-identity with
+#: every pre-multi-tenant trace) and distinct ASIDs never collide.
+ASID_SHIFT = VPN_BITS
+#: 2 MB huge pages span 2**LEVEL_BITS (512) base pages.
+HUGE_SPAN_BITS = LEVEL_BITS
+_HUGE_OFFSET_MASK = (1 << HUGE_SPAN_BITS) - 1
+#: Disjoint high-bit namespaces for global and huge keys. Both sit far
+#: above any combined (asid, vpn) key a real access can produce.
+GLOBAL_KEY_BASE = 1 << 61
+HUGE_KEY_BASE = 1 << 62
+
+
+def tlb_key(vpn: int, asid: int) -> int:
+    """Combined tag key for a 4 KB translation (== ``vpn`` at ASID 0)."""
+    return vpn if asid == 0 else (asid << ASID_SHIFT) | vpn
+
 
 class TlbEntry:
     """One TLB entry: translation plus the paper's predictor metadata."""
 
-    __slots__ = ("vpn", "pfn", "pc_hash", "accessed", "aux")
+    __slots__ = (
+        "vpn", "pfn", "pc_hash", "accessed", "aux",
+        "asid", "global_page", "huge",
+    )
 
-    def __init__(self, vpn: int, pfn: int, pc_hash: int):
+    def __init__(
+        self,
+        vpn: int,
+        pfn: int,
+        pc_hash: int,
+        asid: int = 0,
+        global_page: bool = False,
+        huge: bool = False,
+    ):
         self.vpn = vpn
         self.pfn = pfn
         self.pc_hash = pc_hash
         self.accessed = False
         self.aux = None
+        self.asid = asid
+        self.global_page = global_page
+        self.huge = huge
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -139,6 +182,18 @@ class Tlb:
         self.residency: Optional[ResidencyTracker] = (
             ResidencyTracker() if track_residency else None
         )
+        # Optional back-reference to the page-walk caches fed by walks
+        # that refill this TLB (the machine wires it on the LLT). A
+        # shootdown through :meth:`invalidate`/:meth:`invalidate_asid`/
+        # :meth:`invalidate_all` must also drop the PWC's partial-walk
+        # entries for the same region — otherwise a remap after the
+        # shootdown can resolve through stale paging-structure entries.
+        self.pwc = None
+        # Resident-entry counts for the extra key namespaces: the global
+        # and huge probes in :meth:`lookup` are skipped while these are
+        # zero, keeping the single-tenant 4 KB miss path unchanged.
+        self._global_count = 0
+        self._huge_count = 0
         # Monotone membership version: bumped whenever the set of resident
         # (vpn -> pfn) pairs changes (install, eviction, invalidation).
         # Hits never bump it, so the batched engine's numpy mirror of the
@@ -149,21 +204,60 @@ class Tlb:
     # ------------------------------------------------------------------ #
     # Access path
     # ------------------------------------------------------------------ #
-    def probe(self, vpn: int) -> Optional[TlbEntry]:
-        """Tag check with no side effects."""
-        set_idx = vpn & self._set_mask
-        way = self._tags[set_idx].get(vpn)
+    def probe(self, vpn: int, asid: int = 0) -> Optional[TlbEntry]:
+        """Tag check with no side effects (4 KB namespace only)."""
+        key = vpn if asid == 0 else (asid << ASID_SHIFT) | vpn
+        set_idx = key & self._set_mask
+        way = self._tags[set_idx].get(key)
         return None if way is None else self._entries[set_idx][way]
 
-    def lookup(self, vpn: int, now: int) -> Optional[int]:
-        """Translate ``vpn``. Returns the PFN on a hit (including a hit in
-        the listener's victim buffer) or None on a genuine miss."""
-        set_idx = vpn & self._set_mask
+    def probe_translation(self, vpn: int, asid: int = 0) -> Optional[TlbEntry]:
+        """Side-effect-free probe across all three namespaces, in the
+        same precedence order as :meth:`lookup`: exact 4 KB entry, then a
+        covering huge entry, then a global mapping."""
+        entry = self.probe(vpn, asid)
+        if entry is not None:
+            return entry
+        if self._huge_count:
+            hkey = HUGE_KEY_BASE | tlb_key(vpn >> HUGE_SPAN_BITS, asid)
+            hset = hkey & self._set_mask
+            hway = self._tags[hset].get(hkey)
+            if hway is not None:
+                return self._entries[hset][hway]
+        if self._global_count:
+            gkey = GLOBAL_KEY_BASE | vpn
+            gset = gkey & self._set_mask
+            gway = self._tags[gset].get(gkey)
+            if gway is not None:
+                return self._entries[gset][gway]
+        return None
+
+    def _record_hit(self, set_idx: int, way: int, entry: TlbEntry, now: int):
+        """Bookkeeping shared by every hit namespace (4 KB/huge/global)."""
+        self._stat["hits"] += 1
+        entry.accessed = True
+        lru = self._lru
+        if lru is not None:
+            lru._clock += 1
+            self._lru_stamps[set_idx][way] = lru._clock
+        else:
+            self._policy_on_hit(set_idx, way)
+        if self.residency is not None:
+            self.residency.hit((set_idx, way), now)
+        if self.listener is not None:
+            self.listener.on_hit(self, entry, now)
+
+    def lookup(self, vpn: int, now: int, asid: int = 0) -> Optional[int]:
+        """Translate ``vpn`` under ``asid``. Returns the PFN on a hit
+        (including a hit in the listener's victim buffer, a covering huge
+        entry, or a global mapping) or None on a genuine miss."""
+        key = vpn if asid == 0 else (asid << ASID_SHIFT) | vpn
+        set_idx = key & self._set_mask
         listener = self.listener
         if listener is not None:
             listener.on_lookup(self, set_idx, now)
         stat = self._stat
-        way = self._tags[set_idx].get(vpn)
+        way = self._tags[set_idx].get(key)
         if way is not None:
             entry = self._entries[set_idx][way]
             stat["hits"] += 1
@@ -179,24 +273,62 @@ class Tlb:
             if listener is not None:
                 listener.on_hit(self, entry, now)
             return entry.pfn
+        if self._huge_count:
+            hkey = HUGE_KEY_BASE | (
+                tlb_key(vpn >> HUGE_SPAN_BITS, asid)
+            )
+            hset = hkey & self._set_mask
+            hway = self._tags[hset].get(hkey)
+            if hway is not None:
+                entry = self._entries[hset][hway]
+                self._record_hit(hset, hway, entry, now)
+                return entry.pfn + (vpn & _HUGE_OFFSET_MASK)
+        if self._global_count:
+            gkey = GLOBAL_KEY_BASE | vpn
+            gset = gkey & self._set_mask
+            gway = self._tags[gset].get(gkey)
+            if gway is not None:
+                entry = self._entries[gset][gway]
+                self._record_hit(gset, gway, entry, now)
+                return entry.pfn
         stat["misses"] += 1
         if listener is None:
             return None
-        buffered = listener.on_miss(self, vpn, now)
+        buffered = listener.on_miss(self, key, now)
         if buffered is not None:
             stat["victim_buffer_hits"] += 1
         return buffered
 
-    def fill(self, vpn: int, pfn: int, pc_hash: int, now: int) -> Optional[TlbEntry]:
-        """Install a completed translation; returns the evicted entry."""
-        set_idx = vpn & self._set_mask
+    def fill(
+        self,
+        vpn: int,
+        pfn: int,
+        pc_hash: int,
+        now: int,
+        asid: int = 0,
+        global_page: bool = False,
+        huge: bool = False,
+    ) -> Optional[TlbEntry]:
+        """Install a completed translation; returns the evicted entry.
+
+        ``huge`` installs one entry covering ``vpn``'s whole 2 MB region;
+        ``pfn`` must then be the region's 512-aligned base frame.
+        ``global_page`` installs into the ASID-blind global namespace.
+        """
+        if huge:
+            key = HUGE_KEY_BASE | tlb_key(vpn >> HUGE_SPAN_BITS, asid)
+        elif global_page:
+            key = GLOBAL_KEY_BASE | vpn
+        else:
+            key = vpn if asid == 0 else (asid << ASID_SHIFT) | vpn
+        set_idx = key & self._set_mask
         tags = self._tags[set_idx]
-        if vpn in tags:
+        if key in tags:
             return None
         listener = self.listener
         distant = False
         if listener is not None:
-            decision = listener.on_fill(self, vpn, pfn, pc_hash, now)
+            decision = listener.on_fill(self, key, pfn, pc_hash, now)
             if decision == FILL_BYPASS:
                 self._stat["bypasses"] += 1
                 return None
@@ -223,10 +355,14 @@ class Tlb:
                     way = self._policy_victim(set_idx)
             victim = self._evict_way(set_idx, way, now)
 
-        entry = TlbEntry(vpn, pfn, pc_hash)
+        entry = TlbEntry(key, pfn, pc_hash, asid, global_page, huge)
         entries[way] = entry
-        tags[vpn] = way
+        tags[key] = way
         self.content_version += 1
+        if huge:
+            self._huge_count += 1
+        elif global_page:
+            self._global_count += 1
         if lru is not None and not distant:
             lru._clock += 1
             self._lru_stamps[set_idx][way] = lru._clock
@@ -239,14 +375,80 @@ class Tlb:
             listener.filled(self, entry, now)
         return victim
 
-    def invalidate(self, vpn: int, now: int) -> Optional[TlbEntry]:
-        """Remove ``vpn`` if present (shootdown / test helper)."""
-        set_idx = vpn & self._set_mask
-        way = self._tags[set_idx].get(vpn)
-        if way is None:
-            return None
-        self._stat["invalidations"] += 1
-        return self._evict_way(set_idx, way, now, external=True)
+    def invalidate(
+        self, vpn: int, now: int, asid: int = 0
+    ) -> Optional[TlbEntry]:
+        """Shoot down ``vpn`` under ``asid`` (INVLPG semantics).
+
+        Drops the exact 4 KB entry, any covering huge entry, and any
+        global entry for ``vpn`` — and invalidates the page-walk caches'
+        partial translations for the region when a PWC is attached, so a
+        post-shootdown remap cannot resolve through stale paging-structure
+        entries. Returns the most specific entry evicted, or None.
+        """
+        evicted: Optional[TlbEntry] = None
+        key = vpn if asid == 0 else (asid << ASID_SHIFT) | vpn
+        set_idx = key & self._set_mask
+        way = self._tags[set_idx].get(key)
+        if way is not None:
+            self._stat["invalidations"] += 1
+            evicted = self._evict_way(set_idx, way, now, external=True)
+        if self._huge_count:
+            hkey = HUGE_KEY_BASE | tlb_key(vpn >> HUGE_SPAN_BITS, asid)
+            hset = hkey & self._set_mask
+            hway = self._tags[hset].get(hkey)
+            if hway is not None:
+                self._stat["invalidations"] += 1
+                entry = self._evict_way(hset, hway, now, external=True)
+                evicted = evicted or entry
+        if self._global_count:
+            gkey = GLOBAL_KEY_BASE | vpn
+            gset = gkey & self._set_mask
+            gway = self._tags[gset].get(gkey)
+            if gway is not None:
+                self._stat["invalidations"] += 1
+                entry = self._evict_way(gset, gway, now, external=True)
+                evicted = evicted or entry
+        if self.pwc is not None:
+            self.pwc.invalidate(vpn, asid)
+        return evicted
+
+    def invalidate_asid(self, asid: int, now: int) -> int:
+        """Shoot down every non-global entry tagged ``asid``; returns the
+        number of entries dropped. Also clears the attached PWC's entries
+        for that address space (ASID-recycle semantics)."""
+        dropped = 0
+        for set_idx, ways in enumerate(self._entries):
+            for way, entry in enumerate(ways):
+                if (
+                    entry is not None
+                    and entry.asid == asid
+                    and not entry.global_page
+                ):
+                    self._stat["invalidations"] += 1
+                    self._evict_way(set_idx, way, now, external=True)
+                    dropped += 1
+        if self.pwc is not None:
+            self.pwc.invalidate_asid(asid)
+        return dropped
+
+    def invalidate_all(self, now: int, keep_global: bool = True) -> int:
+        """Broadcast shootdown: drop every entry (globals survive unless
+        ``keep_global=False``, mirroring CR3 reload vs full flush).
+        Flushes the attached PWC entirely. Returns entries dropped."""
+        dropped = 0
+        for set_idx, ways in enumerate(self._entries):
+            for way, entry in enumerate(ways):
+                if entry is None:
+                    continue
+                if keep_global and entry.global_page:
+                    continue
+                self._stat["invalidations"] += 1
+                self._evict_way(set_idx, way, now, external=True)
+                dropped += 1
+        if self.pwc is not None:
+            self.pwc.flush()
+        return dropped
 
     def _evict_way(
         self, set_idx: int, way: int, now: int, external: bool = False
@@ -257,6 +459,10 @@ class Tlb:
         self._entries[set_idx][way] = None
         self.content_version += 1
         self._stat["evictions"] += 1
+        if entry.huge:
+            self._huge_count -= 1
+        elif entry.global_page:
+            self._global_count -= 1
         if self.residency is not None:
             self.residency.evict((set_idx, way), now)
         if external:

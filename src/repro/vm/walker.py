@@ -9,54 +9,95 @@ the behaviour the paper adds to Sniper (Section III).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.common.stats import Stats
 from repro.mem.hierarchy import CacheHierarchy
-from repro.vm.pagetable import NUM_LEVELS, RadixPageTable
+from repro.vm.pagetable import LEVEL_BITS, NUM_LEVELS, RadixPageTable
 from repro.vm.pwc import PageWalkCaches
 
 #: Cache-block shift used when turning PTE physical addresses into blocks.
 BLOCK_SHIFT = 6
 
+_HUGE_OFFSET_MASK = (1 << LEVEL_BITS) - 1
+
 
 class PageTableWalker:
-    """Performs radix walks, charging realistic variable latency."""
+    """Performs radix walks, charging realistic variable latency.
+
+    Multi-tenant machines give the walker one page table per address
+    space: ``table_factory(asid)`` builds tables on demand (they share
+    one :class:`~repro.vm.physmem.FrameAllocator`, so PFNs stay unique
+    across tenants and the physically-indexed caches see real
+    inter-tenant interference). ASID 0 always uses ``page_table``.
+    """
 
     def __init__(
         self,
         page_table: RadixPageTable,
         pwc: PageWalkCaches,
         hierarchy: CacheHierarchy,
+        table_factory: Optional[Callable[[int], RadixPageTable]] = None,
     ):
         self.page_table = page_table
         self.pwc = pwc
         self.hierarchy = hierarchy
+        self._tables: Dict[int, RadixPageTable] = {0: page_table}
+        self._table_factory = table_factory
         self.stats = Stats()
         self._stat = self.stats.counters
         self._stat.update(dict.fromkeys(
             ("walks", "walk_memory_accesses", "walk_cycles"), 0,
         ))
 
-    def walk(self, vpn: int, now: int) -> Tuple[int, int]:
-        """Walk ``vpn``; returns ``(pfn, walk_latency_cycles)``.
+    def table_for(self, asid: int) -> RadixPageTable:
+        """The page table backing ``asid``, created on first use."""
+        table = self._tables.get(asid)
+        if table is None:
+            if self._table_factory is None:
+                raise ValueError(
+                    f"no page table for asid {asid} and no table_factory"
+                )
+            table = self._table_factory(asid)
+            self._tables[asid] = table
+        return table
 
-        Allocates the translation on first touch (demand paging). The
-        returned latency covers PWC probes plus the 1-4 page-table loads
-        issued through the cache hierarchy.
+    def walk(
+        self, vpn: int, now: int, asid: int = 0
+    ) -> Tuple[int, int, Optional[int]]:
+        """Walk ``vpn`` under ``asid``; returns ``(pfn, walk_latency_cycles,
+        huge_base)``.
+
+        ``huge_base`` is None for 4 KB mappings; for a 2 MB mapping it is
+        the region's base frame (the caller installs one huge LLT entry
+        covering all 512 pages). Allocates the translation on first touch
+        (demand paging). The returned latency covers PWC probes plus the
+        page-table loads issued through the cache hierarchy — 1-4 for a
+        4 KB walk, 1-3 for a huge walk (the PD entry is the leaf, and the
+        PWC probe plan caps at the levels that exist: see
+        :meth:`~repro.vm.pwc.PageWalkCaches.consult`).
         """
         stat = self._stat
         stat["walks"] += 1
-        pfn, path = self.page_table.walk_path(vpn)
-        resolved, latency = self.pwc.consult(vpn)
-        accesses = NUM_LEVELS - resolved
+        table = self.page_table if asid == 0 else self.table_for(asid)
+        pfn, path = table.walk_path(vpn)
+        levels = len(path)
+        if levels == NUM_LEVELS:
+            resolved, latency = self.pwc.consult(vpn, asid)
+            huge_base = None
+        else:
+            resolved, latency = self.pwc.consult(
+                vpn, asid, max_resolved=levels - 1
+            )
+            huge_base = pfn - (vpn & _HUGE_OFFSET_MASK)
+        accesses = levels - resolved
         stat["walk_memory_accesses"] += accesses
         walk_access = self.hierarchy.walk_access
         for pte_paddr in path[resolved:]:
             latency += walk_access(pte_paddr >> BLOCK_SHIFT, now)
-        self.pwc.fill(vpn)
+        self.pwc.fill(vpn, asid, max_resolved=levels - 1)
         stat["walk_cycles"] += latency
-        return pfn, latency
+        return pfn, latency, huge_base
 
     @property
     def average_walk_latency(self) -> float:

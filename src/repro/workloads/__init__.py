@@ -3,10 +3,17 @@
 from repro.workloads.suite import (
     DEFAULT_BUDGET,
     WORKLOAD_CLASSES,
+    all_workload_names,
     clear_trace_cache,
     get_trace,
     make_workload,
     workload_names,
+)
+from repro.workloads.tenants import (
+    MIX_COMPONENTS,
+    TenantScheduler,
+    build_mix_trace,
+    mix_names,
 )
 from repro.workloads.synthetic import (
     AddressSpace,
@@ -18,10 +25,15 @@ from repro.workloads.trace import Trace, TraceBuilder, pc_for_site
 
 __all__ = [
     "DEFAULT_BUDGET",
+    "MIX_COMPONENTS",
+    "TenantScheduler",
     "WORKLOAD_CLASSES",
+    "all_workload_names",
+    "build_mix_trace",
     "clear_trace_cache",
     "get_trace",
     "make_workload",
+    "mix_names",
     "workload_names",
     "AddressSpace",
     "RandomWorkload",

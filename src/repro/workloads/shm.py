@@ -37,12 +37,15 @@ def shm_enabled() -> bool:
 
 
 def _fields(trace: Trace) -> List[Tuple[str, np.ndarray]]:
-    return [
+    fields = [
         ("pcs", trace.pcs),
         ("vaddrs", trace.vaddrs),
         ("writes", trace.writes),
         ("gaps", trace.gaps),
     ]
+    if trace.asids is not None:
+        fields.append(("asids", trace.asids))
+    return fields
 
 
 class SharedTraceArena:
@@ -157,6 +160,7 @@ def attach_trace(descriptor: dict) -> Optional[Trace]:
         arrays["vaddrs"],
         arrays["writes"],
         arrays["gaps"],
+        arrays.get("asids"),
     )
 
 

@@ -39,6 +39,7 @@ from repro.workloads.synthetic import (
     StreamWorkload,
     Workload,
 )
+from repro.workloads.tenants import Mix2Workload, Mix4Workload
 from repro.workloads.trace import Trace
 
 #: Table II order.
@@ -66,6 +67,16 @@ EXTRA_WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
     "stream": StreamWorkload,
     "urandom": RandomWorkload,
     "locality": LocalityWorkload,
+}
+
+#: Multi-tenant mixes (ASID-tagged interleavings of suite traces). Kept
+#: out of both dicts above: mixes must receive the *run* seed verbatim —
+#: their components are fetched through ``get_trace(component, ...,
+#: seed)`` and must match the standalone single-tenant traces — so
+#: ``make_workload``'s per-index seed decorrelation must not apply.
+MIX_WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
+    "mix2": Mix2Workload,
+    "mix4": Mix4Workload,
 }
 
 #: Default per-run access budget for the fast profile. Large enough to
@@ -103,12 +114,26 @@ def workload_names() -> List[str]:
     return list(WORKLOAD_CLASSES)
 
 
+def all_workload_names() -> List[str]:
+    """Every resolvable workload: suite, extras, and multi-tenant mixes."""
+    return (
+        list(WORKLOAD_CLASSES)
+        + list(EXTRA_WORKLOAD_CLASSES)
+        + list(MIX_WORKLOAD_CLASSES)
+    )
+
+
 def make_workload(name: str, seed: int = 42) -> Workload:
+    mix_cls = MIX_WORKLOAD_CLASSES.get(name)
+    if mix_cls is not None:
+        # Mixes fetch components via get_trace(component, ..., seed): the
+        # run seed passes through verbatim so components stay identical to
+        # their standalone traces (decorrelation happens per component).
+        return mix_cls(seed=seed)
     cls = WORKLOAD_CLASSES.get(name) or EXTRA_WORKLOAD_CLASSES.get(name)
     if cls is None:
         raise ValueError(
-            f"unknown workload {name!r}; choose from "
-            f"{workload_names() + list(EXTRA_WORKLOAD_CLASSES)}"
+            f"unknown workload {name!r}; choose from {all_workload_names()}"
         )
     # Decorrelate workloads sharing a generator family: each gets its own
     # stream of graph/table randomness derived from the suite seed. Extras

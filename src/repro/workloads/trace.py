@@ -35,11 +35,16 @@ class Trace:
     vaddrs: np.ndarray
     writes: np.ndarray
     gaps: np.ndarray
+    #: Optional per-record address-space ID (multi-tenant traces only).
+    #: None keeps the classic four-array single-process layout.
+    asids: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n = len(self.pcs)
         if not (len(self.vaddrs) == len(self.writes) == len(self.gaps) == n):
             raise ValueError("trace arrays must have equal length")
+        if self.asids is not None and len(self.asids) != n:
+            raise ValueError("asids array must match trace length")
 
     def __len__(self) -> int:
         return len(self.pcs)
@@ -122,6 +127,18 @@ class Trace:
                 buf_ints[2, :m].tolist(),
             )
 
+    def iter_asids(self, chunk: Optional[int] = None) -> Iterator[int]:
+        """Yield each record's ASID as a native int, chunked like
+        :meth:`iter_records` so ``zip(iter_records(), iter_asids())``
+        streams both in lockstep with bounded temporaries."""
+        if self.asids is None:
+            raise ValueError(f"trace {self.name!r} carries no asids")
+        chunk = self.resolve_chunk(chunk)
+        asids = self.asids
+        n = len(asids)
+        for start in range(0, n, chunk):
+            yield from asids[start:start + chunk].tolist()
+
     def truncated(self, max_accesses: int) -> "Trace":
         """A prefix of this trace (used to cap run lengths)."""
         if max_accesses >= len(self):
@@ -132,18 +149,21 @@ class Trace:
             self.vaddrs[:max_accesses],
             self.writes[:max_accesses],
             self.gaps[:max_accesses],
+            None if self.asids is None else self.asids[:max_accesses],
         )
 
     def save(self, path) -> None:
         """Persist the trace as a compressed ``.npz`` file."""
-        np.savez_compressed(
-            path,
-            name=np.asarray(self.name),
-            pcs=self.pcs,
-            vaddrs=self.vaddrs,
-            writes=self.writes,
-            gaps=self.gaps,
-        )
+        fields = {
+            "name": np.asarray(self.name),
+            "pcs": self.pcs,
+            "vaddrs": self.vaddrs,
+            "writes": self.writes,
+            "gaps": self.gaps,
+        }
+        if self.asids is not None:
+            fields["asids"] = self.asids
+        np.savez_compressed(path, **fields)
 
     @classmethod
     def load(cls, path) -> "Trace":
@@ -155,6 +175,7 @@ class Trace:
                 data["vaddrs"],
                 data["writes"],
                 data["gaps"],
+                data["asids"] if "asids" in data.files else None,
             )
 
 

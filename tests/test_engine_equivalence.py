@@ -222,6 +222,90 @@ def test_engine_totals_accumulate_fallback_reasons():
 
 
 # --------------------------------------------------------------------- #
+# Multi-tenant / huge-page dispatch: counted fallback, never silent
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("mix,profile", [("mix2", "mix2"), ("mix4", "mix4")])
+def test_mix_configs_fall_back_counted_and_bit_identical(mix, profile):
+    """ASID-carrying traces take the scalar loop via a *counted* fallback
+    (reason "tenant"), and both engine entry points stay byte-identical —
+    including the decision-event rings."""
+    from repro.sim.config import mix2_config, mix4_config
+    from repro.workloads.tenants import build_mix_trace
+
+    factory = {"mix2": mix2_config, "mix4": mix4_config}[profile]
+    trace = build_mix_trace(mix, BUDGET, SEED)
+    config = factory(tlb_predictor="dppred", llc_predictor="cbpred")
+    (r_s, m_s), (r_b, m_b) = run_both(trace, config, telemetry=True)
+    assert fingerprint(r_s) == fingerprint(r_b)
+    assert m_s.telemetry.to_payload() == m_b.telemetry.to_payload()
+    ev_s = m_s.telemetry.probe.events()
+    ev_b = m_b.telemetry.probe.events()
+    assert json.dumps(ev_s).encode() == json.dumps(ev_b).encode()
+    counts = m_b.telemetry.probe.counts()
+    assert counts.get("ctx_switch", 0) > 0
+    assert counts.get("shootdown", 0) > 0
+    stats = m_b.engine_stats
+    assert stats["engine"] == ENGINE_SCALAR
+    assert stats["fallback"]
+    assert stats["fallback_reasons"] == {"tenant": 1}
+
+
+def test_hugepage_config_falls_back_counted_and_bit_identical():
+    from repro.sim.config import hugepage_config
+
+    trace = get_trace("mcf", BUDGET, SEED)
+    config = hugepage_config(tlb_predictor="dppred")
+    machine = assert_equivalent(trace, config, telemetry=True)
+    stats = machine.engine_stats
+    assert stats["engine"] == ENGINE_SCALAR
+    assert stats["fallback"]
+    assert stats["fallback_reasons"] == {"hugepage": 1}
+
+
+def test_tenant_fallback_reason_counted_in_engine_totals():
+    """Regression: the tenant fallback must be *visible* in the process-
+    wide dispatch accounting (`--profile`), never a silent scalar run."""
+    from repro.sim.config import hugepage_config, mix2_config
+    from repro.workloads.tenants import build_mix_trace
+
+    engine_mod.reset_engine_totals()
+    trace = build_mix_trace("mix2", 2000, SEED)
+    Machine(mix2_config(), seed=SEED).run(trace, engine=ENGINE_BATCHED)
+    flat = get_trace("locality", 500, SEED)
+    Machine(hugepage_config(), seed=SEED).run(flat, engine=ENGINE_BATCHED)
+    totals = engine_mod.engine_totals()
+    assert totals["runs"] == 2
+    assert totals["fallbacks"] == 2
+    assert totals["fallback_reasons"] == {"tenant": 1, "hugepage": 1}
+    engine_mod.reset_engine_totals()
+
+
+def test_num_tenants_config_falls_back_even_without_asids():
+    """A multi-tenant *config* falls back even on a plain trace: the
+    machine's per-ASID page tables and shootdown wiring are outside the
+    flat interpreter's model."""
+    trace = get_trace("locality", 500, SEED)
+    from repro.sim.config import mix2_config
+
+    machine = Machine(mix2_config(), seed=SEED)
+    machine.run(trace, engine=ENGINE_BATCHED)
+    assert machine.engine_stats["fallback_reasons"] == {"tenant": 1}
+
+
+def test_mix_trace_roundtrips_through_npz(tmp_path):
+    """The asids array must survive disk-cache serialisation."""
+    from repro.workloads.tenants import build_mix_trace
+
+    trace = build_mix_trace("mix2", 2000, SEED)
+    path = tmp_path / "mix2.npz"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.asids is not None
+    np.testing.assert_array_equal(loaded.asids, trace.asids)
+    np.testing.assert_array_equal(loaded.vaddrs, trace.vaddrs)
+
+
+# --------------------------------------------------------------------- #
 # Decision-event rings (batched-mode obs telemetry)
 # --------------------------------------------------------------------- #
 @pytest.mark.parametrize("workload", ["sssp", "mcf"])

@@ -62,6 +62,7 @@ class TestRegistry:
             "storage",
             "ablation_action", "ablation_threshold",
             "extension_prefetch",
+            "tenancy",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -20,7 +20,7 @@ from repro.obs.events import (
     EV_RUN_TIMEOUT,
 )
 from repro.sim.checkpoint import MatrixJournal, matrix_digest, resolve_resume
-from repro.sim.config import fast_config
+from repro.sim.config import fast_config, mix2_config
 from repro.sim.faults import KILL, FaultPlan, FaultSpec, InjectedFault
 from repro.sim.parallel import (
     MatrixError,
@@ -47,11 +47,16 @@ def cache_dir(tmp_path):
 def _requests():
     fast = fast_config()
     pred = fast_config(tlb_predictor="dppred")
-    return [
+    cells = [
         RunRequest(w, c, BUDGET, 42)
         for w in ("mcf", "cg.B")
         for c in (fast, pred)
     ]
+    # A multi-tenant cell rides along: ASID-tagged traces and the scalar
+    # tenant loop must survive kills, hangs, corruption, and --resume
+    # byte-identically, like every single-tenant cell.
+    cells.append(RunRequest("mix2", mix2_config(), BUDGET, 42))
+    return cells
 
 
 def _fingerprints(requests, results):

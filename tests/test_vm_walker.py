@@ -23,9 +23,10 @@ def make_walker(pwc_entries=(4, 8, 16)):
 class TestWalk:
     def test_walk_returns_stable_pfn(self):
         w = make_walker()
-        pfn1, _ = w.walk(0x1234, now=0)
-        pfn2, _ = w.walk(0x1234, now=1)
+        pfn1, _, huge1 = w.walk(0x1234, now=0)
+        pfn2, _, huge2 = w.walk(0x1234, now=1)
         assert pfn1 == pfn2
+        assert huge1 is None and huge2 is None  # 4 KB mapping
         assert pfn1 == w.page_table.lookup(0x1234)
 
     def test_cold_walk_is_four_accesses(self):
@@ -42,8 +43,8 @@ class TestWalk:
 
     def test_warm_walk_is_much_faster(self):
         w = make_walker()
-        _, cold = w.walk(0x1234, now=0)
-        _, warm = w.walk(0x1234, now=1)
+        _, cold, _ = w.walk(0x1234, now=0)
+        _, warm, _ = w.walk(0x1234, now=1)
         assert warm < cold
 
     def test_walk_latency_varies_with_pwc(self):
@@ -75,3 +76,48 @@ class TestWalk:
         w.walk(2, now=1)
         assert w.stats.get("walks") == 2
         assert w.average_walk_latency > 0
+
+
+def make_huge_walker():
+    hierarchy = CacheHierarchy(
+        SetAssocCache("L1D", 8, 2),
+        SetAssocCache("L2", 32, 4),
+        SetAssocCache("LLC", 64, 4),
+        MainMemory(191),
+    )
+    allocator = FrameAllocator(num_frames=1 << 20)
+    pt = RadixPageTable(allocator, huge_policy=lambda region: True)
+    return PageTableWalker(pt, PageWalkCaches(), hierarchy)
+
+
+class TestHugeWalks:
+    def test_cold_huge_walk_is_three_accesses(self):
+        """The PD entry is the leaf: PGD + PUD + PD, no PTE load."""
+        w = make_huge_walker()
+        pfn, _, huge_base = w.walk(0x1234, now=0)
+        assert w.stats.get("walk_memory_accesses") == 3
+        assert huge_base is not None
+
+    def test_huge_base_arithmetic(self):
+        w = make_huge_walker()
+        vpn = (7 << 9) | 0x55
+        pfn, _, huge_base = w.walk(vpn, now=0)
+        assert huge_base == pfn - 0x55
+        assert huge_base % 512 == 0
+
+    def test_warm_huge_walk_resolves_at_most_two_levels(self):
+        """The L1 PWC resolves three levels — past the PD leaf — so huge
+        walks must cap the probe plan and still load the leaf."""
+        w = make_huge_walker()
+        w.walk(0x1234, now=0)
+        before = w.stats.get("walk_memory_accesses")
+        w.walk(0x1235, now=1)  # same region: PWC-resolved down to the PD
+        assert w.stats.get("walk_memory_accesses") - before == 1
+
+    def test_tenant_tables_created_on_demand(self):
+        import pytest
+
+        w = make_walker()
+        with pytest.raises(ValueError):
+            w.walk(1, now=0, asid=3)  # no table_factory wired
+        assert w.table_for(0) is w.page_table
