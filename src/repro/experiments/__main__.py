@@ -259,6 +259,7 @@ def main(argv=None) -> int:
                     f"{row['ncalls']:>10} calls  {row['function']}"
                 )
             reasons = totals["fallback_reasons"]
+            declines = totals.get("flat_declines", {})
             print(
                 f"  engine: {totals['batched']}/{totals['runs']} runs "
                 f"batched, {totals['fallbacks']} scalar fallbacks"
@@ -269,6 +270,15 @@ def main(argv=None) -> int:
                     )
                     + ")"
                     if reasons
+                    else ""
+                )
+                + (
+                    "; flat declines ("
+                    + ", ".join(
+                        f"{why}: {n}" for why, n in sorted(declines.items())
+                    )
+                    + ")"
+                    if declines
                     else ""
                 )
             )

@@ -91,6 +91,24 @@ def aip_both() -> SystemConfig:
     return fast_config(tlb_predictor="aip", llc_predictor="aip")
 
 
+def leeway_both(track: bool = True) -> SystemConfig:
+    """Leeway-style variability-aware bypass at both levels."""
+    return fast_config(
+        tlb_predictor="leeway",
+        llc_predictor="leeway",
+        track_reference=track,
+    )
+
+
+def perceptron_both(track: bool = True) -> SystemConfig:
+    """Hashed-perceptron bypass at both levels."""
+    return fast_config(
+        tlb_predictor="perceptron",
+        llc_predictor="perceptron",
+        track_reference=track,
+    )
+
+
 @dataclass
 class SuiteResults:
     """Per-workload results for a set of named configurations."""

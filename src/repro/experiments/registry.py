@@ -9,6 +9,7 @@ from repro.experiments.ablations import (
     ablation_threshold,
 )
 from repro.experiments.extensions import extension_prefetch
+from repro.experiments.frontier import predictor_frontier
 from repro.experiments.characterization import (
     fig1_llt_deadness,
     fig2_llt_eviction_classes,
@@ -63,6 +64,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ablation_threshold": ablation_threshold,
     "extension_prefetch": extension_prefetch,
     "tenancy": tenancy_mix,
+    "predictor_frontier": predictor_frontier,
 }
 
 

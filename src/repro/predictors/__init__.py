@@ -1,16 +1,43 @@
-"""Baseline predictors the paper compares against: SHiP, AIP, and oracles."""
+"""Predictors beyond the paper's core pair: baselines, extensions, registry.
+
+The paper's own dpPred/cbPred live in :mod:`repro.core`; this package
+holds the baselines the evaluation compares against (SHiP, AIP, the
+two-pass oracle, distance prefetching), the frontier predictors (Leeway,
+hashed perceptron), and the :mod:`~repro.predictors.registry` that maps
+config names to all of them.
+"""
 
 from repro.predictors.aip import AipCachePredictor, AipConfig, AipTlbPredictor
-from repro.predictors.base import AccessContext
+from repro.predictors.base import AccessContext, PredictorSpec
+from repro.predictors.leeway import (
+    LeewayCachePredictor,
+    LeewayConfig,
+    LeewayTlbPredictor,
+)
 from repro.predictors.oracle import (
     DoaRecordingCacheListener,
     DoaRecordingListener,
     OracleCacheListener,
     OracleTlbListener,
 )
+from repro.predictors.perceptron import (
+    PerceptronCachePredictor,
+    PerceptronConfig,
+    PerceptronTlbPredictor,
+)
 from repro.predictors.prefetch import (
     DistancePrefetcherConfig,
     DistanceTlbPrefetcher,
+)
+from repro.predictors.registry import (
+    KIND_LLC,
+    KIND_TLB,
+    BuildContext,
+    build,
+    is_registered,
+    register,
+    registered_names,
+    unregister,
 )
 from repro.predictors.ship import ShipCachePredictor, ShipConfig, ShipTlbPredictor
 
@@ -19,13 +46,28 @@ __all__ = [
     "AipConfig",
     "AipTlbPredictor",
     "AccessContext",
+    "PredictorSpec",
+    "BuildContext",
     "DoaRecordingCacheListener",
     "DoaRecordingListener",
     "OracleCacheListener",
     "OracleTlbListener",
     "DistancePrefetcherConfig",
     "DistanceTlbPrefetcher",
+    "LeewayCachePredictor",
+    "LeewayConfig",
+    "LeewayTlbPredictor",
+    "PerceptronCachePredictor",
+    "PerceptronConfig",
+    "PerceptronTlbPredictor",
     "ShipCachePredictor",
     "ShipConfig",
     "ShipTlbPredictor",
+    "KIND_LLC",
+    "KIND_TLB",
+    "build",
+    "is_registered",
+    "register",
+    "registered_names",
+    "unregister",
 ]

@@ -10,6 +10,8 @@ chain, which is how hardware proposals (SHiP-PC et al.) do it.
 
 from __future__ import annotations
 
+from typing import Callable, Optional, Protocol, runtime_checkable
+
 
 class AccessContext:
     """Mutable holder for the in-flight instruction's identity."""
@@ -21,3 +23,58 @@ class AccessContext:
 
     def set_pc(self, pc: int) -> None:
         self.pc = pc
+
+
+@runtime_checkable
+class PredictorSpec(Protocol):
+    """The uniform surface every registered predictor presents.
+
+    A predictor is a TLB or cache listener (see
+    :class:`repro.vm.tlb.TlbListener` / :class:`repro.mem.cache.CacheListener`)
+    built by a :mod:`repro.predictors.registry` factory from exactly three
+    ingredients — nothing else may be threaded through ``Machine``:
+
+    * **a config dataclass** of its own knobs (e.g. :class:`ShipConfig`),
+      derived by the factory from :class:`~repro.sim.config.SystemConfig`
+      fields;
+    * **the machine's** :class:`AccessContext`, for LLC-side predictors
+      that need the in-flight PC (block addresses carry no PC);
+    * **an event probe** — the nullable ``probe`` attribute, wired
+      post-construction by ``Machine._attach_telemetry``. Implementations
+      guard every emission with ``if self.probe is not None`` so the
+      un-observed hot path costs one attribute load.
+
+    Optional, discovered by ``hasattr``:
+
+    * ``prediction_observer`` — ``(key, predicted_doa)`` callback invoked
+      at every fill-time prediction (accuracy/coverage ground truth,
+      Tables VI/VII);
+    * ``stats`` — a :class:`repro.common.stats.Stats` bag, sampled by the
+      telemetry timeline;
+    * ``storage_bits(num_entries)`` — hardware budget accounting
+      (Section V-D).
+
+    **Engine-mirror contract.** The batched engine's flat interpreter
+    (:class:`repro.sim.engine._FlatStepper`) inlines only
+    :class:`~repro.core.dppred.DeadPagePredictor` and
+    :class:`~repro.core.cbpred.CorrelatingDeadBlockPredictor` — their
+    fill/evict/shadow-miss hot paths are replicated instruction for
+    instruction (stat names, event order, table indexing). Any *other*
+    listener type makes :func:`repro.sim.engine.flat_reason` return
+    ``"predictor"`` (an exact ``type()`` check, so subclasses decline
+    too): the run still uses the bulk numpy tier but executes every
+    listener-visible record through the real scalar path, and the decline
+    is counted in ``engine_stats["flat_reason"]`` and
+    ``engine_totals()["flat_declines"]`` — never silent. A new predictor
+    therefore needs **no** engine changes to stay bit-exact; teaching the
+    flat interpreter its hot paths is a later, purely-performance step
+    that must mirror this module's semantics exactly
+    (``tests/test_engine_equivalence.py`` enforces the bit-identity).
+    """
+
+    probe: Optional[object]
+    prediction_observer: Optional[Callable[[int, bool], None]]
+
+    def storage_bits(self, num_entries: int) -> int:
+        """Total predictor state in bits for the attached structure."""
+        ...

@@ -1,0 +1,282 @@
+"""Hashed-perceptron bypass prediction (two-level neural approach, distilled).
+
+Jamet et al.'s two-level neural dead-block approach (PAPERS.md) runs a
+full neural predictor; the practical distillation — following the
+hashed-perceptron line of Teran/Jiménez — is a set of small signed-weight
+tables, one per hashed feature, whose sum drives the decision. This
+module applies that to the paper's two structures:
+
+* **features** are fold-XOR hashes the simulator already computes: for
+  the LLT, the PC, the VPN and two PC⊕VPN mixes (the pHIST indexing
+  idiom widened); for the LLC, the PC, the block address, the block's
+  *page* (the paper's page↔block correlation, Section IV) and a
+  PC⊕block mix;
+* **prediction** at fill time: the entry is dead-on-arrival iff the sum
+  of the feature weights reaches ``threshold``. Cold tables sum to 0 and
+  allocate;
+* **training** at eviction time only, margin-gated: weights move (by ±1,
+  saturating at ``±weight_limit``) when the prediction was wrong or the
+  sum's magnitude is below ``train_margin`` — the perceptron update rule,
+  all in small integers, so runs are bit-reproducible across platforms.
+
+Bypassed fills never evict and so never train; as in
+:mod:`repro.predictors.leeway`, every ``sample_period``-th predicted-DOA
+fill of a signature set is allocated anyway so the tables keep learning.
+
+Per :class:`~repro.predictors.base.PredictorSpec`, the flat interpreter
+does not model this listener: perceptron configs run the bulk+scalar
+hybrid with a counted ``predictor`` decline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.bitops import fold_xor
+from repro.common.stats import Stats
+from repro.mem.cache import FILL_ALLOCATE as CACHE_ALLOCATE
+from repro.mem.cache import FILL_BYPASS as CACHE_BYPASS
+from repro.mem.cache import CacheLine, CacheListener, SetAssocCache
+from repro.obs.events import (
+    EV_LLC_BYPASS,
+    EV_LLC_VERDICT,
+    EV_LLT_BYPASS,
+    EV_LLT_VERDICT,
+)
+from repro.predictors.base import AccessContext
+from repro.vm.tlb import FILL_ALLOCATE, FILL_BYPASS, Tlb, TlbEntry, TlbListener
+
+#: Block-to-page shift (64-byte blocks in 4 KB pages).
+_PAGE_OF_BLOCK_SHIFT = 6
+
+
+@dataclass(frozen=True)
+class PerceptronConfig:
+    """Hashed-perceptron knobs.
+
+    ``table_bits`` — per-feature weight-table index width.
+    ``weight_bits`` — signed weight width; weights saturate at
+    ``±(2^(weight_bits-1) - 1)``. ``threshold`` — weight sum at which a
+    fill is predicted dead. ``train_margin`` — confidence margin below
+    which correct predictions still train. ``sample_period`` — every N-th
+    predicted-DOA fill is allocated anyway to keep training samples
+    flowing.
+    """
+
+    table_bits: int = 8
+    weight_bits: int = 6
+    threshold: int = 4
+    train_margin: int = 32
+    sample_period: int = 64
+
+    def validate(self) -> None:
+        if self.table_bits <= 0:
+            raise ValueError("table_bits must be positive")
+        if self.weight_bits < 2:
+            raise ValueError("weight_bits must be >= 2")
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.train_margin < 0:
+            raise ValueError("train_margin must be >= 0")
+        if self.sample_period <= 1:
+            raise ValueError("sample_period must be > 1")
+
+
+class _PerceptronState:
+    """Per-entry metadata: the feature indices and the fill-time sum."""
+
+    __slots__ = ("features", "yout")
+
+    def __init__(self, features: Tuple[int, ...], yout: int):
+        self.features = features
+        self.yout = yout
+
+
+class _PerceptronCore:
+    """Weight tables + the margin-gated integer training rule."""
+
+    NUM_FEATURES = 4
+
+    def __init__(self, config: PerceptronConfig = PerceptronConfig()):
+        config.validate()
+        self.config = config
+        self.weight_limit = (1 << (config.weight_bits - 1)) - 1
+        rows = 1 << config.table_bits
+        self._tables: List[List[int]] = [
+            [0] * rows for _ in range(self.NUM_FEATURES)
+        ]
+        self._bypass_streak = 0
+        self.stats = Stats()
+
+    def predict(self, features: Tuple[int, ...]) -> _PerceptronState:
+        yout = 0
+        for table, idx in zip(self._tables, features):
+            yout += table[idx]
+        return _PerceptronState(features, yout)
+
+    def predicts_doa(self, state: _PerceptronState) -> bool:
+        return state.yout >= self.config.threshold
+
+    def should_sample(self) -> bool:
+        streak = self._bypass_streak + 1
+        if streak >= self.config.sample_period:
+            self._bypass_streak = 0
+            return True
+        self._bypass_streak = streak
+        return False
+
+    def train(self, state: _PerceptronState, was_doa: bool) -> None:
+        """Perceptron update: move toward the eviction-time ground truth
+        when mispredicted or insufficiently confident."""
+        predicted = self.predicts_doa(state)
+        if predicted == was_doa and abs(state.yout) > self.config.train_margin:
+            return
+        limit = self.weight_limit
+        step = 1 if was_doa else -1
+        for table, idx in zip(self._tables, state.features):
+            w = table[idx] + step
+            if -limit <= w <= limit:
+                table[idx] = w
+        self.stats.add("trainings")
+
+    def storage_bits(self, num_entries: int) -> int:
+        """Weight tables + per-entry feature indices and fill-time sum."""
+        rows = 1 << self.config.table_bits
+        tables = self.NUM_FEATURES * rows * self.config.weight_bits
+        # Per-entry: the hashed feature indices plus a sum wide enough
+        # for NUM_FEATURES saturated weights (weight_bits + 2 bits).
+        per_entry = (
+            self.NUM_FEATURES * self.config.table_bits
+            + self.config.weight_bits + 2
+        ) * num_entries
+        return tables + per_entry
+
+
+def _tlb_features(pc: int, vpn: int, bits: int) -> Tuple[int, ...]:
+    return (
+        fold_xor(pc, bits),
+        fold_xor(vpn, bits),
+        fold_xor(pc ^ (vpn << 1), bits),
+        fold_xor((pc >> 4) ^ vpn, bits),
+    )
+
+
+def _cache_features(pc: int, block: int, bits: int) -> Tuple[int, ...]:
+    return (
+        fold_xor(pc, bits),
+        fold_xor(block, bits),
+        fold_xor(block >> _PAGE_OF_BLOCK_SHIFT, bits),  # the block's page
+        fold_xor(pc ^ (block << 1), bits),
+    )
+
+
+class PerceptronTlbPredictor(TlbListener):
+    """Hashed-perceptron dead-page bypass on the LLT."""
+
+    def __init__(
+        self,
+        config: PerceptronConfig = PerceptronConfig(),
+        context: Optional[AccessContext] = None,
+        prediction_observer: Optional[Callable[[int, bool], None]] = None,
+    ):
+        self.core = _PerceptronCore(config)
+        self.context = context  # unused: the LLT fill carries the PC
+        self.prediction_observer = prediction_observer
+        self.stats = Stats()
+        self.probe = None
+        self._pending: Optional[_PerceptronState] = None
+
+    def on_fill(self, tlb: Tlb, vpn: int, pfn: int, pc: int, now: int) -> str:
+        core = self.core
+        state = core.predict(
+            _tlb_features(pc, vpn, core.config.table_bits)
+        )
+        predicted_doa = core.predicts_doa(state)
+        if self.prediction_observer is not None:
+            self.prediction_observer(vpn, predicted_doa)
+        if predicted_doa:
+            if core.should_sample():
+                self.stats.add("sampled_allocations")
+            else:
+                self.stats.add("doa_predictions")
+                if self.probe is not None:
+                    self.probe.emit(now, EV_LLT_BYPASS, vpn, pfn)
+                self._pending = None
+                return FILL_BYPASS
+        self._pending = state
+        return FILL_ALLOCATE
+
+    def filled(self, tlb: Tlb, entry: TlbEntry, now: int) -> None:
+        entry.aux = self._pending
+        self._pending = None
+
+    def on_evict(self, tlb: Tlb, entry: TlbEntry, now: int) -> None:
+        if entry.aux is None:
+            return
+        self.core.train(entry.aux, not entry.accessed)
+        if self.probe is not None:
+            self.probe.emit(
+                now, EV_LLT_VERDICT, entry.vpn, False, not entry.accessed
+            )
+
+    def storage_bits(self, llt_entries: int) -> int:
+        return self.core.storage_bits(llt_entries)
+
+
+class PerceptronCachePredictor(CacheListener):
+    """Hashed-perceptron dead-block bypass on the LLC."""
+
+    def __init__(
+        self,
+        config: PerceptronConfig = PerceptronConfig(),
+        context: Optional[AccessContext] = None,
+        prediction_observer: Optional[Callable[[int, bool], None]] = None,
+    ):
+        if context is None:
+            raise ValueError(
+                "PerceptronCachePredictor needs the machine's AccessContext "
+                "(block addresses carry no PC)"
+            )
+        self.core = _PerceptronCore(config)
+        self.context = context
+        self.prediction_observer = prediction_observer
+        self.stats = Stats()
+        self.probe = None
+        self._pending: Optional[_PerceptronState] = None
+
+    def on_fill(self, cache: SetAssocCache, block: int, now: int) -> str:
+        core = self.core
+        state = core.predict(
+            _cache_features(self.context.pc, block, core.config.table_bits)
+        )
+        predicted_doa = core.predicts_doa(state)
+        if self.prediction_observer is not None:
+            self.prediction_observer(block, predicted_doa)
+        if predicted_doa:
+            if core.should_sample():
+                self.stats.add("sampled_allocations")
+            else:
+                self.stats.add("doa_predictions")
+                if self.probe is not None:
+                    self.probe.emit(now, EV_LLC_BYPASS, block)
+                self._pending = None
+                return CACHE_BYPASS
+        self._pending = state
+        return CACHE_ALLOCATE
+
+    def filled(self, cache: SetAssocCache, line: CacheLine, now: int) -> None:
+        line.aux = self._pending
+        self._pending = None
+
+    def on_evict(self, cache: SetAssocCache, line: CacheLine, now: int) -> None:
+        if line.aux is None:
+            return
+        self.core.train(line.aux, not line.accessed)
+        if self.probe is not None:
+            self.probe.emit(
+                now, EV_LLC_VERDICT, line.tag, False, not line.accessed
+            )
+
+    def storage_bits(self, llc_blocks: int) -> int:
+        return self.core.storage_bits(llc_blocks)

@@ -1,0 +1,281 @@
+"""The predictor registry: name → factory dispatch for both structures.
+
+``Machine`` used to construct its listeners through a hard-wired if/elif
+chain, so adding a predictor meant editing the machine. Construction is
+now data: a factory registered under ``(kind, name)`` — kind is
+:data:`KIND_TLB` or :data:`KIND_LLC`, name is the public string that
+appears in :class:`~repro.sim.config.SystemConfig` (the existing
+``TLB_PRED_*`` / ``LLC_PRED_*`` constants). A new predictor is one
+``register()`` call away:
+
+    from repro.predictors import registry
+
+    @registry.register(registry.KIND_TLB, "mypred")
+    def _build(config, ctx):
+        return MyTlbPredictor(MyConfig(...), context=ctx.context)
+
+Factories take ``(config, ctx)`` — the frozen
+:class:`~repro.sim.config.SystemConfig` plus a :class:`BuildContext` —
+and return a listener satisfying
+:class:`~repro.predictors.base.PredictorSpec`. Everything else
+(telemetry probes, prediction observers, the dpPred→cbPred PFN coupling,
+the prefetcher's page-table resolver) is wired by ``Machine`` *after*
+construction, exactly as before the registry existed: the builtin
+factories below replicate the old if/elif construction argument for
+argument, and ``tests/test_predictor_registry.py`` pins the identity.
+
+:class:`~repro.sim.config.SystemConfig` validates predictor names
+against this registry at construction time, so late registration order
+matters only in the trivial sense: register before building configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.cbpred import CbPredConfig, CorrelatingDeadBlockPredictor
+from repro.core.dppred import DeadPagePredictor, DpPredConfig
+from repro.predictors.aip import AipCachePredictor, AipTlbPredictor
+from repro.predictors.base import AccessContext
+from repro.predictors.leeway import (
+    LeewayCachePredictor,
+    LeewayConfig,
+    LeewayTlbPredictor,
+)
+from repro.predictors.oracle import (
+    DoaRecordingCacheListener,
+    DoaRecordingListener,
+    OracleCacheListener,
+    OracleTlbListener,
+)
+from repro.predictors.perceptron import (
+    PerceptronCachePredictor,
+    PerceptronConfig,
+    PerceptronTlbPredictor,
+)
+from repro.predictors.prefetch import DistanceTlbPrefetcher
+from repro.predictors.ship import ShipCachePredictor, ShipConfig, ShipTlbPredictor
+
+#: Registry kinds — the structure a predictor attaches to.
+KIND_TLB = "tlb"
+KIND_LLC = "llc"
+_KINDS = (KIND_TLB, KIND_LLC)
+
+
+@dataclass
+class BuildContext:
+    """Everything a factory may need beyond the frozen config.
+
+    ``context`` — the machine's :class:`AccessContext` (LLC-side
+    predictors read the in-flight PC from it). ``oracle_outcomes`` /
+    ``llc_oracle_outcomes`` — pass-1 DOA recordings for the two-pass
+    oracle (None selects the recording pass).
+    """
+
+    context: AccessContext = field(default_factory=AccessContext)
+    oracle_outcomes: Optional[dict] = None
+    llc_oracle_outcomes: Optional[dict] = None
+
+
+Factory = Callable[[object, BuildContext], object]
+
+_FACTORIES: Dict[Tuple[str, str], Factory] = {}
+
+
+def _check_kind(kind: str) -> None:
+    if kind not in _KINDS:
+        raise ValueError(f"unknown predictor kind {kind!r}; choose from {_KINDS}")
+
+
+def register(kind: str, name: str, factory: Optional[Factory] = None):
+    """Register ``factory`` under ``(kind, name)``.
+
+    Usable directly (``register("tlb", "x", build_x)``) or as a decorator
+    (``@register("tlb", "x")``). Re-registering a name is an error —
+    shadowing a predictor silently would break the byte-identity
+    contracts keyed on config strings.
+    """
+    _check_kind(kind)
+    if not name or not isinstance(name, str):
+        raise ValueError(f"predictor name must be a non-empty string, got {name!r}")
+
+    def _do_register(fn: Factory) -> Factory:
+        key = (kind, name)
+        if key in _FACTORIES:
+            raise ValueError(
+                f"{kind} predictor {name!r} is already registered"
+            )
+        _FACTORIES[key] = fn
+        return fn
+
+    if factory is None:
+        return _do_register
+    return _do_register(factory)
+
+
+def unregister(kind: str, name: str) -> None:
+    """Remove a registration (tests and plugin teardown)."""
+    _check_kind(kind)
+    _FACTORIES.pop((kind, name), None)
+
+
+def registered_names(kind: str) -> Tuple[str, ...]:
+    """Sorted public names registered for ``kind`` (excludes "none")."""
+    _check_kind(kind)
+    return tuple(sorted(n for k, n in _FACTORIES if k == kind))
+
+
+def is_registered(kind: str, name: str) -> bool:
+    _check_kind(kind)
+    return (kind, name) in _FACTORIES
+
+
+def build(kind: str, name: str, config, ctx: Optional[BuildContext] = None):
+    """Build the ``kind`` predictor registered as ``name``.
+
+    ``config`` is the frozen :class:`~repro.sim.config.SystemConfig`;
+    ``ctx`` defaults to an empty :class:`BuildContext`. Unknown names
+    raise ``ValueError`` naming every registered choice.
+    """
+    _check_kind(kind)
+    factory = _FACTORIES.get((kind, name))
+    if factory is None:
+        raise ValueError(
+            f"unknown {kind} predictor {name!r}; "
+            f"registered: {registered_names(kind)}"
+        )
+    return factory(config, ctx if ctx is not None else BuildContext())
+
+
+# --------------------------------------------------------------------- #
+# Builtin factories. Each replicates, argument for argument, the
+# construction the pre-registry ``Machine._build_*_predictor`` chains
+# performed for the same config — the byte-identity pin depends on it.
+# --------------------------------------------------------------------- #
+def _dppred_factory(shadow: bool, action: str) -> Factory:
+    def _build(cfg, ctx: BuildContext):
+        return DeadPagePredictor(
+            DpPredConfig(
+                pc_hash_bits=cfg.dppred_pc_bits,
+                vpn_hash_bits=cfg.dppred_vpn_bits,
+                threshold=cfg.dppred_threshold,
+                shadow_entries=cfg.dppred_shadow_entries if shadow else 0,
+                action=action,
+            )
+        )
+
+    return _build
+
+
+register(KIND_TLB, "dppred", _dppred_factory(shadow=True, action="bypass"))
+register(KIND_TLB, "dppred_sh", _dppred_factory(shadow=False, action="bypass"))
+register(
+    KIND_TLB, "dppred_demote", _dppred_factory(shadow=True, action="demote")
+)
+
+
+@register(KIND_TLB, "ship")
+def _build_ship_tlb(cfg, ctx: BuildContext):
+    return ShipTlbPredictor(
+        ShipConfig(signature_bits=cfg.ship_tlb_signature_bits)
+    )
+
+
+@register(KIND_TLB, "aip")
+def _build_aip_tlb(cfg, ctx: BuildContext):
+    return AipTlbPredictor()
+
+
+@register(KIND_TLB, "oracle")
+def _build_oracle_tlb(cfg, ctx: BuildContext):
+    if ctx.oracle_outcomes is None:
+        return DoaRecordingListener()
+    return OracleTlbListener(ctx.oracle_outcomes)
+
+
+@register(KIND_TLB, "distance_prefetch")
+def _build_prefetch_tlb(cfg, ctx: BuildContext):
+    # The machine attaches the page-table resolver post-construction.
+    return DistanceTlbPrefetcher()
+
+
+@register(KIND_TLB, "leeway")
+def _build_leeway_tlb(cfg, ctx: BuildContext):
+    return LeewayTlbPredictor(
+        LeewayConfig(
+            signature_bits=cfg.leeway_signature_bits,
+            percentile=cfg.leeway_percentile,
+        ),
+        context=ctx.context,
+    )
+
+
+@register(KIND_TLB, "perceptron")
+def _build_perceptron_tlb(cfg, ctx: BuildContext):
+    return PerceptronTlbPredictor(
+        PerceptronConfig(
+            table_bits=cfg.perceptron_table_bits,
+            threshold=cfg.perceptron_threshold,
+        ),
+        context=ctx.context,
+    )
+
+
+def _cbpred_factory(use_pfq: bool) -> Factory:
+    def _build(cfg, ctx: BuildContext):
+        return CorrelatingDeadBlockPredictor(
+            CbPredConfig(
+                bhist_entries=cfg.cbpred_bhist_entries,
+                threshold=cfg.cbpred_threshold,
+                pfq_entries=cfg.cbpred_pfq_entries,
+                use_pfq=use_pfq,
+            )
+        )
+
+    return _build
+
+
+register(KIND_LLC, "cbpred", _cbpred_factory(use_pfq=True))
+register(KIND_LLC, "cbpred_nopfq", _cbpred_factory(use_pfq=False))
+
+
+@register(KIND_LLC, "ship")
+def _build_ship_llc(cfg, ctx: BuildContext):
+    return ShipCachePredictor(
+        ctx.context, ShipConfig(signature_bits=cfg.ship_llc_signature_bits)
+    )
+
+
+@register(KIND_LLC, "aip")
+def _build_aip_llc(cfg, ctx: BuildContext):
+    return AipCachePredictor(ctx.context)
+
+
+@register(KIND_LLC, "oracle")
+def _build_oracle_llc(cfg, ctx: BuildContext):
+    if ctx.llc_oracle_outcomes is None:
+        return DoaRecordingCacheListener()
+    return OracleCacheListener(ctx.llc_oracle_outcomes)
+
+
+@register(KIND_LLC, "leeway")
+def _build_leeway_llc(cfg, ctx: BuildContext):
+    return LeewayCachePredictor(
+        LeewayConfig(
+            signature_bits=cfg.leeway_signature_bits,
+            percentile=cfg.leeway_percentile,
+        ),
+        context=ctx.context,
+    )
+
+
+@register(KIND_LLC, "perceptron")
+def _build_perceptron_llc(cfg, ctx: BuildContext):
+    return PerceptronCachePredictor(
+        PerceptronConfig(
+            table_bits=cfg.perceptron_table_bits,
+            threshold=cfg.perceptron_threshold,
+        ),
+        context=ctx.context,
+    )

@@ -3,7 +3,7 @@
 The server speaks plain JSON. A *config wire form* is any of:
 
 * a profile name string (``"fast"``, ``"paper"``, ``"mix2"``,
-  ``"mix4"``, or ``"hugepage"``);
+  ``"mix4"``, ``"hugepage"``, ``"leeway"``, or ``"perceptron"``);
 * a dict with an optional ``"profile"`` key plus flat
   :class:`~repro.sim.config.SystemConfig` field overrides — nested
   geometry/timing fields may be given as dicts, and the page-walk-cache
@@ -33,9 +33,11 @@ from repro.sim.config import (
     TlbGeometry,
     fast_config,
     hugepage_config,
+    leeway_config,
     mix2_config,
     mix4_config,
     paper_config,
+    perceptron_config,
 )
 from repro.sim.parallel import RunRequest
 from repro.sim.runner import DEFAULT_SEED
@@ -53,6 +55,8 @@ PROFILES = {
     "mix2": mix2_config,
     "mix4": mix4_config,
     "hugepage": hugepage_config,
+    "leeway": leeway_config,
+    "perceptron": perceptron_config,
 }
 
 #: Nested dataclass fields a wire config may give as plain dicts.

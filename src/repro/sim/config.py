@@ -27,6 +27,8 @@ TLB_PRED_SHIP = "ship"
 TLB_PRED_AIP = "aip"
 TLB_PRED_ORACLE = "oracle"
 TLB_PRED_PREFETCH = "distance_prefetch"
+TLB_PRED_LEEWAY = "leeway"
+TLB_PRED_PERCEPTRON = "perceptron"
 
 #: LLC-side predictor choices.
 LLC_PRED_NONE = "none"
@@ -35,6 +37,8 @@ LLC_PRED_CBPRED_NOPFQ = "cbpred_nopfq"
 LLC_PRED_SHIP = "ship"
 LLC_PRED_AIP = "aip"
 LLC_PRED_ORACLE = "oracle"
+LLC_PRED_LEEWAY = "leeway"
+LLC_PRED_PERCEPTRON = "perceptron"
 
 TLB_PREDICTORS = (
     TLB_PRED_NONE,
@@ -45,6 +49,8 @@ TLB_PREDICTORS = (
     TLB_PRED_AIP,
     TLB_PRED_ORACLE,
     TLB_PRED_PREFETCH,
+    TLB_PRED_LEEWAY,
+    TLB_PRED_PERCEPTRON,
 )
 LLC_PREDICTORS = (
     LLC_PRED_NONE,
@@ -53,7 +59,22 @@ LLC_PREDICTORS = (
     LLC_PRED_SHIP,
     LLC_PRED_AIP,
     LLC_PRED_ORACLE,
+    LLC_PRED_LEEWAY,
+    LLC_PRED_PERCEPTRON,
 )
+
+
+def _known_predictors(kind: str, builtin: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Valid names for ``kind``: "none" plus everything registered.
+
+    The registry import is deferred — the registry imports the predictor
+    implementation modules, and keeping config import-light lets those
+    modules (and anything else) import this one freely.
+    """
+    from repro.predictors import registry
+
+    names = registry.registered_names(kind)
+    return ("none",) + names if names else builtin
 
 
 @dataclass(frozen=True)
@@ -136,6 +157,12 @@ class SystemConfig:
     # SHiP knobs
     ship_tlb_signature_bits: int = 8
     ship_llc_signature_bits: int = 14
+    # Leeway knobs (live-distance percentile prediction)
+    leeway_signature_bits: int = 8
+    leeway_percentile: int = 75
+    # Hashed-perceptron knobs
+    perceptron_table_bits: int = 8
+    perceptron_threshold: int = 4
     # --- multi-tenant / huge-page scenario layer ---
     #: Number of interleaved address spaces the workload trace carries
     #: (1 = the paper's single-process machine). Informational for cache
@@ -155,6 +182,30 @@ class SystemConfig:
     # --- timing ---
     timing: TimingConfig = field(default_factory=TimingConfig)
 
+    def __post_init__(self) -> None:
+        # Fail on unknown predictor names at *construction*, not deep in
+        # Machine.__init__: every config reaches the simulator through
+        # replace()/the constructor, so a typo surfaces at the call site
+        # (the serve layer maps the ValueError to HTTP 400). Validity is
+        # registry membership, so third-party ``register()``ed names pass.
+        self._check_predictor_names()
+
+    def _check_predictor_names(self) -> None:
+        if self.tlb_predictor != TLB_PRED_NONE:
+            known = _known_predictors("tlb", TLB_PREDICTORS)
+            if self.tlb_predictor not in known:
+                raise ValueError(
+                    f"unknown tlb_predictor {self.tlb_predictor!r}; "
+                    f"choose from {known}"
+                )
+        if self.llc_predictor != LLC_PRED_NONE:
+            known = _known_predictors("llc", LLC_PREDICTORS)
+            if self.llc_predictor not in known:
+                raise ValueError(
+                    f"unknown llc_predictor {self.llc_predictor!r}; "
+                    f"choose from {known}"
+                )
+
     def validate(self) -> None:
         if self.num_tenants < 1:
             raise ValueError(
@@ -164,16 +215,7 @@ class SystemConfig:
             raise ValueError(
                 f"huge_fraction must be in [0, 1], got {self.huge_fraction}"
             )
-        if self.tlb_predictor not in TLB_PREDICTORS:
-            raise ValueError(
-                f"unknown tlb_predictor {self.tlb_predictor!r}; "
-                f"choose from {TLB_PREDICTORS}"
-            )
-        if self.llc_predictor not in LLC_PREDICTORS:
-            raise ValueError(
-                f"unknown llc_predictor {self.llc_predictor!r}; "
-                f"choose from {LLC_PREDICTORS}"
-            )
+        self._check_predictor_names()
         if self.llc_predictor in (LLC_PRED_CBPRED, LLC_PRED_CBPRED_NOPFQ):
             if self.tlb_predictor not in (
                 TLB_PRED_DPPRED,
@@ -237,6 +279,27 @@ def hugepage_config(**overrides) -> SystemConfig:
     """Half the address space backed by 2 MB huge pages (fast geometry);
     works with any workload — the page tables splinter per region."""
     cfg = SystemConfig(name="hugepage", huge_fraction=0.5)
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def leeway_config(**overrides) -> SystemConfig:
+    """Leeway at both levels (fast geometry): variability-aware
+    live-distance-percentile bypass on the LLT and the LLC."""
+    cfg = SystemConfig(
+        name="leeway",
+        tlb_predictor=TLB_PRED_LEEWAY,
+        llc_predictor=LLC_PRED_LEEWAY,
+    )
+    return replace(cfg, **overrides) if overrides else cfg
+
+
+def perceptron_config(**overrides) -> SystemConfig:
+    """Hashed-perceptron bypass at both levels (fast geometry)."""
+    cfg = SystemConfig(
+        name="perceptron",
+        tlb_predictor=TLB_PRED_PERCEPTRON,
+        llc_predictor=LLC_PRED_PERCEPTRON,
+    )
     return replace(cfg, **overrides) if overrides else cfg
 
 

@@ -192,7 +192,13 @@ def flat_reason(machine) -> Optional[str]:
     * the LLT may carry dpPred (its ``on_miss``/``fill`` slow paths are
       invoked as real calls), the LLC may carry cbPred (PFQ-filtered
       fills are inlined, PFQ matches call the real fill) — any other
-      listener (SHiP, AIP, oracle, prefetch, correlation) declines;
+      listener (SHiP, AIP, Leeway, perceptron, oracle, prefetch,
+      correlation — including anything registered through
+      :mod:`repro.predictors.registry`) declines via the exact ``type()``
+      checks below, so a new predictor is bit-exact with zero engine
+      work: it keeps the bulk+scalar hybrid, and the decline is counted
+      (``engine_stats["flat_reason"]``, ``engine_totals()``'s
+      ``flat_declines``) — never silent;
     * ground-truth reference structures hook the residual scalar path
       only, so they keep the bulk+scalar hybrid instead.
     """
@@ -241,23 +247,29 @@ _totals = {
     "flat_records": 0,
     "scalar_records": 0,
     "fallback_reasons": {},
+    "flat_declines": {},
 }
 
 
 def engine_totals() -> dict:
     """Snapshot of batched-engine dispatch since the last reset: runs,
-    fallbacks with per-reason counts, and the bulk/flat/scalar record
-    split. Diagnostics only — never part of simulation results."""
+    fallbacks with per-reason counts, the bulk/flat/scalar record split,
+    and per-reason counts of hybrid runs where the flat interpreter
+    declined (``flat_declines`` — e.g. every Leeway/perceptron/SHiP run
+    counts one ``predictor``). Diagnostics only — never part of
+    simulation results."""
     out = dict(_totals)
     out["fallback_reasons"] = dict(_totals["fallback_reasons"])
+    out["flat_declines"] = dict(_totals["flat_declines"])
     return out
 
 
 def reset_engine_totals() -> None:
-    for key in _totals:
-        if key != "fallback_reasons":
+    for key, value in _totals.items():
+        if isinstance(value, dict):
+            value.clear()
+        else:
             _totals[key] = 0
-    _totals["fallback_reasons"].clear()
 
 
 def run_batched(machine, trace):
@@ -291,6 +303,8 @@ def run_batched(machine, trace):
         run = _BatchedRun(machine, _FlatStepper(machine))
         return run.run(trace) if bulk_ok else run.run_flat(trace)
     if bulk_ok:
+        declines = _totals["flat_declines"]
+        declines[why] = declines.get(why, 0) + 1
         return _BatchedRun(machine, None, why).run(trace)
     return _fall_back(machine, trace, why)
 

@@ -22,38 +22,23 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.core.cbpred import CbPredConfig, CorrelatingDeadBlockPredictor
-from repro.core.dppred import DeadPagePredictor, DpPredConfig
+from repro.core.cbpred import CorrelatingDeadBlockPredictor
+from repro.core.dppred import DeadPagePredictor
 from repro.mem.cache import CacheLine, CacheListener, SetAssocCache
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.mainmem import MainMemory
 from repro.common.stats import Stats
 from repro.obs.events import EV_CTX_SWITCH, EV_SHOOTDOWN, EV_WALK
-from repro.predictors.aip import AipCachePredictor, AipTlbPredictor
+from repro.predictors import registry
 from repro.predictors.base import AccessContext
 from repro.predictors.oracle import (
     DoaRecordingCacheListener,
     DoaRecordingListener,
-    OracleCacheListener,
-    OracleTlbListener,
 )
 from repro.predictors.prefetch import DistanceTlbPrefetcher
-from repro.predictors.ship import ShipCachePredictor, ShipConfig, ShipTlbPredictor
 from repro.sim.config import (
-    LLC_PRED_AIP,
-    LLC_PRED_CBPRED,
-    LLC_PRED_CBPRED_NOPFQ,
     LLC_PRED_NONE,
-    LLC_PRED_ORACLE,
-    LLC_PRED_SHIP,
-    TLB_PRED_AIP,
-    TLB_PRED_DPPRED,
-    TLB_PRED_DPPRED_DEMOTE,
-    TLB_PRED_DPPRED_NOSHADOW,
     TLB_PRED_NONE,
-    TLB_PRED_ORACLE,
-    TLB_PRED_PREFETCH,
-    TLB_PRED_SHIP,
     SystemConfig,
 )
 from repro.sim.reference import ReferenceStructure
@@ -332,75 +317,41 @@ class Machine:
     # ------------------------------------------------------------------ #
     # Predictor construction
     # ------------------------------------------------------------------ #
+    def _build_context(self, oracle_outcomes=None) -> registry.BuildContext:
+        return registry.BuildContext(
+            context=self.context,
+            oracle_outcomes=oracle_outcomes,
+            llc_oracle_outcomes=self._llc_oracle_outcomes,
+        )
+
     def _build_tlb_predictor(self, oracle_outcomes):
-        cfg = self.config
-        kind = cfg.tlb_predictor
+        """Registry dispatch for the LLT listener (see
+        :mod:`repro.predictors.registry`). Coupling that needs machine
+        state — the dpPred→cbPred PFN forwarding and the prefetcher's
+        page-table resolver — stays here, after construction, exactly as
+        the pre-registry chain wired it."""
+        kind = self.config.tlb_predictor
         if kind == TLB_PRED_NONE:
             return None
-        if kind in (
-            TLB_PRED_DPPRED, TLB_PRED_DPPRED_NOSHADOW, TLB_PRED_DPPRED_DEMOTE
+        pred = registry.build(
+            registry.KIND_TLB,
+            kind,
+            self.config,
+            self._build_context(oracle_outcomes),
+        )
+        if isinstance(pred, DeadPagePredictor) and isinstance(
+            self._llc_predictor, CorrelatingDeadBlockPredictor
         ):
-            dp = DeadPagePredictor(
-                DpPredConfig(
-                    pc_hash_bits=cfg.dppred_pc_bits,
-                    vpn_hash_bits=cfg.dppred_vpn_bits,
-                    threshold=cfg.dppred_threshold,
-                    shadow_entries=(
-                        cfg.dppred_shadow_entries
-                        if kind in (TLB_PRED_DPPRED, TLB_PRED_DPPRED_DEMOTE)
-                        else 0
-                    ),
-                    action=(
-                        "demote"
-                        if kind == TLB_PRED_DPPRED_DEMOTE
-                        else "bypass"
-                    ),
-                )
-            )
-            if isinstance(self._llc_predictor, CorrelatingDeadBlockPredictor):
-                dp.pfn_sink = self._llc_predictor.notify_doa_page
-            return dp
-        if kind == TLB_PRED_SHIP:
-            return ShipTlbPredictor(
-                ShipConfig(signature_bits=cfg.ship_tlb_signature_bits)
-            )
-        if kind == TLB_PRED_AIP:
-            return AipTlbPredictor()
-        if kind == TLB_PRED_ORACLE:
-            if oracle_outcomes is None:
-                return DoaRecordingListener()
-            return OracleTlbListener(oracle_outcomes)
-        if kind == TLB_PRED_PREFETCH:
-            # The resolver is attached after the page table exists.
-            return DistanceTlbPrefetcher()
-        raise AssertionError(f"unhandled tlb predictor {kind}")
+            pred.pfn_sink = self._llc_predictor.notify_doa_page
+        return pred
 
     def _build_llc_predictor(self):
-        cfg = self.config
-        kind = cfg.llc_predictor
+        kind = self.config.llc_predictor
         if kind == LLC_PRED_NONE:
             return None
-        if kind in (LLC_PRED_CBPRED, LLC_PRED_CBPRED_NOPFQ):
-            return CorrelatingDeadBlockPredictor(
-                CbPredConfig(
-                    bhist_entries=cfg.cbpred_bhist_entries,
-                    threshold=cfg.cbpred_threshold,
-                    pfq_entries=cfg.cbpred_pfq_entries,
-                    use_pfq=(kind == LLC_PRED_CBPRED),
-                )
-            )
-        if kind == LLC_PRED_SHIP:
-            return ShipCachePredictor(
-                self.context,
-                ShipConfig(signature_bits=cfg.ship_llc_signature_bits),
-            )
-        if kind == LLC_PRED_AIP:
-            return AipCachePredictor(self.context)
-        if kind == LLC_PRED_ORACLE:
-            if self._llc_oracle_outcomes is None:
-                return DoaRecordingCacheListener()
-            return OracleCacheListener(self._llc_oracle_outcomes)
-        raise AssertionError(f"unhandled llc predictor {kind}")
+        return registry.build(
+            registry.KIND_LLC, kind, self.config, self._build_context()
+        )
 
     def _attach_observers(self) -> None:
         tlb_pred = self._tlb_predictor

@@ -63,6 +63,7 @@ class TestRegistry:
             "ablation_action", "ablation_threshold",
             "extension_prefetch",
             "tenancy",
+            "predictor_frontier",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,242 @@
+"""The predictor registry: round-trips, errors, and the byte-identity pin.
+
+The registry replaced ``Machine``'s hard-wired if/elif predictor
+construction. These tests pin the three contracts that swap rests on:
+
+* every registered name builds through :func:`repro.predictors.build`
+  and survives a short end-to-end run;
+* duplicate registration and unknown names are loud, and unknown names
+  are rejected at ``SystemConfig`` *construction* (and, via the serve
+  protocol, as HTTP 400) with the registered names listed;
+* registry dispatch is byte-identical to the pre-registry chain: a
+  machine whose listeners are replaced by literal replicas of the old
+  if/elif constructions produces the same results and the same
+  decision-event ring as the registry-built machine.
+"""
+
+import pytest
+
+from repro.core.cbpred import CbPredConfig, CorrelatingDeadBlockPredictor
+from repro.core.dppred import DeadPagePredictor, DpPredConfig
+from repro.obs.telemetry import Telemetry, TelemetrySpec
+from repro.predictors import registry
+from repro.predictors.ship import ShipConfig, ShipTlbPredictor
+from repro.serve.protocol import ProtocolError, config_from_wire
+from repro.sim.config import (
+    LLC_PREDICTORS,
+    TLB_PREDICTORS,
+    fast_config,
+    leeway_config,
+    perceptron_config,
+)
+from repro.sim.machine import Machine
+from repro.sim.runner import run_trace
+from repro.workloads.suite import get_trace
+
+BUDGET = 2000
+
+
+def _trace():
+    return get_trace("cc", BUDGET, 1)
+
+
+def _config_for(kind: str, name: str):
+    """A valid config selecting predictor ``name`` on structure ``kind``."""
+    if kind == registry.KIND_TLB:
+        return fast_config(tlb_predictor=name)
+    # cbPred requires the dpPred coupling (Section VI-B).
+    tlb = "dppred" if name.startswith("cbpred") else "none"
+    return fast_config(tlb_predictor=tlb, llc_predictor=name)
+
+
+class TestRoundTrip:
+    def test_every_registered_name_builds_and_runs(self):
+        trace = _trace()
+        for kind in (registry.KIND_TLB, registry.KIND_LLC):
+            for name in registry.registered_names(kind):
+                cfg = _config_for(kind, name)
+                result = run_trace(trace, cfg)
+                assert result.instructions > 0, (kind, name)
+                assert result.llt_misses > 0, (kind, name)
+
+    def test_build_returns_fresh_instances(self):
+        cfg = fast_config(tlb_predictor="dppred")
+        a = registry.build(registry.KIND_TLB, "dppred", cfg)
+        b = registry.build(registry.KIND_TLB, "dppred", cfg)
+        assert a is not b
+        assert type(a) is type(b)
+
+    def test_public_constant_tuples_match_registry(self):
+        assert set(TLB_PREDICTORS) == {"none", *registry.registered_names("tlb")}
+        assert set(LLC_PREDICTORS) == {"none", *registry.registered_names("llc")}
+
+
+class TestErrors:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(
+                registry.KIND_TLB, "dppred", lambda cfg, ctx: None
+            )
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError) as exc:
+            registry.build(registry.KIND_TLB, "belady", fast_config())
+        assert "dppred" in str(exc.value)
+        assert "leeway" in str(exc.value)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            registry.build("l4", "dppred", fast_config())
+
+    def test_unknown_name_fails_at_config_construction(self):
+        with pytest.raises(ValueError) as exc:
+            fast_config(tlb_predictor="belady")
+        assert "perceptron" in str(exc.value)
+        with pytest.raises(ValueError):
+            fast_config(llc_predictor="belady")
+
+    def test_serve_rejects_unknown_predictor_with_names(self):
+        with pytest.raises(ProtocolError) as exc:
+            config_from_wire({"tlb_predictor": "belady"})
+        assert "leeway" in str(exc.value)
+
+    def test_third_party_registration_validates(self):
+        name = "_test_registry_plugin"
+        registry.register(
+            registry.KIND_TLB,
+            name,
+            lambda cfg, ctx: ShipTlbPredictor(ShipConfig(signature_bits=4)),
+        )
+        try:
+            cfg = fast_config(tlb_predictor=name)
+            result = run_trace(_trace(), cfg)
+            assert result.instructions > 0
+        finally:
+            registry.unregister(registry.KIND_TLB, name)
+        with pytest.raises(ValueError):
+            fast_config(tlb_predictor=name)
+
+
+class TestServeProfiles:
+    def test_new_profiles_resolve(self):
+        assert config_from_wire("leeway") == leeway_config()
+        assert config_from_wire("perceptron") == perceptron_config()
+
+
+def _old_style_tlb_predictor(cfg, llc_pred):
+    """Literal replica of the pre-registry ``Machine._build_tlb_predictor``
+    construction for the dpPred kinds (the byte-identity reference)."""
+    kind = cfg.tlb_predictor
+    dp = DeadPagePredictor(
+        DpPredConfig(
+            pc_hash_bits=cfg.dppred_pc_bits,
+            vpn_hash_bits=cfg.dppred_vpn_bits,
+            threshold=cfg.dppred_threshold,
+            shadow_entries=(
+                cfg.dppred_shadow_entries
+                if kind in ("dppred", "dppred_demote")
+                else 0
+            ),
+            action="demote" if kind == "dppred_demote" else "bypass",
+        )
+    )
+    if isinstance(llc_pred, CorrelatingDeadBlockPredictor):
+        dp.pfn_sink = llc_pred.notify_doa_page
+    return dp
+
+
+def _old_style_llc_predictor(cfg):
+    kind = cfg.llc_predictor
+    return CorrelatingDeadBlockPredictor(
+        CbPredConfig(
+            bhist_entries=cfg.cbpred_bhist_entries,
+            threshold=cfg.cbpred_threshold,
+            pfq_entries=cfg.cbpred_pfq_entries,
+            use_pfq=(kind == "cbpred"),
+        )
+    )
+
+
+class TestByteIdentityPin:
+    @pytest.mark.parametrize(
+        "tlb,llc", [("dppred", "cbpred"), ("dppred_sh", "cbpred_nopfq")]
+    )
+    def test_registry_dispatch_matches_old_chain(self, tlb, llc):
+        """Same trace, registry-built machine vs a machine whose listeners
+        are literal old-style constructions: identical SimResult and
+        identical decision-event rings."""
+        trace = _trace()
+        cfg = fast_config(tlb_predictor=tlb, llc_predictor=llc)
+
+        spec = TelemetrySpec(timeline=False, events=True)
+        new_tel = Telemetry(spec)
+        new_result = Machine(cfg, telemetry=new_tel).run(trace)
+
+        old_tel = Telemetry(spec)
+        machine = Machine(cfg, telemetry=old_tel)
+        llc_pred = _old_style_llc_predictor(cfg)
+        tlb_pred = _old_style_tlb_predictor(cfg, llc_pred)
+        tlb_pred.probe = old_tel.probe
+        if tlb_pred.shadow is not None:
+            tlb_pred.shadow.probe = old_tel.probe
+        llc_pred.probe = old_tel.probe
+        machine._tlb_predictor = tlb_pred
+        machine.l2_tlb.listener = tlb_pred
+        machine._llc_predictor = llc_pred
+        machine.llc.listener = llc_pred
+        old_result = machine.run(trace)
+
+        assert repr(new_result) == repr(old_result)
+        assert new_result.raw == old_result.raw
+        assert new_tel.probe.events() == old_tel.probe.events()
+
+    def test_registry_objects_match_old_construction(self):
+        """Attribute-level pin for every pre-registry name: the factory
+        yields the same type with the same config the old chain built."""
+        cfg = fast_config(
+            tlb_predictor="dppred", llc_predictor="cbpred"
+        )
+        dp = registry.build(registry.KIND_TLB, "dppred", cfg)
+        assert type(dp) is DeadPagePredictor
+        assert dp.config == DpPredConfig(
+            pc_hash_bits=cfg.dppred_pc_bits,
+            vpn_hash_bits=cfg.dppred_vpn_bits,
+            threshold=cfg.dppred_threshold,
+            shadow_entries=cfg.dppred_shadow_entries,
+            action="bypass",
+        )
+        sh = registry.build(registry.KIND_TLB, "dppred_sh", cfg)
+        assert sh.shadow is None
+        demote = registry.build(registry.KIND_TLB, "dppred_demote", cfg)
+        assert demote.config.action == "demote"
+
+        cb = registry.build(registry.KIND_LLC, "cbpred", cfg)
+        assert type(cb) is CorrelatingDeadBlockPredictor
+        assert cb.config == CbPredConfig(
+            bhist_entries=cfg.cbpred_bhist_entries,
+            threshold=cfg.cbpred_threshold,
+            pfq_entries=cfg.cbpred_pfq_entries,
+            use_pfq=True,
+        )
+        nopfq = registry.build(registry.KIND_LLC, "cbpred_nopfq", cfg)
+        assert nopfq.config.use_pfq is False
+
+        ship = registry.build(registry.KIND_TLB, "ship", cfg)
+        assert ship.core.config.signature_bits == cfg.ship_tlb_signature_bits
+        ship_llc = registry.build(registry.KIND_LLC, "ship", cfg)
+        assert (
+            ship_llc.core.config.signature_bits == cfg.ship_llc_signature_bits
+        )
+
+    def test_oracle_factory_selects_pass(self):
+        from repro.predictors.oracle import (
+            DoaRecordingListener,
+            OracleTlbListener,
+        )
+
+        cfg = fast_config(tlb_predictor="oracle")
+        rec = registry.build(registry.KIND_TLB, "oracle", cfg)
+        assert type(rec) is DoaRecordingListener
+        ctx = registry.BuildContext(oracle_outcomes={(1, 0): True})
+        replay = registry.build(registry.KIND_TLB, "oracle", cfg, ctx)
+        assert type(replay) is OracleTlbListener
