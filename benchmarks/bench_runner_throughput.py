@@ -58,8 +58,10 @@ SINGLE_RUN_TARGET = 1.5
 PARALLEL_TARGET = 2.5
 #: Batched-engine suite-speedup floor: median-of-5 aggregate over the
 #: six-workload suite prefix with dpPred+cbPred enabled — the config the
-#: paper is about, not the L1-resident showcase.
-ENGINE_TARGET = 1.5
+#: paper is about, not the L1-resident showcase. 2.0x reflects the fully
+#: inlined flat tier (walk + PWC + pooled cache lines in the interpreter
+#: loop); see EXPERIMENTS.md "Engines".
+ENGINE_TARGET = 2.0
 #: Workload for the engine *showcase* phase: L1-resident, no same-page
 #: runs, so the scalar engine pays full per-record lookups while the
 #: batched engine retires nearly everything in bulk.
@@ -68,8 +70,11 @@ ENGINE_WORKLOAD = "locality"
 #: independent of --workloads (which sizes the matrix phases): the CI
 #: gate is defined over the six-workload suite prefix.
 ENGINE_SUITE_WORKLOADS = 6
-#: Repetitions for the engine phase (median + min reported).
-ENGINE_REPEATS = 5
+#: Repetitions for the engine phase (median + min reported). Nine reps
+#: per (workload, engine) cell keep the bootstrap 95% CI on the suite
+#: speedup tight enough for the strict gate to judge its lower bound
+#: against the target rather than the noisier point estimate.
+ENGINE_REPEATS = 9
 #: Bootstrap resamples for the suite-speedup confidence interval. The
 #: fixed seed keeps the interval itself reproducible for given timings.
 BOOTSTRAP_RESAMPLES = 2000

@@ -46,6 +46,41 @@ class CacheLine:
         )
 
 
+# --------------------------------------------------------------------- #
+# CacheLine flyweight pool
+#
+# Fills allocate a CacheLine per install; on miss-heavy suites that is
+# millions of short-lived objects. Evicted lines are returned here once
+# their owner (the hierarchy's fill cascade or the flat engine tier) has
+# finished writeback/predictor training, and the next fill reuses them
+# reset-in-place. Listeners never retain line references past on_evict
+# (they copy ``aux``/``accessed`` into their own tables), so reuse is
+# invisible to simulation results. The cap only bounds idle pool memory.
+# --------------------------------------------------------------------- #
+_LINE_POOL: List[CacheLine] = []
+_LINE_POOL_CAP = 8192
+
+
+def acquire_line(tag: int, dirty: bool) -> CacheLine:
+    """Pop a reset CacheLine from the pool, or allocate a fresh one."""
+    pool = _LINE_POOL
+    if pool:
+        line = pool.pop()
+        line.tag = tag
+        line.dirty = dirty
+        line.accessed = False
+        line.dp = False
+        line.aux = None
+        return line
+    return CacheLine(tag, dirty)
+
+
+def release_line(line: Optional[CacheLine]) -> None:
+    """Return an evicted line to the pool once no caller references it."""
+    if line is not None and len(_LINE_POOL) < _LINE_POOL_CAP:
+        _LINE_POOL.append(line)
+
+
 class CacheListener:
     """Predictor-side hooks. The default implementation is a no-op."""
 
@@ -135,6 +170,15 @@ class SetAssocCache:
         self._lru_stamps = (
             self._lru._stamp if self._lru is not None else None
         )
+        # Incremental min-stamp victim tracking (LRU only): per set, a
+        # cached ``(way, stamp)`` candidate for the next victim. Stamps
+        # only ever increase on hit/fill, so if the candidate's stamp is
+        # unchanged it still holds the set minimum and the O(assoc) scan
+        # is skipped; any touch to that way invalidates it by value.
+        # Distant insertions write a *below*-min stamp and therefore
+        # re-point the candidate explicitly (see :meth:`fill`).
+        self._vic_way: List[int] = [-1] * num_sets
+        self._vic_stamp: List[int] = [0] * num_sets
         self.residency: Optional[ResidencyTracker] = (
             ResidencyTracker() if track_residency else None
         )
@@ -237,12 +281,33 @@ class SetAssocCache:
             if way is None:
                 if lru is not None:
                     row = self._lru_stamps[set_idx]
-                    way = row.index(min(row))
+                    way = self._vic_way[set_idx]
+                    if way >= 0 and row[way] == self._vic_stamp[set_idx]:
+                        # Candidate untouched since recorded: every other
+                        # stamp only grew, so it still holds the minimum.
+                        self._vic_way[set_idx] = -1
+                    else:
+                        # One scan finds the victim and caches the runner-
+                        # up: once the victim way is refilled with a fresh
+                        # maximal stamp, the second-smallest is the min.
+                        way = 0
+                        best = row[0]
+                        run_way = -1
+                        run_stamp = 0
+                        for w in range(1, self.assoc):
+                            s = row[w]
+                            if s < best:
+                                run_way, run_stamp = way, best
+                                way, best = w, s
+                            elif run_way < 0 or s < run_stamp:
+                                run_way, run_stamp = w, s
+                        self._vic_way[set_idx] = run_way
+                        self._vic_stamp[set_idx] = run_stamp
                 else:
                     way = self._policy_victim(set_idx)
             victim_line = self._evict_way(set_idx, way, now)
 
-        line = CacheLine(block, is_write)
+        line = acquire_line(block, is_write)
         lines[way] = line
         tags[block] = way
         self.content_version += 1
@@ -251,6 +316,11 @@ class SetAssocCache:
             self._lru_stamps[set_idx][way] = lru._clock
         else:
             self._policy_on_fill(set_idx, way, distant=distant)
+            if lru is not None:
+                # The distant insertion gave ``way`` a below-minimum
+                # stamp: it is the set's next victim candidate.
+                self._vic_way[set_idx] = way
+                self._vic_stamp[set_idx] = self._lru_stamps[set_idx][way]
         self._stat["fills"] += 1
         if self.residency is not None:
             self.residency.fill((set_idx, way), now)

@@ -28,6 +28,7 @@ import argparse
 import sys
 
 from repro.obs.baseline import (
+    DEFAULT_REPS,
     DEFAULT_TOLERANCE,
     check_baseline,
     config_factories,
@@ -73,6 +74,14 @@ def main(argv=None) -> int:
     )
     rec.add_argument("--budget", type=int, default=DEFAULT_BUDGET)
     rec.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    rec.add_argument(
+        "--reps",
+        type=int,
+        default=DEFAULT_REPS,
+        help="seeds measured per cell (seed, seed+1, ...); the check "
+        "gate judges the bootstrap 95%% CI over the same rep count "
+        f"(default {DEFAULT_REPS})",
+    )
     rec.add_argument(
         "--obs",
         metavar="DIR",
@@ -127,11 +136,12 @@ def main(argv=None) -> int:
             args.budget,
             args.seed,
             obs_dir=args.obs,
+            reps=args.reps,
         )
         path = save_baseline(baseline, args.out)
         print(
             f"recorded baseline '{args.name}' "
-            f"({len(baseline['runs'])} runs) -> {path}"
+            f"({len(baseline['runs'])} cells x {args.reps} reps) -> {path}"
         )
         return 0
 
@@ -149,21 +159,25 @@ def main(argv=None) -> int:
 
 def _show(args) -> int:
     from repro.experiments.report import render_table
+    from repro.obs.baseline import _as_reps, _median
 
     baseline = load_baseline(args.baseline)
     metric_names = sorted(
         {m for cell in baseline["runs"].values() for m in cell}
     )
+
+    def fmt(value):
+        reps = _as_reps(value)
+        return "-" if reps is None else f"{_median(reps):.4f}"
+
     rows = [
-        [cell] + [
-            "-" if metrics.get(m) is None else f"{metrics[m]:.4f}"
-            for m in metric_names
-        ]
+        [cell] + [fmt(metrics.get(m)) for m in metric_names]
         for cell, metrics in sorted(baseline["runs"].items())
     ]
     print(
         f"baseline '{baseline.get('name', '?')}' "
-        f"budget={baseline['budget']} seed={baseline['seed']}"
+        f"budget={baseline['budget']} seed={baseline['seed']} "
+        f"reps={baseline.get('reps', 1)} (rep medians shown)"
     )
     print(render_table(["run"] + metric_names, rows))
     return 0

@@ -6,12 +6,21 @@ accuracy/coverage, plus runner throughput for context). ``record``
 creates one; ``check`` re-runs the same matrix and fails with a readable
 diff when any metric regresses beyond a relative tolerance.
 
+Each cell is measured over ``reps`` seeds (``seed``, ``seed+1``, ...)
+and the gate judges the *percentile-bootstrap 95% confidence interval*
+of the relative deviation between the recorded and current rep sets —
+the same machinery ``benchmarks/bench_runner_throughput.py`` uses for
+its suite-speedup floor. A metric regresses only when the whole interval
+sits beyond tolerance in the worse direction, so a single seed-sensitive
+cell cannot flake the gate; with one rep the interval collapses to the
+old point comparison.
+
 Regression is *direction-aware*: IPC and accuracy/coverage regress
 downward, MPKI and walk latency regress upward; movement in the good
 direction never fails the gate. Runner throughput is recorded but
 informational only — wall time is host-dependent and would make a CI
-gate flaky — whereas the simulated metrics are deterministic, so the
-gate runs tolerance-tight on them.
+gate flaky — whereas the simulated metrics are deterministic per seed,
+so the gate runs tolerance-tight on them.
 
 The gate must run against *live* simulations: a stale disk-cache entry
 would echo the baseline numbers back and mask the very regression the
@@ -22,14 +31,29 @@ recording or checking.
 from __future__ import annotations
 
 import json
+import random
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-BASELINE_SCHEMA = 1
+#: Schema 2 records per-rep metric value lists; schema-1 documents
+#: (scalar per-cell values, i.e. one rep) still load and gate.
+BASELINE_SCHEMA = 2
+_ACCEPTED_SCHEMAS = (1, 2)
 
 #: Gate tolerance: relative deviation allowed in the *worse* direction.
 DEFAULT_TOLERANCE = 0.05
+
+#: Seeds measured per cell (``seed``, ``seed+1``, ...). Three reps keep
+#: the gate cheap while giving the bootstrap a real spread to resample.
+DEFAULT_REPS = 3
+
+#: Percentile-bootstrap parameters — mirrors
+#: ``bench_runner_throughput``'s suite-speedup interval; the fixed seed
+#: keeps the interval itself reproducible for given measurements.
+BOOTSTRAP_RESAMPLES = 2000
+BOOTSTRAP_ALPHA = 0.05
+BOOTSTRAP_SEED = 0x5EED
 
 #: Metric -> +1 when higher is better, -1 when lower is better. Only
 #: these metrics are gated; anything else in a baseline entry is context.
@@ -73,17 +97,22 @@ def measure_matrix(
     budget: int,
     seed: int,
     obs_dir: Optional[str] = None,
-) -> Dict[str, Dict[str, Optional[float]]]:
-    """Live-simulate the matrix and return per-cell metric dicts.
+    reps: int = 1,
+) -> Dict[str, Dict[str, List[Optional[float]]]]:
+    """Live-simulate the matrix and return per-cell metric-rep dicts.
 
-    Each cell runs with a telemetry bundle attached — partly for the
-    wall-time (throughput) measurement, partly so ``obs_dir`` can receive
-    the full artifact set (manifest, timeline, events) of every gate run.
+    Each cell runs ``reps`` times at seeds ``seed .. seed + reps - 1``
+    (every metric maps to its per-rep value list, in seed order) with a
+    telemetry bundle attached — partly for the wall-time (throughput)
+    measurement, partly so ``obs_dir`` can receive the full artifact set
+    (manifest, timeline, events) of the first rep of every gate cell.
     """
     from repro.obs.export import export_run
     from repro.obs.telemetry import TelemetrySpec
     from repro.sim.runner import run_cached
 
+    if reps <= 0:
+        raise ValueError(f"reps must be positive, got {reps}")
     factories = config_factories()
     unknown = [n for n in config_names if n not in factories]
     if unknown:
@@ -92,30 +121,35 @@ def measure_matrix(
             f"known: {sorted(factories)}"
         )
     spec = TelemetrySpec()
-    cells: Dict[str, Dict[str, Optional[float]]] = {}
+    cells: Dict[str, Dict[str, List[Optional[float]]]] = {}
     for workload in workloads:
         for config_name in config_names:
             config = factories[config_name]()
-            telemetry = spec.build()
-            result = run_cached(
-                workload, config, budget, seed, telemetry=telemetry
-            )
-            metrics = dict(result.metrics())
-            if telemetry.wall_time:
-                metrics["throughput_kips"] = (
-                    result.instructions / 1000.0 / telemetry.wall_time
-                )
-            cells[_cell_key(workload, config_name)] = metrics
-            if obs_dir is not None:
-                export_run(
-                    obs_dir,
-                    workload=workload,
-                    config=config,
-                    budget=budget,
-                    seed=seed,
-                    result=result,
+            per_metric: Dict[str, List[Optional[float]]] = {}
+            for rep in range(reps):
+                telemetry = spec.build()
+                result = run_cached(
+                    workload, config, budget, seed + rep,
                     telemetry=telemetry,
                 )
+                metrics = dict(result.metrics())
+                if telemetry.wall_time:
+                    metrics["throughput_kips"] = (
+                        result.instructions / 1000.0 / telemetry.wall_time
+                    )
+                for metric, value in metrics.items():
+                    per_metric.setdefault(metric, []).append(value)
+                if obs_dir is not None and rep == 0:
+                    export_run(
+                        obs_dir,
+                        workload=workload,
+                        config=config,
+                        budget=budget,
+                        seed=seed,
+                        result=result,
+                        telemetry=telemetry,
+                    )
+            cells[_cell_key(workload, config_name)] = per_metric
     return cells
 
 
@@ -126,6 +160,7 @@ def record_baseline(
     budget: int,
     seed: int,
     obs_dir: Optional[str] = None,
+    reps: int = DEFAULT_REPS,
 ) -> dict:
     """Measure the matrix and wrap it in a named baseline document."""
     return {
@@ -135,9 +170,10 @@ def record_baseline(
         "configs": list(config_names),
         "budget": budget,
         "seed": seed,
+        "reps": reps,
         "created_unix": time.time(),
         "runs": measure_matrix(
-            workloads, config_names, budget, seed, obs_dir
+            workloads, config_names, budget, seed, obs_dir, reps=reps
         ),
     }
 
@@ -145,10 +181,10 @@ def record_baseline(
 def load_baseline(path) -> dict:
     baseline = json.loads(Path(path).read_text())
     schema = baseline.get("schema")
-    if schema != BASELINE_SCHEMA:
+    if schema not in _ACCEPTED_SCHEMAS:
         raise ValueError(
             f"baseline {path} has schema {schema!r}, "
-            f"expected {BASELINE_SCHEMA}"
+            f"expected one of {_ACCEPTED_SCHEMAS}"
         )
     return baseline
 
@@ -160,56 +196,166 @@ def save_baseline(baseline: dict, path) -> Path:
     return path
 
 
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def _as_reps(value) -> Optional[List[float]]:
+    """Normalise a recorded metric to its rep list.
+
+    Schema-2 documents store per-rep lists; schema-1 documents (and the
+    unit-test shorthand) store scalars — a one-element rep list. ``None``
+    reps (a predictor-less config has no accuracy) are dropped; a metric
+    with no non-None rep reads as absent.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (list, tuple)):
+        reps = [v for v in value if v is not None]
+        return reps if reps else None
+    return [value]
+
+
+def _relative_dev(recorded: float, current: float) -> float:
+    """Signed relative change of ``current`` vs ``recorded``."""
+    if recorded == 0:
+        if current == 0:
+            return 0.0
+        return float("inf") if current > 0 else float("-inf")
+    return (current - recorded) / abs(recorded)
+
+
+def bootstrap_deviation_ci(
+    recorded: Sequence[float],
+    current: Sequence[float],
+    n_boot: int = BOOTSTRAP_RESAMPLES,
+    alpha: float = BOOTSTRAP_ALPHA,
+    seed: int = BOOTSTRAP_SEED,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap CI for the relative deviation of medians.
+
+    Reps are seed-matched between recording and check, so equal-length
+    sides resample *paired* (one index draw reused for both medians) —
+    the per-seed structure survives resampling and a uniform shift
+    yields a degenerate, exactly-located interval. Unequal lengths
+    (e.g. a schema-1 baseline checked with more reps) fall back to
+    independent resampling. One rep per side short-circuits to the
+    point deviation — the pre-bootstrap gate behaviour.
+    """
+    n_rec, n_cur = len(recorded), len(current)
+    if n_rec == 1 and n_cur == 1:
+        dev = _relative_dev(recorded[0], current[0])
+        return dev, dev
+    rng = random.Random(seed)
+    draws = []
+    if n_rec == n_cur:
+        for _ in range(n_boot):
+            idx = [rng.randrange(n_rec) for _ in range(n_rec)]
+            draws.append(_relative_dev(
+                _median([recorded[i] for i in idx]),
+                _median([current[i] for i in idx]),
+            ))
+    else:
+        for _ in range(n_boot):
+            draws.append(_relative_dev(
+                _median([
+                    recorded[rng.randrange(n_rec)] for _ in range(n_rec)
+                ]),
+                _median([
+                    current[rng.randrange(n_cur)] for _ in range(n_cur)
+                ]),
+            ))
+    draws.sort()
+    low = draws[int((alpha / 2) * (n_boot - 1))]
+    high = draws[int((1 - alpha / 2) * (n_boot - 1))]
+    return low, high
+
+
 class MetricDiff:
-    """One (cell, metric) comparison between baseline and current run."""
+    """One (cell, metric) comparison between baseline and current run.
 
-    __slots__ = ("cell", "metric", "recorded", "current", "status")
+    ``recorded``/``current`` hold the rep medians; ``ci_low``/``ci_high``
+    the bootstrap interval of the relative deviation (None for missing
+    or informational rows).
+    """
 
-    def __init__(self, cell, metric, recorded, current, status):
+    __slots__ = (
+        "cell", "metric", "recorded", "current", "status",
+        "ci_low", "ci_high",
+    )
+
+    def __init__(
+        self, cell, metric, recorded, current, status,
+        ci_low=None, ci_high=None,
+    ):
         self.cell = cell
         self.metric = metric
         self.recorded = recorded
         self.current = current
         self.status = status  # "ok" | "REGRESSION" | "info" | "missing"
+        self.ci_low = ci_low
+        self.ci_high = ci_high
 
     @property
     def deviation(self) -> Optional[float]:
-        """Signed relative change vs the recorded value, or None."""
+        """Signed relative change vs the recorded median, or None."""
         if self.recorded is None or self.current is None:
             return None
-        if self.recorded == 0:
-            return 0.0 if self.current == 0 else float("inf")
-        return (self.current - self.recorded) / abs(self.recorded)
+        return _relative_dev(self.recorded, self.current)
 
 
 def diff_metrics(
-    recorded: Dict[str, Optional[float]],
-    current: Dict[str, Optional[float]],
+    recorded: Dict[str, object],
+    current: Dict[str, object],
     cell: str,
     tolerance: float,
 ) -> List[MetricDiff]:
-    """Compare one cell's metric dicts, direction-aware."""
+    """Compare one cell's metric dicts, direction-aware.
+
+    A gated metric regresses only when its whole bootstrap 95% interval
+    sits beyond ``tolerance`` in the worse direction — for higher-better
+    metrics the interval's *upper* bound must fall below ``-tolerance``,
+    for lower-better its *lower* bound must exceed ``+tolerance``.
+    Movement in the good direction, or an interval straddling tolerance
+    (one noisy seed), never fails the gate.
+    """
     diffs: List[MetricDiff] = []
     for metric, direction in METRIC_DIRECTIONS.items():
-        old = recorded.get(metric)
-        new = current.get(metric)
+        old = _as_reps(recorded.get(metric))
+        new = _as_reps(current.get(metric))
         if old is None and new is None:
             continue
         if old is None or new is None:
-            diffs.append(MetricDiff(cell, metric, old, new, "missing"))
+            diffs.append(MetricDiff(
+                cell, metric,
+                None if old is None else _median(old),
+                None if new is None else _median(new),
+                "missing",
+            ))
             continue
-        diff = MetricDiff(cell, metric, old, new, "ok")
-        dev = diff.deviation
-        worse = (new - old) * direction < 0
-        if worse and abs(dev) > tolerance:
+        ci_low, ci_high = bootstrap_deviation_ci(old, new)
+        diff = MetricDiff(
+            cell, metric, _median(old), _median(new), "ok",
+            ci_low, ci_high,
+        )
+        if direction > 0:
+            regressed = ci_high < -tolerance
+        else:
+            regressed = ci_low > tolerance
+        if regressed:
             diff.status = "REGRESSION"
         diffs.append(diff)
     for metric in INFORMATIONAL_METRICS:
-        if recorded.get(metric) is not None or current.get(metric) is not None:
+        old = _as_reps(recorded.get(metric))
+        new = _as_reps(current.get(metric))
+        if old is not None or new is not None:
             diffs.append(
                 MetricDiff(
                     cell, metric,
-                    recorded.get(metric), current.get(metric), "info",
+                    None if old is None else _median(old),
+                    None if new is None else _median(new),
+                    "info",
                 )
             )
     return diffs
@@ -233,6 +379,7 @@ def check_baseline(
         baseline["budget"],
         baseline["seed"],
         obs_dir,
+        reps=baseline.get("reps", 1),
     )
     diffs: List[MetricDiff] = []
     recorded_runs = baseline["runs"]
@@ -261,12 +408,17 @@ def render_diffs(
     rows = []
     for d in shown:
         dev = d.deviation
+        if d.ci_low is None or d.ci_high is None:
+            ci = "-"
+        else:
+            ci = f"[{100.0 * d.ci_low:+.1f}%, {100.0 * d.ci_high:+.1f}%]"
         rows.append([
             d.cell,
             d.metric,
             "-" if d.recorded is None else f"{d.recorded:.4f}",
             "-" if d.current is None else f"{d.current:.4f}",
             "-" if dev is None else f"{100.0 * dev:+.1f}%",
+            ci,
             d.status,
         ])
     regressions = sum(1 for d in diffs if d.status == "REGRESSION")
@@ -275,12 +427,14 @@ def render_diffs(
     lines = []
     if rows:
         lines.append(render_table(
-            ["run", "metric", "baseline", "current", "delta", "status"],
+            ["run", "metric", "baseline", "current", "delta",
+             "95% CI", "status"],
             rows,
         ))
     verdict = "PASS" if not regressions and not missing else "FAIL"
     lines.append(
         f"{verdict}: {gated} gated comparisons, {regressions} regression(s),"
-        f" {missing} missing, tolerance {100.0 * tolerance:.1f}%"
+        f" {missing} missing, bootstrap 95% CI vs tolerance "
+        f"{100.0 * tolerance:.1f}%"
     )
     return "\n".join(lines)

@@ -69,11 +69,17 @@ import numpy as np
 from repro.common.bitops import fold_xor
 from repro.core.cbpred import CorrelatingDeadBlockPredictor
 from repro.core.dppred import ACTION_BYPASS, DeadPagePredictor
-from repro.mem.cache import CacheLine
+from repro.mem.cache import (
+    _LINE_POOL,
+    CacheLine,
+    acquire_line,
+    release_line,
+)
 from repro.mem.replacement import LruPolicy, SrripPolicy
 from repro.obs.events import (
     EV_LLC_BYPASS,
     EV_LLC_MARK_DP,
+    EV_LLC_VERDICT,
     EV_LLT_BYPASS,
     EV_LLT_VERDICT,
     EV_PFQ_HIT,
@@ -82,9 +88,13 @@ from repro.obs.events import (
     EV_SHADOW_PROMOTE,
     EV_WALK,
 )
-from repro.vm.pagetable import NUM_LEVELS
+from repro.vm.pagetable import LEVEL_BITS, NUM_LEVELS, VPN_BITS, _Node
 from repro.vm.physmem import PAGE_SHIFT
-from repro.vm.tlb import TlbEntry
+from repro.vm.tlb import (
+    _ENTRY_POOL,
+    ASID_SHIFT,
+    TlbEntry,
+)
 from repro.vm.walker import BLOCK_SHIFT
 
 ENGINE_BATCHED = "batched"
@@ -94,6 +104,7 @@ ENGINES = (ENGINE_BATCHED, ENGINE_SCALAR)
 _default_engine: Optional[str] = None
 
 _PAGE_SHIFT_U = np.uint64(PAGE_SHIFT)
+_ASID_SHIFT_U = np.uint64(ASID_SHIFT)
 _BLOCK_SHIFT_U = np.uint64(BLOCK_SHIFT)
 _BLOCK_OFFSET_U = np.uint64(PAGE_SHIFT - BLOCK_SHIFT)
 _BLOCK_IN_PAGE_U = np.uint64((1 << (PAGE_SHIFT - BLOCK_SHIFT)) - 1)
@@ -174,8 +185,10 @@ REASON_PREDICTOR = "predictor"  # non-dpPred/cbPred listener, or L1 wiring
 REASON_REFERENCE = "reference"  # ground-truth reference structures attached
 REASON_DTYPE = "dtype"          # unexpected trace array dtypes
 REASON_EMPTY = "empty"          # zero-record trace
-REASON_TENANT = "tenant"        # ASID-carrying trace / multi-tenant config
-REASON_HUGEPAGE = "hugepage"    # huge-page mappings: LLT keys diverge
+REASON_TENANT = "tenant"        # ASID-carrying trace: flat declines,
+#                                 bulk+scalar hybrid handles it
+REASON_HUGEPAGE = "hugepage"    # huge-page mappings: flat declines
+#                                 (its inlined walk is 4 KB-only)
 
 
 def flat_reason(machine) -> Optional[str]:
@@ -290,14 +303,24 @@ def run_batched(machine, trace):
        ``engine_stats["fallback_reasons"]``.
     """
     _totals["runs"] += 1
-    if not _trace_ok(trace):
+    asids = getattr(trace, "asids", None)
+    if not _trace_ok(trace) or (
+        asids is not None and asids.dtype.kind not in "iu"
+    ):
         reason = REASON_EMPTY if len(trace) == 0 else REASON_DTYPE
         return _fall_back(machine, trace, reason)
-    if getattr(trace, "asids", None) is not None or machine.config.num_tenants > 1:
-        return _fall_back(machine, trace, REASON_TENANT)
-    if machine.config.huge_fraction > 0:
-        return _fall_back(machine, trace, REASON_HUGEPAGE)
     why = flat_reason(machine)
+    if why is None:
+        # ASID-carrying traces and huge-mapped tables run the bulk +
+        # scalar hybrid: the bulk tier probes combined (asid, vpn) keys
+        # (and is untouched by huge mappings — only the LLT holds 2 MB
+        # entries, the L1 TLBs get splintered 4 KB granules), while the
+        # flat interpreter declines — its inlined walk models neither
+        # per-ASID tables nor huge leaves.
+        if asids is not None:
+            why = REASON_TENANT
+        elif machine.config.huge_fraction > 0:
+            why = REASON_HUGEPAGE
     bulk_ok = batchable(machine)
     if why is None:
         run = _BatchedRun(machine, _FlatStepper(machine))
@@ -383,11 +406,19 @@ class _BatchedRun:
             self.sampler.interval if self.sampler is not None else 0
         )
         self.next_at = self.interval
+        # Multi-tenant bookkeeping (mirrors _run_scalar_tenants): the
+        # running ASID, and the set of tenants already counted. The bulk
+        # prefix is truncated at the first record of a different ASID,
+        # which then runs scalar with full context-switch bookkeeping.
+        self.asids = None
+        self.cur_asid = -1
+        self.seen_asids = set()
 
     def run(self, trace):
         m = self.m
         pcs, vaddrs = trace.pcs, trace.vaddrs
         writes, gaps = trace.writes, trace.gaps
+        self.asids = getattr(trace, "asids", None)
         n = len(pcs)
         i = 0
         window = _WINDOW_MIN
@@ -484,13 +515,23 @@ class _BatchedRun:
         win.pc = pc
         win.gap1 = gaps[a:b].astype(np.int64) + 1
 
+        # TLB probes use the combined (asid, vpn) key — identical to the
+        # raw VPN at ASID 0, so single-tenant traces skip the OR. The
+        # mirrors export ``entry.vpn``, which already stores the full
+        # combined key, and the set index is ``key & set_mask`` exactly
+        # as in ``Tlb.lookup``.
         ivpn = pc >> _PAGE_SHIFT_U
+        dvpn = va >> _PAGE_SHIFT_U
+        asids = self.asids
+        if asids is not None:
+            akey = asids[a:b].astype(np.uint64) << _ASID_SHIFT_U
+            ivpn = ivpn | akey
+            dvpn = dvpn | akey
         iset = (ivpn & im.set_mask).astype(np.intp)
         imatch = im.tags[iset] == ivpn[:, None]
         ihit = imatch.any(axis=1)
         win.ivpn, win.iset, win.iway = ivpn, iset, imatch.argmax(axis=1)
 
-        dvpn = va >> _PAGE_SHIFT_U
         dset = (dvpn & dm.set_mask).astype(np.intp)
         dmatch = dm.tags[dset] == dvpn[:, None]
         dhit = dmatch.any(axis=1)
@@ -508,6 +549,14 @@ class _BatchedRun:
         win.cset, win.cway = cset, cmatch.argmax(axis=1)
 
         win.ok = ihit & dhit & cmatch.any(axis=1)
+        if asids is not None:
+            # A record of a different ASID than the running one carries
+            # context-switch side effects; it must run scalar.
+            cur = self.cur_asid
+            if cur < 0:
+                win.ok[:] = False
+            else:
+                win.ok &= asids[a:b] == cur
         return win
 
     # -- bulk retirement ------------------------------------------------ #
@@ -625,9 +674,33 @@ class _BatchedRun:
                 lines[set_idx][way].dirty = True
 
     # -- residual / fallback scalar execution --------------------------- #
+    def _switch_to(self, asid: int) -> None:
+        """ASID bookkeeping preceding a scalar record, replicating
+        ``Machine._run_scalar_tenants`` exactly (context-switch event +
+        optional shootdown, first-sighting tenant count)."""
+        m = self.m
+        if self.cur_asid >= 0:
+            m._context_switch(self.cur_asid, asid)
+        if asid not in self.seen_asids:
+            self.seen_asids.add(asid)
+            m.tenancy.add("tenants_seen")
+        self.cur_asid = asid
+
     def _scalar_one(self, pcs, vaddrs, writes, gaps, j) -> None:
         m = self.m
-        m.access(int(pcs[j]), int(vaddrs[j]), bool(writes[j]), int(gaps[j]))
+        asids = self.asids
+        if asids is None:
+            m.access(
+                int(pcs[j]), int(vaddrs[j]), bool(writes[j]), int(gaps[j])
+            )
+        else:
+            asid = int(asids[j])
+            if asid != self.cur_asid:
+                self._switch_to(asid)
+            m.access(
+                int(pcs[j]), int(vaddrs[j]), bool(writes[j]),
+                int(gaps[j]), asid,
+            )
         if self.sampler is not None and m.instructions >= self.next_at:
             self.sampler.sample(m.instructions, m.cycles)
             self.next_at = m.instructions + self.interval
@@ -642,6 +715,7 @@ class _BatchedRun:
             return
         m = self.m
         access = m.access
+        asids = self.asids
         records = zip(
             pcs[a:b].tolist(),
             vaddrs[a:b].tolist(),
@@ -649,6 +723,22 @@ class _BatchedRun:
             gaps[a:b].tolist(),
         )
         sampler = self.sampler
+        if asids is not None:
+            cur = self.cur_asid
+            next_at = self.next_at
+            interval = self.interval
+            for (pc, vaddr, is_write, gap), asid in zip(
+                records, asids[a:b].tolist()
+            ):
+                if asid != cur:
+                    self._switch_to(asid)
+                    cur = asid
+                access(pc, vaddr, is_write, gap, asid)
+                if sampler is not None and m.instructions >= next_at:
+                    sampler.sample(m.instructions, m.cycles)
+                    next_at = m.instructions + interval
+            self.next_at = next_at
+            return
         if sampler is None:
             for pc, vaddr, is_write, gap in records:
                 access(pc, vaddr, is_write, gap)
@@ -698,7 +788,7 @@ class _FlatStepper:
     (pure function of its inputs).
     """
 
-    __slots__ = ("m", "_fx_pc", "_fx_vpn", "_fx_blk")
+    __slots__ = ("m", "_fx_pc", "_fx_vpn", "_fx_blk", "_fx_pgb")
 
     def __init__(self, machine):
         self.m = machine
@@ -708,6 +798,12 @@ class _FlatStepper:
         self._fx_pc = {}
         self._fx_vpn = {}
         self._fx_blk = {}
+        # Page-level bHIST hash seeds: fold_xor(pfn << boff, bits).
+        # A block hash is seed ^ block_offset (the offset bits sit
+        # inside the lowest fold chunk whenever bits >= boff, and
+        # xor-folding is linear over disjoint bit fields), so all 64
+        # blocks of a page share one fold_xor call.
+        self._fx_pgb = {}
 
     def run_span(self, pcs, vaddrs, writes, gaps, a, b, sampler, next_at):
         """Execute records ``[a, b)``; returns the updated telemetry
@@ -720,6 +816,23 @@ class _FlatStepper:
         fx_pc = self._fx_pc
         fx_vpn = self._fx_vpn
         fx_blk = self._fx_blk
+        fx_pgb = self._fx_pgb
+        # Free-list pools shared with the scalar-side structures. The
+        # flat tier's inline releases skip the cap check: every pooled
+        # object mirrors an evicted resident slot, so pool growth is
+        # bounded by structure capacity, not by traffic.
+        pool_ = _LINE_POOL
+        line_cls = CacheLine
+        epool_ = _ENTRY_POOL
+        entry_cls = TlbEntry
+        # Predictor-stat deltas, flushed with the structure-stat
+        # deltas at telemetry boundaries and span end. The flushes
+        # are guarded so a counter that never fired does not create
+        # a zero-valued key the scalar engine would not have.
+        d_cb_pfqm = d_cb_doap = d_cb_note = d_cb_evobs = 0
+        d_dp_doap = d_dp_evobs = 0
+        d_ph_doa = d_ph_ndoa = d_bh_doa = d_bh_ndoa = 0
+        d_pfq_ins = d_pfq_ev = d_sh_ins = d_sh_ev = d_sh_miss = 0
         # --- machine scalars ------------------------------------------- #
         now = m.now
         instructions = m.instructions
@@ -754,6 +867,8 @@ class _FlatStepper:
         it_entries = it._entries
         it_lru = it._lru
         it_stamps = it._lru_stamps
+        it_vw = it._vic_way
+        it_vs = it._vic_stamp
         it_rrpv = None if it_lru is not None else it.policy._rrpv
         it_rmax = 0 if it_lru is not None else it.policy.rrpv_max
         it_stat = it._stat
@@ -766,6 +881,8 @@ class _FlatStepper:
         dt_entries = dt._entries
         dt_lru = dt._lru
         dt_stamps = dt._lru_stamps
+        dt_vw = dt._vic_way
+        dt_vs = dt._vic_stamp
         dt_rrpv = None if dt_lru is not None else dt.policy._rrpv
         dt_rmax = 0 if dt_lru is not None else dt.policy.rrpv_max
         dt_stat = dt._stat
@@ -778,6 +895,8 @@ class _FlatStepper:
         lt_entries = lt._entries
         lt_lru = lt._lru
         lt_stamps = lt._lru_stamps
+        lt_vw = lt._vic_way
+        lt_vs = lt._vic_stamp
         lt_rrpv = None if lt_lru is not None else lt.policy._rrpv
         lt_rmax = 0 if lt_lru is not None else lt.policy.rrpv_max
         lt_stat = lt._stat
@@ -822,6 +941,8 @@ class _FlatStepper:
         l1_lines = l1._lines
         l1_lru = l1._lru
         l1_stamps = l1._lru_stamps
+        l1_vw = l1._vic_way
+        l1_vs = l1._vic_stamp
         l1_rrpv = None if l1_lru is not None else l1.policy._rrpv
         l1_rmax = 0 if l1_lru is not None else l1.policy.rrpv_max
         l1_stat = l1._stat
@@ -833,6 +954,8 @@ class _FlatStepper:
         l2_lines = l2._lines
         l2_lru = l2._lru
         l2_stamps = l2._lru_stamps
+        l2_vw = l2._vic_way
+        l2_vs = l2._vic_stamp
         l2_rrpv = None if l2_lru is not None else l2.policy._rrpv
         l2_rmax = 0 if l2_lru is not None else l2.policy.rrpv_max
         l2_stat = l2._stat
@@ -844,6 +967,8 @@ class _FlatStepper:
         l3_lines = l3._lines
         l3_lru = l3._lru
         l3_stamps = l3._lru_stamps
+        l3_vw = l3._vic_way
+        l3_vs = l3._vic_stamp
         l3_rrpv = None if l3_lru is not None else l3.policy._rrpv
         l3_rmax = 0 if l3_lru is not None else l3.policy.rrpv_max
         l3_stat = l3._stat
@@ -860,7 +985,6 @@ class _FlatStepper:
             if cb is not None and cb.config.use_pfq
             else None
         )
-        cb_on_evict = None if cb is None else cb.on_evict
         cb_probe = None if cb is None else cb.probe
         cb_obs = None if cb is None else cb.prediction_observer
         cb_stat = None if cb is None else cb.stats.counters
@@ -868,9 +992,27 @@ class _FlatStepper:
             bh_vals = cb.bhist._counters._values
             bh_bits = cb.bhist.hash_bits
             bh_thresh = cb.config.threshold
+            bh_stat = cb.bhist.stats.counters
+            bh_cmax = cb.bhist._counters._max
         else:
             bh_vals = None
             bh_bits = bh_thresh = 0
+            bh_stat = None
+            bh_cmax = 0
+        bh_pg = bh_bits >= boff
+        # dpPred -> cbPred PFN messages: when the sink is the stock
+        # ``notify_doa_page`` wiring, the PFQ insert is inlined too.
+        if (
+            cb is not None
+            and dp is not None
+            and dp.pfn_sink == cb.notify_doa_page
+        ):
+            pfq_q = cb.pfq._queue
+            pfq_members = cb.pfq._members
+            pfq_cap = cb.pfq.capacity
+            pfq_stat = cb.pfq.stats.counters
+        else:
+            pfq_q = None
         # --- hierarchy / memory / walker -------------------------------- #
         hier = m.hierarchy
         h_stat = hier._stat
@@ -883,10 +1025,47 @@ class _FlatStepper:
         hl3_lat = hier.llc_latency
         walker = m.walker
         w_stat = walker._stat
-        page_table_walk_path = walker.page_table.walk_path
-        pwc_consult = walker.pwc.consult
-        pwc_fill = walker.pwc.fill
         w_walks = w_memacc = w_cycles = 0
+        # Radix walk inlined (4 KB mappings only: the flat path declines
+        # huge-page configs, so no PD entry is ever a huge leaf): local
+        # bindings of the root node, the frame allocator, and the
+        # telemetry-unregistered page-table stats (bumped live).
+        page_table = walker.page_table
+        pt_root = page_table._root
+        pt_alloc = page_table.allocator.allocate
+        pt_stats_add = page_table.stats.add
+        vpn_limit = 1 << VPN_BITS
+        sh1 = LEVEL_BITS * (NUM_LEVELS - 1)
+        sh2 = LEVEL_BITS * (NUM_LEVELS - 2)
+        sh3 = LEVEL_BITS
+        widx_mask = (1 << LEVEL_BITS) - 1
+        # PWC probe/fill inlined: the three fully-associative LRU levels
+        # as bare OrderedDicts with local clocks (written back at span
+        # end; no other code reads them mid-span), cumulative probe
+        # latencies, and the telemetry-registered pwc stats as delta
+        # counters flushed with the rest.
+        pwcs = walker.pwc
+        pwc_stat = pwcs._stat
+        pwc1, pwc2, pwc3 = pwcs._levels
+        pw1 = pwc1._stamps
+        pw2 = pwc2._stamps
+        pw3 = pwc3._stamps
+        pw1_cap = pwc1.capacity
+        pw2_cap = pwc2.capacity
+        pw3_cap = pwc3.capacity
+        pw1_clk = pwc1._clock
+        pw2_clk = pwc2._clock
+        pw3_clk = pwc3._clock
+        pw1_mte = pw1.move_to_end
+        pw2_mte = pw2.move_to_end
+        pw3_mte = pw3.move_to_end
+        pw1_pop = pw1.popitem
+        pw2_pop = pw2.popitem
+        pw3_pop = pw3.popitem
+        pw_lat1 = pwcs._latencies[0]
+        pw_lat2 = pw_lat1 + pwcs._latencies[1]
+        pw_lat3 = pw_lat2 + pwcs._latencies[2]
+        pw_l1h = pw_l2h = pw_l3h = pw_miss = 0
         # --- same-page filter state ------------------------------------- #
         last_ivpn = m._last_ivpn
         last_ient = m._last_ientry
@@ -961,16 +1140,83 @@ class _FlatStepper:
                                         pfn_i = buffered
                                         penalty = l2_tlb_hit_penalty
                                 else:
-                                    sh_stat["misses"] = (
-                                        sh_stat.get("misses", 0) + 1
-                                    )
+                                    d_sh_miss += 1
                             if pfn_i is None:
-                                # ---- page walk (inlined walker.walk) --- #
+                                # ---- page walk (walker.walk, the radix
+                                # descent and the PWC probe all inlined) - #
                                 w_walks += 1
-                                pfn_i, path = page_table_walk_path(ivpn)
-                                resolved, wlat = pwc_consult(ivpn)
-                                w_memacc += NUM_LEVELS - resolved
-                                for pte_paddr in path[resolved:]:
+                                if ivpn < 0 or ivpn >= vpn_limit:
+                                    raise ValueError(
+                                        f"vpn {ivpn:#x} outside "
+                                        f"{VPN_BITS}-bit space"
+                                    )
+                                node = pt_root
+                                widx = (ivpn >> sh1) & widx_mask
+                                p0 = (node.frame << ps) | (widx << 3)
+                                ch = node.children.get(widx)
+                                if ch is None:
+                                    ch = _Node(pt_alloc())
+                                    node.children[widx] = ch
+                                    pt_stats_add("nodes_allocated")
+                                node = ch
+                                widx = (ivpn >> sh2) & widx_mask
+                                p1 = (node.frame << ps) | (widx << 3)
+                                ch = node.children.get(widx)
+                                if ch is None:
+                                    ch = _Node(pt_alloc())
+                                    node.children[widx] = ch
+                                    pt_stats_add("nodes_allocated")
+                                node = ch
+                                widx = (ivpn >> sh3) & widx_mask
+                                p2 = (node.frame << ps) | (widx << 3)
+                                ch = node.children.get(widx)
+                                if ch is None:
+                                    ch = _Node(pt_alloc())
+                                    node.children[widx] = ch
+                                    pt_stats_add("nodes_allocated")
+                                node = ch
+                                widx = ivpn & widx_mask
+                                p3 = (node.frame << ps) | (widx << 3)
+                                pfn_i = node.children.get(widx)
+                                if pfn_i is None:
+                                    pfn_i = pt_alloc()
+                                    node.children[widx] = pfn_i
+                                    pt_stats_add("pages_mapped")
+                                wtag = ivpn >> sh3
+                                if wtag in pw1:
+                                    pw1_clk += 1
+                                    pw1[wtag] = pw1_clk
+                                    pw1_mte(wtag)
+                                    pw_l1h += 1
+                                    wlat = pw_lat1
+                                    w_memacc += 1
+                                    path_rem = (p3,)
+                                else:
+                                    wtag = ivpn >> sh2
+                                    if wtag in pw2:
+                                        pw2_clk += 1
+                                        pw2[wtag] = pw2_clk
+                                        pw2_mte(wtag)
+                                        pw_l2h += 1
+                                        wlat = pw_lat2
+                                        w_memacc += 2
+                                        path_rem = (p2, p3)
+                                    else:
+                                        wtag = ivpn >> sh1
+                                        if wtag in pw3:
+                                            pw3_clk += 1
+                                            pw3[wtag] = pw3_clk
+                                            pw3_mte(wtag)
+                                            pw_l3h += 1
+                                            wlat = pw_lat3
+                                            w_memacc += 3
+                                            path_rem = (p1, p2, p3)
+                                        else:
+                                            pw_miss += 1
+                                            wlat = pw_lat3
+                                            w_memacc += 4
+                                            path_rem = (p0, p1, p2, p3)
+                                for pte_paddr in path_rem:
                                     blk = pte_paddr >> bs
                                     h_walkacc += 1
                                     set_c = blk & l2_mask
@@ -1019,29 +1265,30 @@ class _FlatStepper:
                                             or (blk >> boff) in cb_pfq
                                         ):
                                             if cb_pfq is not None:
-                                                cb_stat["pfq_matches"] = (
-                                                    cb_stat.get(
-                                                        "pfq_matches", 0
-                                                    ) + 1
-                                                )
+                                                d_cb_pfqm += 1
                                                 if cb_probe is not None:
                                                     cb_probe.emit(
                                                         now, EV_PFQ_HIT, blk
                                                     )
                                             bhh = fx_blk.get(blk)
                                             if bhh is None:
-                                                bhh = fx_blk[blk] = (
-                                                    fold_xor(blk, bh_bits)
-                                                )
+                                                if bh_pg:
+                                                    pg_ = blk >> boff
+                                                    sb_ = fx_pgb.get(pg_)
+                                                    if sb_ is None:
+                                                        sb_ = fx_pgb[pg_] = fold_xor(
+                                                            pg_ << boff, bh_bits
+                                                        )
+                                                    bhh = fx_blk[blk] = sb_ ^ (blk & bmask)
+                                                else:
+                                                    bhh = fx_blk[blk] = fold_xor(
+                                                        blk, bh_bits
+                                                    )
                                             doa = bh_vals[bhh] > bh_thresh
                                             if cb_obs is not None:
                                                 cb_obs(blk, doa)
                                             if doa:
-                                                cb_stat[
-                                                    "doa_predictions"
-                                                ] = cb_stat.get(
-                                                    "doa_predictions", 0
-                                                ) + 1
+                                                d_cb_doap += 1
                                                 if cb_probe is not None:
                                                     cb_probe.emit(
                                                         now,
@@ -1073,7 +1320,26 @@ class _FlatStepper:
                                             if w3 is None:
                                                 if l3_lru is not None:
                                                     row = l3_stamps[set_c3]
-                                                    w3 = row.index(min(row))
+                                                    w3 = l3_vw[set_c3]
+                                                    if w3 >= 0 and row[w3] == l3_vs[set_c3]:
+                                                        l3_vw[set_c3] = -1
+                                                    else:
+                                                        w3 = 0
+                                                        vb_ = row[0]
+                                                        rw_ = -1
+                                                        rs_ = 0
+                                                        for vx_ in range(1, l3_assoc):
+                                                            sx_ = row[vx_]
+                                                            if sx_ < vb_:
+                                                                rw_ = w3
+                                                                rs_ = vb_
+                                                                w3 = vx_
+                                                                vb_ = sx_
+                                                            elif rw_ < 0 or sx_ < rs_:
+                                                                rw_ = vx_
+                                                                rs_ = sx_
+                                                        l3_vw[set_c3] = rw_
+                                                        l3_vs[set_c3] = rs_
                                                 else:
                                                     row = l3_rrpv[set_c3]
                                                     while l3_rmax not in row:
@@ -1097,10 +1363,48 @@ class _FlatStepper:
                                                     cb is not None
                                                     and victim3.dp
                                                 ):
-                                                    cb_on_evict(
-                                                        l3, victim3, now
-                                                    )
-                                            ln = CacheLine(blk, False)
+                                                    # cb.on_evict inlined: bHIST training + verdict event
+                                                    tv_ = victim3.tag
+                                                    bhh2 = fx_blk.get(tv_)
+                                                    if bhh2 is None:
+                                                        if bh_pg:
+                                                            pg_ = tv_ >> boff
+                                                            sb_ = fx_pgb.get(pg_)
+                                                            if sb_ is None:
+                                                                sb_ = fx_pgb[pg_] = fold_xor(
+                                                                    pg_ << boff, bh_bits
+                                                                )
+                                                            bhh2 = fx_blk[tv_] = sb_ ^ (tv_ & bmask)
+                                                        else:
+                                                            bhh2 = fx_blk[tv_] = fold_xor(
+                                                                tv_, bh_bits
+                                                            )
+                                                    if victim3.accessed:
+                                                        bh_vals[bhh2] = 0
+                                                        d_bh_ndoa += 1
+                                                    else:
+                                                        cv_ = bh_vals[bhh2]
+                                                        if cv_ < bh_cmax:
+                                                            bh_vals[bhh2] = cv_ + 1
+                                                        d_bh_doa += 1
+                                                        d_cb_evobs += 1
+                                                    if cb_probe is not None:
+                                                        cb_probe.emit(
+                                                            now,
+                                                            EV_LLC_VERDICT,
+                                                            tv_,
+                                                            False,
+                                                            not victim3.accessed,
+                                                        )
+                                            if pool_:
+                                                ln = pool_.pop()
+                                                ln.tag = blk
+                                                ln.dirty = False
+                                                ln.accessed = False
+                                                ln.dp = False
+                                                ln.aux = None
+                                            else:
+                                                ln = line_cls(blk, False)
                                             if mark_dp:
                                                 ln.dp = True
                                             lines3[w3] = ln
@@ -1164,6 +1468,12 @@ class _FlatStepper:
                                             ):
                                                 m_acc += 1
                                                 m_writes += 1
+                                            if victim3 is not None:
+                                                pool_.append(victim3)
+                                            if in1 is not None:
+                                                pool_.append(in1)
+                                            if in2 is not None:
+                                                pool_.append(in2)
                                     # fill L2 (walk loads land in L2)
                                     lines2 = l2_lines[set_c]
                                     victim2 = None
@@ -1176,7 +1486,26 @@ class _FlatStepper:
                                     if w2 is None:
                                         if l2_lru is not None:
                                             row = l2_stamps[set_c]
-                                            w2 = row.index(min(row))
+                                            w2 = l2_vw[set_c]
+                                            if w2 >= 0 and row[w2] == l2_vs[set_c]:
+                                                l2_vw[set_c] = -1
+                                            else:
+                                                w2 = 0
+                                                vb_ = row[0]
+                                                rw_ = -1
+                                                rs_ = 0
+                                                for vx_ in range(1, l2_assoc):
+                                                    sx_ = row[vx_]
+                                                    if sx_ < vb_:
+                                                        rw_ = w2
+                                                        rs_ = vb_
+                                                        w2 = vx_
+                                                        vb_ = sx_
+                                                    elif rw_ < 0 or sx_ < rs_:
+                                                        rw_ = vx_
+                                                        rs_ = sx_
+                                                l2_vw[set_c] = rw_
+                                                l2_vs[set_c] = rs_
                                         else:
                                             row = l2_rrpv[set_c]
                                             while l2_rmax not in row:
@@ -1190,7 +1519,15 @@ class _FlatStepper:
                                         l2_evicts += 1
                                         if victim2.dirty:
                                             l2_wb += 1
-                                    ln = CacheLine(blk, False)
+                                    if pool_:
+                                        ln = pool_.pop()
+                                        ln.tag = blk
+                                        ln.dirty = False
+                                        ln.accessed = False
+                                        ln.dp = False
+                                        ln.aux = None
+                                    else:
+                                        ln = line_cls(blk, False)
                                     lines2[w2] = ln
                                     tc[blk] = w2
                                     l2.content_version += 1
@@ -1200,17 +1537,41 @@ class _FlatStepper:
                                     else:
                                         l2_rrpv[set_c][w2] = l2_rmax - 1
                                     l2_fills += 1
-                                    if victim2 is not None and victim2.dirty:
-                                        vt = victim2.tag
-                                        s3 = vt & l3_mask
-                                        wv3 = l3_tags[s3].get(vt)
-                                        if wv3 is not None:
-                                            l3_lines[s3][wv3].dirty = True
-                                        else:
-                                            m_acc += 1
-                                            m_writes += 1
-                                            h_orphan += 1
-                                pwc_fill(ivpn)
+                                    if victim2 is not None:
+                                        if victim2.dirty:
+                                            vt = victim2.tag
+                                            s3 = vt & l3_mask
+                                            wv3 = l3_tags[s3].get(vt)
+                                            if wv3 is not None:
+                                                l3_lines[s3][wv3].dirty = (
+                                                    True
+                                                )
+                                            else:
+                                                m_acc += 1
+                                                m_writes += 1
+                                                h_orphan += 1
+                                        if victim2 is not None:
+                                            pool_.append(victim2)
+                                # pwc.fill inlined: install the walk at
+                                # every level (L1 first, as the plan does)
+                                wtag = ivpn >> sh3
+                                pw1_clk += 1
+                                if wtag not in pw1 and len(pw1) >= pw1_cap:
+                                    pw1_pop(last=False)
+                                pw1[wtag] = pw1_clk
+                                pw1_mte(wtag)
+                                wtag = ivpn >> sh2
+                                pw2_clk += 1
+                                if wtag not in pw2 and len(pw2) >= pw2_cap:
+                                    pw2_pop(last=False)
+                                pw2[wtag] = pw2_clk
+                                pw2_mte(wtag)
+                                wtag = ivpn >> sh1
+                                pw3_clk += 1
+                                if wtag not in pw3 and len(pw3) >= pw3_cap:
+                                    pw3_pop(last=False)
+                                pw3[wtag] = pw3_clk
+                                pw3_mte(wtag)
                                 w_cycles += wlat
                                 pfn_to_vpn[pfn_i] = ivpn
                                 if probe is not None:
@@ -1250,13 +1611,22 @@ class _FlatStepper:
                                             dp_obs(ivpn, doa)
                                         if doa:
                                             lt_install = False
-                                            dp_stat["doa_predictions"] = (
-                                                dp_stat.get(
-                                                    "doa_predictions", 0
-                                                ) + 1
-                                            )
+                                            d_dp_doap += 1
                                             if dp_sink is not None:
-                                                dp_sink(pfn_i)
+                                                # notify_doa_page + PFQ insert inlined
+                                                if pfq_q is None:
+                                                    dp_sink(pfn_i)
+                                                else:
+                                                    if pfn_i not in pfq_members:
+                                                        if len(pfq_q) >= pfq_cap:
+                                                            pfq_members.discard(
+                                                                pfq_q.popleft()
+                                                            )
+                                                            d_pfq_ev += 1
+                                                        pfq_q.append(pfn_i)
+                                                        pfq_members.add(pfn_i)
+                                                        d_pfq_ins += 1
+                                                    d_cb_note += 1
                                                 if dp_probe is not None:
                                                     dp_probe.emit(
                                                         now, EV_PFQ_PUSH,
@@ -1274,11 +1644,7 @@ class _FlatStepper:
                                                             last=False
                                                         )
                                                     )
-                                                    sh_stat[
-                                                        "evictions"
-                                                    ] = sh_stat.get(
-                                                        "evictions", 0
-                                                    ) + 1
+                                                    d_sh_ev += 1
                                                     if sh_probe is not None:
                                                         sh_probe.emit(
                                                             now,
@@ -1288,11 +1654,7 @@ class _FlatStepper:
                                                 sh_entries[ivpn] = (
                                                     pfn_i, pc_h
                                                 )
-                                                sh_stat["inserts"] = (
-                                                    sh_stat.get(
-                                                        "inserts", 0
-                                                    ) + 1
-                                                )
+                                                d_sh_ins += 1
                                                 if dp_probe is not None:
                                                     dp_probe.emit(
                                                         now,
@@ -1318,7 +1680,26 @@ class _FlatStepper:
                                     if wl is None:
                                         if lt_lru is not None:
                                             row = lt_stamps[set_l]
-                                            wl = row.index(min(row))
+                                            wl = lt_vw[set_l]
+                                            if wl >= 0 and row[wl] == lt_vs[set_l]:
+                                                lt_vw[set_l] = -1
+                                            else:
+                                                wl = 0
+                                                vb_ = row[0]
+                                                rw_ = -1
+                                                rs_ = 0
+                                                for vx_ in range(1, lt_assoc):
+                                                    sx_ = row[vx_]
+                                                    if sx_ < vb_:
+                                                        rw_ = wl
+                                                        rs_ = vb_
+                                                        wl = vx_
+                                                        vb_ = sx_
+                                                    elif rw_ < 0 or sx_ < rs_:
+                                                        rw_ = vx_
+                                                        rs_ = sx_
+                                                lt_vw[set_l] = rw_
+                                                lt_vs[set_l] = rs_
                                         else:
                                             row = lt_rrpv[set_l]
                                             while lt_rmax not in row:
@@ -1330,6 +1711,12 @@ class _FlatStepper:
                                         entries_l[wl] = None
                                         lt.content_version += 1
                                         lt_evicts += 1
+                                        # pooled early: only read (never reissued) until the fill below
+                                        if (
+                                            victim_l is not last_ient
+                                            and victim_l is not last_dent
+                                        ):
+                                            epool_.append(victim_l)
                                         if lt_res is not None:
                                             lt_res.evict((set_l, wl), now)
                                         if dp is not None:
@@ -1351,33 +1738,31 @@ class _FlatStepper:
                                             )
                                             if victim_l.accessed:
                                                 ph_vals[pidx] = 0
-                                                ph_stat[
-                                                    "not_doa_trainings"
-                                                ] = ph_stat.get(
-                                                    "not_doa_trainings", 0
-                                                ) + 1
+                                                d_ph_ndoa += 1
                                             else:
                                                 pv = ph_vals[pidx]
                                                 if pv < ph_max:
                                                     ph_vals[pidx] = pv + 1
-                                                ph_stat[
-                                                    "doa_trainings"
-                                                ] = ph_stat.get(
-                                                    "doa_trainings", 0
-                                                ) + 1
-                                                dp_stat[
-                                                    "doa_evictions_observed"
-                                                ] = dp_stat.get(
-                                                    "doa_evictions_observed",
-                                                    0,
-                                                ) + 1
+                                                d_ph_doa += 1
+                                                d_dp_evobs += 1
                                             if dp_probe is not None:
                                                 dp_probe.emit(
                                                     now, EV_LLT_VERDICT,
                                                     victim_l.vpn, False,
                                                     not victim_l.accessed,
                                                 )
-                                    le = TlbEntry(ivpn, pfn_i, lt_pch)
+                                    if epool_:
+                                        le = epool_.pop()
+                                        le.vpn = ivpn
+                                        le.pfn = pfn_i
+                                        le.pc_hash = lt_pch
+                                        le.accessed = False
+                                        le.aux = None
+                                        le.asid = 0
+                                        le.global_page = False
+                                        le.huge = False
+                                    else:
+                                        le = entry_cls(ivpn, pfn_i, lt_pch)
                                     entries_l[wl] = le
                                     tags_l[ivpn] = wl
                                     lt.content_version += 1
@@ -1402,7 +1787,26 @@ class _FlatStepper:
                         if wi_ is None:
                             if it_lru is not None:
                                 row = it_stamps[set_i]
-                                wi_ = row.index(min(row))
+                                wi_ = it_vw[set_i]
+                                if wi_ >= 0 and row[wi_] == it_vs[set_i]:
+                                    it_vw[set_i] = -1
+                                else:
+                                    wi_ = 0
+                                    vb_ = row[0]
+                                    rw_ = -1
+                                    rs_ = 0
+                                    for vx_ in range(1, it_assoc):
+                                        sx_ = row[vx_]
+                                        if sx_ < vb_:
+                                            rw_ = wi_
+                                            rs_ = vb_
+                                            wi_ = vx_
+                                            vb_ = sx_
+                                        elif rw_ < 0 or sx_ < rs_:
+                                            rw_ = vx_
+                                            rs_ = sx_
+                                    it_vw[set_i] = rw_
+                                    it_vs[set_i] = rs_
                             else:
                                 row = it_rrpv[set_i]
                                 while it_rmax not in row:
@@ -1414,7 +1818,23 @@ class _FlatStepper:
                             entries_i[wi_] = None
                             it.content_version += 1
                             it_evicts += 1
-                        ent = TlbEntry(ivpn, pfn_i, pc)
+                            if (
+                                victim_i is not last_ient
+                                and victim_i is not last_dent
+                            ):
+                                epool_.append(victim_i)
+                        if epool_:
+                            ent = epool_.pop()
+                            ent.vpn = ivpn
+                            ent.pfn = pfn_i
+                            ent.pc_hash = pc
+                            ent.accessed = False
+                            ent.aux = None
+                            ent.asid = 0
+                            ent.global_page = False
+                            ent.huge = False
+                        else:
+                            ent = entry_cls(ivpn, pfn_i, pc)
                         entries_i[wi_] = ent
                         tags_i[ivpn] = wi_
                         it.content_version += 1
@@ -1483,16 +1903,83 @@ class _FlatStepper:
                                         pfn = buffered
                                         penalty += l2_tlb_hit_penalty
                                 else:
-                                    sh_stat["misses"] = (
-                                        sh_stat.get("misses", 0) + 1
-                                    )
+                                    d_sh_miss += 1
                             if pfn is None:
-                                # ---- page walk (inlined walker.walk) --- #
+                                # ---- page walk (walker.walk, the radix
+                                # descent and the PWC probe all inlined) - #
                                 w_walks += 1
-                                pfn, path = page_table_walk_path(dvpn)
-                                resolved, wlat = pwc_consult(dvpn)
-                                w_memacc += NUM_LEVELS - resolved
-                                for pte_paddr in path[resolved:]:
+                                if dvpn < 0 or dvpn >= vpn_limit:
+                                    raise ValueError(
+                                        f"vpn {dvpn:#x} outside "
+                                        f"{VPN_BITS}-bit space"
+                                    )
+                                node = pt_root
+                                widx = (dvpn >> sh1) & widx_mask
+                                p0 = (node.frame << ps) | (widx << 3)
+                                ch = node.children.get(widx)
+                                if ch is None:
+                                    ch = _Node(pt_alloc())
+                                    node.children[widx] = ch
+                                    pt_stats_add("nodes_allocated")
+                                node = ch
+                                widx = (dvpn >> sh2) & widx_mask
+                                p1 = (node.frame << ps) | (widx << 3)
+                                ch = node.children.get(widx)
+                                if ch is None:
+                                    ch = _Node(pt_alloc())
+                                    node.children[widx] = ch
+                                    pt_stats_add("nodes_allocated")
+                                node = ch
+                                widx = (dvpn >> sh3) & widx_mask
+                                p2 = (node.frame << ps) | (widx << 3)
+                                ch = node.children.get(widx)
+                                if ch is None:
+                                    ch = _Node(pt_alloc())
+                                    node.children[widx] = ch
+                                    pt_stats_add("nodes_allocated")
+                                node = ch
+                                widx = dvpn & widx_mask
+                                p3 = (node.frame << ps) | (widx << 3)
+                                pfn = node.children.get(widx)
+                                if pfn is None:
+                                    pfn = pt_alloc()
+                                    node.children[widx] = pfn
+                                    pt_stats_add("pages_mapped")
+                                wtag = dvpn >> sh3
+                                if wtag in pw1:
+                                    pw1_clk += 1
+                                    pw1[wtag] = pw1_clk
+                                    pw1_mte(wtag)
+                                    pw_l1h += 1
+                                    wlat = pw_lat1
+                                    w_memacc += 1
+                                    path_rem = (p3,)
+                                else:
+                                    wtag = dvpn >> sh2
+                                    if wtag in pw2:
+                                        pw2_clk += 1
+                                        pw2[wtag] = pw2_clk
+                                        pw2_mte(wtag)
+                                        pw_l2h += 1
+                                        wlat = pw_lat2
+                                        w_memacc += 2
+                                        path_rem = (p2, p3)
+                                    else:
+                                        wtag = dvpn >> sh1
+                                        if wtag in pw3:
+                                            pw3_clk += 1
+                                            pw3[wtag] = pw3_clk
+                                            pw3_mte(wtag)
+                                            pw_l3h += 1
+                                            wlat = pw_lat3
+                                            w_memacc += 3
+                                            path_rem = (p1, p2, p3)
+                                        else:
+                                            pw_miss += 1
+                                            wlat = pw_lat3
+                                            w_memacc += 4
+                                            path_rem = (p0, p1, p2, p3)
+                                for pte_paddr in path_rem:
                                     blk = pte_paddr >> bs
                                     h_walkacc += 1
                                     set_c = blk & l2_mask
@@ -1541,29 +2028,30 @@ class _FlatStepper:
                                             or (blk >> boff) in cb_pfq
                                         ):
                                             if cb_pfq is not None:
-                                                cb_stat["pfq_matches"] = (
-                                                    cb_stat.get(
-                                                        "pfq_matches", 0
-                                                    ) + 1
-                                                )
+                                                d_cb_pfqm += 1
                                                 if cb_probe is not None:
                                                     cb_probe.emit(
                                                         now, EV_PFQ_HIT, blk
                                                     )
                                             bhh = fx_blk.get(blk)
                                             if bhh is None:
-                                                bhh = fx_blk[blk] = (
-                                                    fold_xor(blk, bh_bits)
-                                                )
+                                                if bh_pg:
+                                                    pg_ = blk >> boff
+                                                    sb_ = fx_pgb.get(pg_)
+                                                    if sb_ is None:
+                                                        sb_ = fx_pgb[pg_] = fold_xor(
+                                                            pg_ << boff, bh_bits
+                                                        )
+                                                    bhh = fx_blk[blk] = sb_ ^ (blk & bmask)
+                                                else:
+                                                    bhh = fx_blk[blk] = fold_xor(
+                                                        blk, bh_bits
+                                                    )
                                             doa = bh_vals[bhh] > bh_thresh
                                             if cb_obs is not None:
                                                 cb_obs(blk, doa)
                                             if doa:
-                                                cb_stat[
-                                                    "doa_predictions"
-                                                ] = cb_stat.get(
-                                                    "doa_predictions", 0
-                                                ) + 1
+                                                d_cb_doap += 1
                                                 if cb_probe is not None:
                                                     cb_probe.emit(
                                                         now,
@@ -1595,7 +2083,26 @@ class _FlatStepper:
                                             if w3 is None:
                                                 if l3_lru is not None:
                                                     row = l3_stamps[set_c3]
-                                                    w3 = row.index(min(row))
+                                                    w3 = l3_vw[set_c3]
+                                                    if w3 >= 0 and row[w3] == l3_vs[set_c3]:
+                                                        l3_vw[set_c3] = -1
+                                                    else:
+                                                        w3 = 0
+                                                        vb_ = row[0]
+                                                        rw_ = -1
+                                                        rs_ = 0
+                                                        for vx_ in range(1, l3_assoc):
+                                                            sx_ = row[vx_]
+                                                            if sx_ < vb_:
+                                                                rw_ = w3
+                                                                rs_ = vb_
+                                                                w3 = vx_
+                                                                vb_ = sx_
+                                                            elif rw_ < 0 or sx_ < rs_:
+                                                                rw_ = vx_
+                                                                rs_ = sx_
+                                                        l3_vw[set_c3] = rw_
+                                                        l3_vs[set_c3] = rs_
                                                 else:
                                                     row = l3_rrpv[set_c3]
                                                     while l3_rmax not in row:
@@ -1619,10 +2126,48 @@ class _FlatStepper:
                                                     cb is not None
                                                     and victim3.dp
                                                 ):
-                                                    cb_on_evict(
-                                                        l3, victim3, now
-                                                    )
-                                            ln = CacheLine(blk, False)
+                                                    # cb.on_evict inlined: bHIST training + verdict event
+                                                    tv_ = victim3.tag
+                                                    bhh2 = fx_blk.get(tv_)
+                                                    if bhh2 is None:
+                                                        if bh_pg:
+                                                            pg_ = tv_ >> boff
+                                                            sb_ = fx_pgb.get(pg_)
+                                                            if sb_ is None:
+                                                                sb_ = fx_pgb[pg_] = fold_xor(
+                                                                    pg_ << boff, bh_bits
+                                                                )
+                                                            bhh2 = fx_blk[tv_] = sb_ ^ (tv_ & bmask)
+                                                        else:
+                                                            bhh2 = fx_blk[tv_] = fold_xor(
+                                                                tv_, bh_bits
+                                                            )
+                                                    if victim3.accessed:
+                                                        bh_vals[bhh2] = 0
+                                                        d_bh_ndoa += 1
+                                                    else:
+                                                        cv_ = bh_vals[bhh2]
+                                                        if cv_ < bh_cmax:
+                                                            bh_vals[bhh2] = cv_ + 1
+                                                        d_bh_doa += 1
+                                                        d_cb_evobs += 1
+                                                    if cb_probe is not None:
+                                                        cb_probe.emit(
+                                                            now,
+                                                            EV_LLC_VERDICT,
+                                                            tv_,
+                                                            False,
+                                                            not victim3.accessed,
+                                                        )
+                                            if pool_:
+                                                ln = pool_.pop()
+                                                ln.tag = blk
+                                                ln.dirty = False
+                                                ln.accessed = False
+                                                ln.dp = False
+                                                ln.aux = None
+                                            else:
+                                                ln = line_cls(blk, False)
                                             if mark_dp:
                                                 ln.dp = True
                                             lines3[w3] = ln
@@ -1686,6 +2231,12 @@ class _FlatStepper:
                                             ):
                                                 m_acc += 1
                                                 m_writes += 1
+                                            if victim3 is not None:
+                                                pool_.append(victim3)
+                                            if in1 is not None:
+                                                pool_.append(in1)
+                                            if in2 is not None:
+                                                pool_.append(in2)
                                     # fill L2 (walk loads land in L2)
                                     lines2 = l2_lines[set_c]
                                     victim2 = None
@@ -1698,7 +2249,26 @@ class _FlatStepper:
                                     if w2 is None:
                                         if l2_lru is not None:
                                             row = l2_stamps[set_c]
-                                            w2 = row.index(min(row))
+                                            w2 = l2_vw[set_c]
+                                            if w2 >= 0 and row[w2] == l2_vs[set_c]:
+                                                l2_vw[set_c] = -1
+                                            else:
+                                                w2 = 0
+                                                vb_ = row[0]
+                                                rw_ = -1
+                                                rs_ = 0
+                                                for vx_ in range(1, l2_assoc):
+                                                    sx_ = row[vx_]
+                                                    if sx_ < vb_:
+                                                        rw_ = w2
+                                                        rs_ = vb_
+                                                        w2 = vx_
+                                                        vb_ = sx_
+                                                    elif rw_ < 0 or sx_ < rs_:
+                                                        rw_ = vx_
+                                                        rs_ = sx_
+                                                l2_vw[set_c] = rw_
+                                                l2_vs[set_c] = rs_
                                         else:
                                             row = l2_rrpv[set_c]
                                             while l2_rmax not in row:
@@ -1712,7 +2282,15 @@ class _FlatStepper:
                                         l2_evicts += 1
                                         if victim2.dirty:
                                             l2_wb += 1
-                                    ln = CacheLine(blk, False)
+                                    if pool_:
+                                        ln = pool_.pop()
+                                        ln.tag = blk
+                                        ln.dirty = False
+                                        ln.accessed = False
+                                        ln.dp = False
+                                        ln.aux = None
+                                    else:
+                                        ln = line_cls(blk, False)
                                     lines2[w2] = ln
                                     tc[blk] = w2
                                     l2.content_version += 1
@@ -1722,17 +2300,41 @@ class _FlatStepper:
                                     else:
                                         l2_rrpv[set_c][w2] = l2_rmax - 1
                                     l2_fills += 1
-                                    if victim2 is not None and victim2.dirty:
-                                        vt = victim2.tag
-                                        s3 = vt & l3_mask
-                                        wv3 = l3_tags[s3].get(vt)
-                                        if wv3 is not None:
-                                            l3_lines[s3][wv3].dirty = True
-                                        else:
-                                            m_acc += 1
-                                            m_writes += 1
-                                            h_orphan += 1
-                                pwc_fill(dvpn)
+                                    if victim2 is not None:
+                                        if victim2.dirty:
+                                            vt = victim2.tag
+                                            s3 = vt & l3_mask
+                                            wv3 = l3_tags[s3].get(vt)
+                                            if wv3 is not None:
+                                                l3_lines[s3][wv3].dirty = (
+                                                    True
+                                                )
+                                            else:
+                                                m_acc += 1
+                                                m_writes += 1
+                                                h_orphan += 1
+                                        if victim2 is not None:
+                                            pool_.append(victim2)
+                                # pwc.fill inlined: install the walk at
+                                # every level (L1 first, as the plan does)
+                                wtag = dvpn >> sh3
+                                pw1_clk += 1
+                                if wtag not in pw1 and len(pw1) >= pw1_cap:
+                                    pw1_pop(last=False)
+                                pw1[wtag] = pw1_clk
+                                pw1_mte(wtag)
+                                wtag = dvpn >> sh2
+                                pw2_clk += 1
+                                if wtag not in pw2 and len(pw2) >= pw2_cap:
+                                    pw2_pop(last=False)
+                                pw2[wtag] = pw2_clk
+                                pw2_mte(wtag)
+                                wtag = dvpn >> sh1
+                                pw3_clk += 1
+                                if wtag not in pw3 and len(pw3) >= pw3_cap:
+                                    pw3_pop(last=False)
+                                pw3[wtag] = pw3_clk
+                                pw3_mte(wtag)
                                 w_cycles += wlat
                                 pfn_to_vpn[pfn] = dvpn
                                 if probe is not None:
@@ -1772,13 +2374,22 @@ class _FlatStepper:
                                             dp_obs(dvpn, doa)
                                         if doa:
                                             lt_install = False
-                                            dp_stat["doa_predictions"] = (
-                                                dp_stat.get(
-                                                    "doa_predictions", 0
-                                                ) + 1
-                                            )
+                                            d_dp_doap += 1
                                             if dp_sink is not None:
-                                                dp_sink(pfn)
+                                                # notify_doa_page + PFQ insert inlined
+                                                if pfq_q is None:
+                                                    dp_sink(pfn)
+                                                else:
+                                                    if pfn not in pfq_members:
+                                                        if len(pfq_q) >= pfq_cap:
+                                                            pfq_members.discard(
+                                                                pfq_q.popleft()
+                                                            )
+                                                            d_pfq_ev += 1
+                                                        pfq_q.append(pfn)
+                                                        pfq_members.add(pfn)
+                                                        d_pfq_ins += 1
+                                                    d_cb_note += 1
                                                 if dp_probe is not None:
                                                     dp_probe.emit(
                                                         now, EV_PFQ_PUSH,
@@ -1796,11 +2407,7 @@ class _FlatStepper:
                                                             last=False
                                                         )
                                                     )
-                                                    sh_stat[
-                                                        "evictions"
-                                                    ] = sh_stat.get(
-                                                        "evictions", 0
-                                                    ) + 1
+                                                    d_sh_ev += 1
                                                     if sh_probe is not None:
                                                         sh_probe.emit(
                                                             now,
@@ -1810,11 +2417,7 @@ class _FlatStepper:
                                                 sh_entries[dvpn] = (
                                                     pfn, pc_h
                                                 )
-                                                sh_stat["inserts"] = (
-                                                    sh_stat.get(
-                                                        "inserts", 0
-                                                    ) + 1
-                                                )
+                                                d_sh_ins += 1
                                                 if dp_probe is not None:
                                                     dp_probe.emit(
                                                         now,
@@ -1840,7 +2443,26 @@ class _FlatStepper:
                                     if wl is None:
                                         if lt_lru is not None:
                                             row = lt_stamps[set_l]
-                                            wl = row.index(min(row))
+                                            wl = lt_vw[set_l]
+                                            if wl >= 0 and row[wl] == lt_vs[set_l]:
+                                                lt_vw[set_l] = -1
+                                            else:
+                                                wl = 0
+                                                vb_ = row[0]
+                                                rw_ = -1
+                                                rs_ = 0
+                                                for vx_ in range(1, lt_assoc):
+                                                    sx_ = row[vx_]
+                                                    if sx_ < vb_:
+                                                        rw_ = wl
+                                                        rs_ = vb_
+                                                        wl = vx_
+                                                        vb_ = sx_
+                                                    elif rw_ < 0 or sx_ < rs_:
+                                                        rw_ = vx_
+                                                        rs_ = sx_
+                                                lt_vw[set_l] = rw_
+                                                lt_vs[set_l] = rs_
                                         else:
                                             row = lt_rrpv[set_l]
                                             while lt_rmax not in row:
@@ -1852,6 +2474,12 @@ class _FlatStepper:
                                         entries_l[wl] = None
                                         lt.content_version += 1
                                         lt_evicts += 1
+                                        # pooled early: only read (never reissued) until the fill below
+                                        if (
+                                            victim_l is not last_ient
+                                            and victim_l is not last_dent
+                                        ):
+                                            epool_.append(victim_l)
                                         if lt_res is not None:
                                             lt_res.evict((set_l, wl), now)
                                         if dp is not None:
@@ -1873,33 +2501,31 @@ class _FlatStepper:
                                             )
                                             if victim_l.accessed:
                                                 ph_vals[pidx] = 0
-                                                ph_stat[
-                                                    "not_doa_trainings"
-                                                ] = ph_stat.get(
-                                                    "not_doa_trainings", 0
-                                                ) + 1
+                                                d_ph_ndoa += 1
                                             else:
                                                 pv = ph_vals[pidx]
                                                 if pv < ph_max:
                                                     ph_vals[pidx] = pv + 1
-                                                ph_stat[
-                                                    "doa_trainings"
-                                                ] = ph_stat.get(
-                                                    "doa_trainings", 0
-                                                ) + 1
-                                                dp_stat[
-                                                    "doa_evictions_observed"
-                                                ] = dp_stat.get(
-                                                    "doa_evictions_observed",
-                                                    0,
-                                                ) + 1
+                                                d_ph_doa += 1
+                                                d_dp_evobs += 1
                                             if dp_probe is not None:
                                                 dp_probe.emit(
                                                     now, EV_LLT_VERDICT,
                                                     victim_l.vpn, False,
                                                     not victim_l.accessed,
                                                 )
-                                    le = TlbEntry(dvpn, pfn, lt_pch)
+                                    if epool_:
+                                        le = epool_.pop()
+                                        le.vpn = dvpn
+                                        le.pfn = pfn
+                                        le.pc_hash = lt_pch
+                                        le.accessed = False
+                                        le.aux = None
+                                        le.asid = 0
+                                        le.global_page = False
+                                        le.huge = False
+                                    else:
+                                        le = entry_cls(dvpn, pfn, lt_pch)
                                     entries_l[wl] = le
                                     tags_l[dvpn] = wl
                                     lt.content_version += 1
@@ -1924,7 +2550,26 @@ class _FlatStepper:
                         if wd_ is None:
                             if dt_lru is not None:
                                 row = dt_stamps[set_d]
-                                wd_ = row.index(min(row))
+                                wd_ = dt_vw[set_d]
+                                if wd_ >= 0 and row[wd_] == dt_vs[set_d]:
+                                    dt_vw[set_d] = -1
+                                else:
+                                    wd_ = 0
+                                    vb_ = row[0]
+                                    rw_ = -1
+                                    rs_ = 0
+                                    for vx_ in range(1, dt_assoc):
+                                        sx_ = row[vx_]
+                                        if sx_ < vb_:
+                                            rw_ = wd_
+                                            rs_ = vb_
+                                            wd_ = vx_
+                                            vb_ = sx_
+                                        elif rw_ < 0 or sx_ < rs_:
+                                            rw_ = vx_
+                                            rs_ = sx_
+                                    dt_vw[set_d] = rw_
+                                    dt_vs[set_d] = rs_
                             else:
                                 row = dt_rrpv[set_d]
                                 while dt_rmax not in row:
@@ -1936,7 +2581,23 @@ class _FlatStepper:
                             entries_d[wd_] = None
                             dt.content_version += 1
                             dt_evicts += 1
-                        dent = TlbEntry(dvpn, pfn, pc)
+                            if (
+                                victim_d is not last_ient
+                                and victim_d is not last_dent
+                            ):
+                                epool_.append(victim_d)
+                        if epool_:
+                            dent = epool_.pop()
+                            dent.vpn = dvpn
+                            dent.pfn = pfn
+                            dent.pc_hash = pc
+                            dent.accessed = False
+                            dent.aux = None
+                            dent.asid = 0
+                            dent.global_page = False
+                            dent.huge = False
+                        else:
+                            dent = entry_cls(dvpn, pfn, pc)
                         entries_d[wd_] = dent
                         tags_d[dvpn] = wd_
                         dt.content_version += 1
@@ -2019,26 +2680,30 @@ class _FlatStepper:
                                 or (block >> boff) in cb_pfq
                             ):
                                 if cb_pfq is not None:
-                                    cb_stat["pfq_matches"] = (
-                                        cb_stat.get("pfq_matches", 0) + 1
-                                    )
+                                    d_cb_pfqm += 1
                                     if cb_probe is not None:
                                         cb_probe.emit(
                                             now, EV_PFQ_HIT, block
                                         )
                                 bhh = fx_blk.get(block)
                                 if bhh is None:
-                                    bhh = fx_blk[block] = fold_xor(
-                                        block, bh_bits
-                                    )
+                                    if bh_pg:
+                                        pg_ = block >> boff
+                                        sb_ = fx_pgb.get(pg_)
+                                        if sb_ is None:
+                                            sb_ = fx_pgb[pg_] = fold_xor(
+                                                pg_ << boff, bh_bits
+                                            )
+                                        bhh = fx_blk[block] = sb_ ^ (block & bmask)
+                                    else:
+                                        bhh = fx_blk[block] = fold_xor(
+                                            block, bh_bits
+                                        )
                                 doa = bh_vals[bhh] > bh_thresh
                                 if cb_obs is not None:
                                     cb_obs(block, doa)
                                 if doa:
-                                    cb_stat["doa_predictions"] = (
-                                        cb_stat.get("doa_predictions", 0)
-                                        + 1
-                                    )
+                                    d_cb_doap += 1
                                     if cb_probe is not None:
                                         cb_probe.emit(
                                             now, EV_LLC_BYPASS, block
@@ -2066,7 +2731,26 @@ class _FlatStepper:
                                 if w3f is None:
                                     if l3_lru is not None:
                                         row = l3_stamps[set_3]
-                                        w3f = row.index(min(row))
+                                        w3f = l3_vw[set_3]
+                                        if w3f >= 0 and row[w3f] == l3_vs[set_3]:
+                                            l3_vw[set_3] = -1
+                                        else:
+                                            w3f = 0
+                                            vb_ = row[0]
+                                            rw_ = -1
+                                            rs_ = 0
+                                            for vx_ in range(1, l3_assoc):
+                                                sx_ = row[vx_]
+                                                if sx_ < vb_:
+                                                    rw_ = w3f
+                                                    rs_ = vb_
+                                                    w3f = vx_
+                                                    vb_ = sx_
+                                                elif rw_ < 0 or sx_ < rs_:
+                                                    rw_ = vx_
+                                                    rs_ = sx_
+                                            l3_vw[set_3] = rw_
+                                            l3_vs[set_3] = rs_
                                     else:
                                         row = l3_rrpv[set_3]
                                         while l3_rmax not in row:
@@ -2083,8 +2767,48 @@ class _FlatStepper:
                                     if l3_res is not None:
                                         l3_res.evict((set_3, w3f), now)
                                     if cb is not None and victim3.dp:
-                                        cb_on_evict(l3, victim3, now)
-                                ln = CacheLine(block, False)
+                                        # cb.on_evict inlined: bHIST training + verdict event
+                                        tv_ = victim3.tag
+                                        bhh2 = fx_blk.get(tv_)
+                                        if bhh2 is None:
+                                            if bh_pg:
+                                                pg_ = tv_ >> boff
+                                                sb_ = fx_pgb.get(pg_)
+                                                if sb_ is None:
+                                                    sb_ = fx_pgb[pg_] = fold_xor(
+                                                        pg_ << boff, bh_bits
+                                                    )
+                                                bhh2 = fx_blk[tv_] = sb_ ^ (tv_ & bmask)
+                                            else:
+                                                bhh2 = fx_blk[tv_] = fold_xor(
+                                                    tv_, bh_bits
+                                                )
+                                        if victim3.accessed:
+                                            bh_vals[bhh2] = 0
+                                            d_bh_ndoa += 1
+                                        else:
+                                            cv_ = bh_vals[bhh2]
+                                            if cv_ < bh_cmax:
+                                                bh_vals[bhh2] = cv_ + 1
+                                            d_bh_doa += 1
+                                            d_cb_evobs += 1
+                                        if cb_probe is not None:
+                                            cb_probe.emit(
+                                                now,
+                                                EV_LLC_VERDICT,
+                                                tv_,
+                                                False,
+                                                not victim3.accessed,
+                                            )
+                                if pool_:
+                                    ln = pool_.pop()
+                                    ln.tag = block
+                                    ln.dirty = False
+                                    ln.accessed = False
+                                    ln.dp = False
+                                    ln.aux = None
+                                else:
+                                    ln = line_cls(block, False)
                                 if mark_dp:
                                     ln.dp = True
                                 lines3[w3f] = ln
@@ -2137,6 +2861,12 @@ class _FlatStepper:
                                 ):
                                     m_acc += 1
                                     m_writes += 1
+                                if victim3 is not None:
+                                    pool_.append(victim3)
+                                if in1 is not None:
+                                    pool_.append(in1)
+                                if in2 is not None:
+                                    pool_.append(in2)
                         # fill L2
                         set_2b = block & l2_mask
                         t2b = l2_tags[set_2b]
@@ -2151,7 +2881,26 @@ class _FlatStepper:
                         if w2f is None:
                             if l2_lru is not None:
                                 row = l2_stamps[set_2b]
-                                w2f = row.index(min(row))
+                                w2f = l2_vw[set_2b]
+                                if w2f >= 0 and row[w2f] == l2_vs[set_2b]:
+                                    l2_vw[set_2b] = -1
+                                else:
+                                    w2f = 0
+                                    vb_ = row[0]
+                                    rw_ = -1
+                                    rs_ = 0
+                                    for vx_ in range(1, l2_assoc):
+                                        sx_ = row[vx_]
+                                        if sx_ < vb_:
+                                            rw_ = w2f
+                                            rs_ = vb_
+                                            w2f = vx_
+                                            vb_ = sx_
+                                        elif rw_ < 0 or sx_ < rs_:
+                                            rw_ = vx_
+                                            rs_ = sx_
+                                    l2_vw[set_2b] = rw_
+                                    l2_vs[set_2b] = rs_
                             else:
                                 row = l2_rrpv[set_2b]
                                 while l2_rmax not in row:
@@ -2165,7 +2914,15 @@ class _FlatStepper:
                             l2_evicts += 1
                             if victim2.dirty:
                                 l2_wb += 1
-                        ln = CacheLine(block, False)
+                        if pool_:
+                            ln = pool_.pop()
+                            ln.tag = block
+                            ln.dirty = False
+                            ln.accessed = False
+                            ln.dp = False
+                            ln.aux = None
+                        else:
+                            ln = line_cls(block, False)
                         lines2[w2f] = ln
                         t2b[block] = w2f
                         l2.content_version += 1
@@ -2175,16 +2932,19 @@ class _FlatStepper:
                         else:
                             l2_rrpv[set_2b][w2f] = l2_rmax - 1
                         l2_fills += 1
-                        if victim2 is not None and victim2.dirty:
-                            vt = victim2.tag
-                            s3 = vt & l3_mask
-                            wv3 = l3_tags[s3].get(vt)
-                            if wv3 is not None:
-                                l3_lines[s3][wv3].dirty = True
-                            else:
-                                m_acc += 1
-                                m_writes += 1
-                                h_orphan += 1
+                        if victim2 is not None:
+                            if victim2.dirty:
+                                vt = victim2.tag
+                                s3 = vt & l3_mask
+                                wv3 = l3_tags[s3].get(vt)
+                                if wv3 is not None:
+                                    l3_lines[s3][wv3].dirty = True
+                                else:
+                                    m_acc += 1
+                                    m_writes += 1
+                                    h_orphan += 1
+                            if victim2 is not None:
+                                pool_.append(victim2)
                     # fill L1
                     lines1 = l1_lines[set_1]
                     victim1 = None
@@ -2197,7 +2957,26 @@ class _FlatStepper:
                     if w1f is None:
                         if l1_lru is not None:
                             row = l1_stamps[set_1]
-                            w1f = row.index(min(row))
+                            w1f = l1_vw[set_1]
+                            if w1f >= 0 and row[w1f] == l1_vs[set_1]:
+                                l1_vw[set_1] = -1
+                            else:
+                                w1f = 0
+                                vb_ = row[0]
+                                rw_ = -1
+                                rs_ = 0
+                                for vx_ in range(1, l1_assoc):
+                                    sx_ = row[vx_]
+                                    if sx_ < vb_:
+                                        rw_ = w1f
+                                        rs_ = vb_
+                                        w1f = vx_
+                                        vb_ = sx_
+                                    elif rw_ < 0 or sx_ < rs_:
+                                        rw_ = vx_
+                                        rs_ = sx_
+                                l1_vw[set_1] = rw_
+                                l1_vs[set_1] = rs_
                         else:
                             row = l1_rrpv[set_1]
                             while l1_rmax not in row:
@@ -2211,7 +2990,15 @@ class _FlatStepper:
                         l1_evicts += 1
                         if victim1.dirty:
                             l1_wb += 1
-                    ln = CacheLine(block, is_write)
+                    if pool_:
+                        ln = pool_.pop()
+                        ln.tag = block
+                        ln.dirty = is_write
+                        ln.accessed = False
+                        ln.dp = False
+                        ln.aux = None
+                    else:
+                        ln = line_cls(block, is_write)
                     lines1[w1f] = ln
                     t1[block] = w1f
                     l1.content_version += 1
@@ -2221,21 +3008,24 @@ class _FlatStepper:
                     else:
                         l1_rrpv[set_1][w1f] = l1_rmax - 1
                     l1_fills += 1
-                    if victim1 is not None and victim1.dirty:
-                        vt = victim1.tag
-                        s2 = vt & l2_mask
-                        wv2 = l2_tags[s2].get(vt)
-                        if wv2 is not None:
-                            l2_lines[s2][wv2].dirty = True
-                        else:
-                            s3 = vt & l3_mask
-                            wv3 = l3_tags[s3].get(vt)
-                            if wv3 is not None:
-                                l3_lines[s3][wv3].dirty = True
+                    if victim1 is not None:
+                        if victim1.dirty:
+                            vt = victim1.tag
+                            s2 = vt & l2_mask
+                            wv2 = l2_tags[s2].get(vt)
+                            if wv2 is not None:
+                                l2_lines[s2][wv2].dirty = True
                             else:
-                                m_acc += 1
-                                m_writes += 1
-                                h_orphan += 1
+                                s3 = vt & l3_mask
+                                wv3 = l3_tags[s3].get(vt)
+                                if wv3 is not None:
+                                    l3_lines[s3][wv3].dirty = True
+                                else:
+                                    m_acc += 1
+                                    m_writes += 1
+                                    h_orphan += 1
+                        if victim1 is not None:
+                            pool_.append(victim1)
 
                 cycles += (gap + 1) * base_cpi + penalty
 
@@ -2297,6 +3087,86 @@ class _FlatStepper:
                     w_stat["walk_memory_accesses"] += w_memacc
                     w_stat["walk_cycles"] += w_cycles
                     w_walks = w_memacc = w_cycles = 0
+                    pwc_stat["pwc_l1_hits"] += pw_l1h
+                    pwc_stat["pwc_l2_hits"] += pw_l2h
+                    pwc_stat["pwc_l3_hits"] += pw_l3h
+                    pwc_stat["pwc_misses"] += pw_miss
+                    pw_l1h = pw_l2h = pw_l3h = pw_miss = 0
+                    if d_bh_doa:
+                        bh_stat["doa_trainings"] = (
+                            bh_stat.get("doa_trainings", 0) + d_bh_doa
+                        )
+                        d_bh_doa = 0
+                    if d_bh_ndoa:
+                        bh_stat["not_doa_trainings"] = (
+                            bh_stat.get("not_doa_trainings", 0) + d_bh_ndoa
+                        )
+                        d_bh_ndoa = 0
+                    if d_cb_evobs:
+                        cb_stat["doa_evictions_observed"] = (
+                            cb_stat.get("doa_evictions_observed", 0) + d_cb_evobs
+                        )
+                        d_cb_evobs = 0
+                    if d_cb_doap:
+                        cb_stat["doa_predictions"] = (
+                            cb_stat.get("doa_predictions", 0) + d_cb_doap
+                        )
+                        d_cb_doap = 0
+                    if d_cb_note:
+                        cb_stat["pfn_notifications"] = (
+                            cb_stat.get("pfn_notifications", 0) + d_cb_note
+                        )
+                        d_cb_note = 0
+                    if d_cb_pfqm:
+                        cb_stat["pfq_matches"] = (
+                            cb_stat.get("pfq_matches", 0) + d_cb_pfqm
+                        )
+                        d_cb_pfqm = 0
+                    if d_dp_evobs:
+                        dp_stat["doa_evictions_observed"] = (
+                            dp_stat.get("doa_evictions_observed", 0) + d_dp_evobs
+                        )
+                        d_dp_evobs = 0
+                    if d_dp_doap:
+                        dp_stat["doa_predictions"] = (
+                            dp_stat.get("doa_predictions", 0) + d_dp_doap
+                        )
+                        d_dp_doap = 0
+                    if d_pfq_ev:
+                        pfq_stat["evictions"] = (
+                            pfq_stat.get("evictions", 0) + d_pfq_ev
+                        )
+                        d_pfq_ev = 0
+                    if d_pfq_ins:
+                        pfq_stat["inserts"] = (
+                            pfq_stat.get("inserts", 0) + d_pfq_ins
+                        )
+                        d_pfq_ins = 0
+                    if d_ph_doa:
+                        ph_stat["doa_trainings"] = (
+                            ph_stat.get("doa_trainings", 0) + d_ph_doa
+                        )
+                        d_ph_doa = 0
+                    if d_ph_ndoa:
+                        ph_stat["not_doa_trainings"] = (
+                            ph_stat.get("not_doa_trainings", 0) + d_ph_ndoa
+                        )
+                        d_ph_ndoa = 0
+                    if d_sh_ev:
+                        sh_stat["evictions"] = (
+                            sh_stat.get("evictions", 0) + d_sh_ev
+                        )
+                        d_sh_ev = 0
+                    if d_sh_ins:
+                        sh_stat["inserts"] = (
+                            sh_stat.get("inserts", 0) + d_sh_ins
+                        )
+                        d_sh_ins = 0
+                    if d_sh_miss:
+                        sh_stat["misses"] = (
+                            sh_stat.get("misses", 0) + d_sh_miss
+                        )
+                        d_sh_miss = 0
                     sample(instructions, cycles)
                     next_at = instructions + interval
             pos = seg
@@ -2345,6 +3215,73 @@ class _FlatStepper:
         w_stat["walks"] += w_walks
         w_stat["walk_memory_accesses"] += w_memacc
         w_stat["walk_cycles"] += w_cycles
+        pwc_stat["pwc_l1_hits"] += pw_l1h
+        pwc_stat["pwc_l2_hits"] += pw_l2h
+        pwc_stat["pwc_l3_hits"] += pw_l3h
+        pwc_stat["pwc_misses"] += pw_miss
+        if d_bh_doa:
+            bh_stat["doa_trainings"] = (
+                bh_stat.get("doa_trainings", 0) + d_bh_doa
+            )
+        if d_bh_ndoa:
+            bh_stat["not_doa_trainings"] = (
+                bh_stat.get("not_doa_trainings", 0) + d_bh_ndoa
+            )
+        if d_cb_evobs:
+            cb_stat["doa_evictions_observed"] = (
+                cb_stat.get("doa_evictions_observed", 0) + d_cb_evobs
+            )
+        if d_cb_doap:
+            cb_stat["doa_predictions"] = (
+                cb_stat.get("doa_predictions", 0) + d_cb_doap
+            )
+        if d_cb_note:
+            cb_stat["pfn_notifications"] = (
+                cb_stat.get("pfn_notifications", 0) + d_cb_note
+            )
+        if d_cb_pfqm:
+            cb_stat["pfq_matches"] = (
+                cb_stat.get("pfq_matches", 0) + d_cb_pfqm
+            )
+        if d_dp_evobs:
+            dp_stat["doa_evictions_observed"] = (
+                dp_stat.get("doa_evictions_observed", 0) + d_dp_evobs
+            )
+        if d_dp_doap:
+            dp_stat["doa_predictions"] = (
+                dp_stat.get("doa_predictions", 0) + d_dp_doap
+            )
+        if d_pfq_ev:
+            pfq_stat["evictions"] = (
+                pfq_stat.get("evictions", 0) + d_pfq_ev
+            )
+        if d_pfq_ins:
+            pfq_stat["inserts"] = (
+                pfq_stat.get("inserts", 0) + d_pfq_ins
+            )
+        if d_ph_doa:
+            ph_stat["doa_trainings"] = (
+                ph_stat.get("doa_trainings", 0) + d_ph_doa
+            )
+        if d_ph_ndoa:
+            ph_stat["not_doa_trainings"] = (
+                ph_stat.get("not_doa_trainings", 0) + d_ph_ndoa
+            )
+        if d_sh_ev:
+            sh_stat["evictions"] = (
+                sh_stat.get("evictions", 0) + d_sh_ev
+            )
+        if d_sh_ins:
+            sh_stat["inserts"] = (
+                sh_stat.get("inserts", 0) + d_sh_ins
+            )
+        if d_sh_miss:
+            sh_stat["misses"] = (
+                sh_stat.get("misses", 0) + d_sh_miss
+            )
+        pwc1._clock = pw1_clk
+        pwc2._clock = pw2_clk
+        pwc3._clock = pw3_clk
         m.now = now
         m.instructions = instructions
         m.cycles = cycles

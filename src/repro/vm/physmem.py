@@ -43,6 +43,8 @@ class FrameAllocator:
         self._salt = (seed * 0x85EBCA6B) & self._mask
         self._huge_next = 0
         self.stats = Stats()
+        # Hot-path counter, bumped inline (see Stats docstring).
+        self.stats.counters["frames_allocated"] = 0
 
     def allocate(self) -> int:
         """Return a fresh physical frame number."""
@@ -52,7 +54,7 @@ class FrameAllocator:
             )
         i = self._next
         self._next += 1
-        self.stats.add("frames_allocated")
+        self.stats.counters["frames_allocated"] += 1
         if not self._scramble:
             return i
         return ((i * self._ODD_MULTIPLIER) + self._salt) & self._mask

@@ -12,7 +12,8 @@ levels are refilled when a walk completes.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from collections import OrderedDict
+from typing import Tuple
 
 from repro.common.stats import Stats
 from repro.vm.pagetable import LEVEL_BITS, NUM_LEVELS, VPN_BITS
@@ -25,7 +26,13 @@ _ASID_SHIFT = VPN_BITS
 
 
 class _FullyAssocLru:
-    """A tiny fully-associative LRU cache of tags (no payload needed)."""
+    """A tiny fully-associative LRU cache of tags (no payload needed).
+
+    ``_stamps`` is kept in recency order (least-recent first): stamps only
+    ever increase, so the entry holding the minimum stamp is always the
+    first key. Eviction is therefore O(1) ``popitem(last=False)`` instead
+    of the old O(n) ``min()`` scan, and picks the identical victim.
+    """
 
     __slots__ = ("capacity", "_stamps", "_clock")
 
@@ -33,22 +40,25 @@ class _FullyAssocLru:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._stamps: Dict[int, int] = {}
+        self._stamps: "OrderedDict[int, int]" = OrderedDict()
         self._clock = 0
 
     def lookup(self, tag: int) -> bool:
-        if tag in self._stamps:
+        stamps = self._stamps
+        if tag in stamps:
             self._clock += 1
-            self._stamps[tag] = self._clock
+            stamps[tag] = self._clock
+            stamps.move_to_end(tag)
             return True
         return False
 
     def fill(self, tag: int) -> None:
+        stamps = self._stamps
         self._clock += 1
-        if tag not in self._stamps and len(self._stamps) >= self.capacity:
-            victim = min(self._stamps, key=self._stamps.__getitem__)
-            del self._stamps[victim]
-        self._stamps[tag] = self._clock
+        if tag not in stamps and len(stamps) >= self.capacity:
+            stamps.popitem(last=False)
+        stamps[tag] = self._clock
+        stamps.move_to_end(tag)
 
     def __len__(self) -> int:
         return len(self._stamps)

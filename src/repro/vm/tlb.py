@@ -88,6 +88,46 @@ class TlbEntry:
         )
 
 
+# --------------------------------------------------------------------- #
+# TlbEntry flyweight pool
+#
+# The flat engine tier fills TLBs on every miss; on walk-heavy suites
+# that is tens of thousands of short-lived TlbEntry objects per run.
+# Evicted entries are returned here once the flat tier has finished
+# eviction-time predictor training (nothing retains entry references
+# past that point — the same-page filter slots are identity-checked at
+# release), and the next flat fill reuses them reset-in-place. The
+# scalar ``Tlb.fill`` path keeps allocating: its victims escape to
+# callers (shootdown results, listener hooks) whose lifetime this
+# module cannot see. The cap only bounds idle pool memory.
+# --------------------------------------------------------------------- #
+_ENTRY_POOL: List[TlbEntry] = []
+_ENTRY_POOL_CAP = 8192
+
+
+def acquire_entry(vpn: int, pfn: int, pc_hash: int) -> TlbEntry:
+    """Pop a reset TlbEntry from the pool, or allocate a fresh one."""
+    pool = _ENTRY_POOL
+    if pool:
+        entry = pool.pop()
+        entry.vpn = vpn
+        entry.pfn = pfn
+        entry.pc_hash = pc_hash
+        entry.accessed = False
+        entry.aux = None
+        entry.asid = 0
+        entry.global_page = False
+        entry.huge = False
+        return entry
+    return TlbEntry(vpn, pfn, pc_hash)
+
+
+def release_entry(entry: Optional[TlbEntry]) -> None:
+    """Return an evicted TlbEntry to the pool (drops it when full)."""
+    if entry is not None and len(_ENTRY_POOL) < _ENTRY_POOL_CAP:
+        _ENTRY_POOL.append(entry)
+
+
 class TlbListener:
     """Predictor-side hooks; the default implementation is a no-op."""
 
@@ -179,6 +219,12 @@ class Tlb:
         self._lru_stamps = (
             self._lru._stamp if self._lru is not None else None
         )
+        # Incremental min-stamp victim tracking (LRU only) — see
+        # SetAssocCache: a cached (way, stamp) candidate per set, valid
+        # while the stamp is unchanged (stamps only grow), re-pointed
+        # explicitly on distant insertions (which write below the min).
+        self._vic_way: List[int] = [-1] * num_sets
+        self._vic_stamp: List[int] = [0] * num_sets
         self.residency: Optional[ResidencyTracker] = (
             ResidencyTracker() if track_residency else None
         )
@@ -350,7 +396,23 @@ class Tlb:
             if way is None:
                 if lru is not None:
                     row = self._lru_stamps[set_idx]
-                    way = row.index(min(row))
+                    way = self._vic_way[set_idx]
+                    if way >= 0 and row[way] == self._vic_stamp[set_idx]:
+                        self._vic_way[set_idx] = -1
+                    else:
+                        way = 0
+                        best = row[0]
+                        run_way = -1
+                        run_stamp = 0
+                        for w in range(1, self.assoc):
+                            s = row[w]
+                            if s < best:
+                                run_way, run_stamp = way, best
+                                way, best = w, s
+                            elif run_way < 0 or s < run_stamp:
+                                run_way, run_stamp = w, s
+                        self._vic_way[set_idx] = run_way
+                        self._vic_stamp[set_idx] = run_stamp
                 else:
                     way = self._policy_victim(set_idx)
             victim = self._evict_way(set_idx, way, now)
@@ -368,6 +430,10 @@ class Tlb:
             self._lru_stamps[set_idx][way] = lru._clock
         else:
             self._policy_on_fill(set_idx, way, distant=distant)
+            if lru is not None:
+                # Distant insertion wrote a below-min stamp at ``way``.
+                self._vic_way[set_idx] = way
+                self._vic_stamp[set_idx] = self._lru_stamps[set_idx][way]
         self._stat["fills"] += 1
         if self.residency is not None:
             self.residency.fill((set_idx, way), now)

@@ -7,6 +7,7 @@ import pytest
 from repro.obs.__main__ import main
 from repro.obs.baseline import (
     MetricDiff,
+    bootstrap_deviation_ci,
     check_baseline,
     diff_metrics,
     load_baseline,
@@ -19,11 +20,14 @@ WORKLOADS = ["mcf"]
 CONFIGS = ["baseline", "combined"]
 BUDGET = 2000
 SEED = 42
+REPS = 2
 
 
 @pytest.fixture(scope="module")
 def recorded():
-    return record_baseline("unit", WORKLOADS, CONFIGS, BUDGET, SEED)
+    return record_baseline(
+        "unit", WORKLOADS, CONFIGS, BUDGET, SEED, reps=REPS
+    )
 
 
 class TestDiffMetrics:
@@ -84,13 +88,87 @@ class TestDiffMetrics:
         assert diff.status == "info"
 
 
+class TestBootstrapGate:
+    """Rep lists gate on the bootstrap 95% CI, not the point deviation."""
+
+    def test_single_rep_collapses_to_point_deviation(self):
+        low, high = bootstrap_deviation_ci([1.0], [0.9])
+        assert low == high == pytest.approx(-0.10)
+
+    def test_uniform_shift_gives_degenerate_interval(self):
+        low, high = bootstrap_deviation_ci(
+            [1.00, 1.02, 0.98], [0.90, 0.918, 0.882]
+        )
+        assert low == pytest.approx(-0.10)
+        assert high == pytest.approx(-0.10)
+
+    def test_one_noisy_rep_does_not_regress(self):
+        # One seed dips 7% while the others hold: the interval straddles
+        # zero, so the 5% gate must not fire.
+        (diff,) = diff_metrics(
+            {"ipc": [1.0, 1.0, 1.0]},
+            {"ipc": [0.93, 1.0, 1.0]},
+            "c",
+            tolerance=0.05,
+        )
+        assert diff.status == "ok"
+        assert diff.ci_high >= -0.05
+
+    def test_consistent_shift_regresses(self):
+        (diff,) = diff_metrics(
+            {"ipc": [1.0, 1.01, 0.99]},
+            {"ipc": [0.90, 0.91, 0.89]},
+            "c",
+            tolerance=0.05,
+        )
+        assert diff.status == "REGRESSION"
+        assert diff.ci_high < -0.05
+
+    def test_lower_better_direction_uses_ci_low(self):
+        (worse,) = diff_metrics(
+            {"llt_mpki": [10.0, 10.1, 9.9]},
+            {"llt_mpki": [11.0, 11.1, 10.9]},
+            "c",
+            tolerance=0.05,
+        )
+        (noisy,) = diff_metrics(
+            {"llt_mpki": [10.0, 10.0, 10.0]},
+            {"llt_mpki": [10.7, 10.0, 10.0]},
+            "c",
+            tolerance=0.05,
+        )
+        assert worse.status == "REGRESSION"
+        assert noisy.status == "ok"
+
+    def test_unequal_rep_counts_fall_back_to_independent(self):
+        # A schema-1 scalar baseline checked against multiple reps still
+        # gates (independent resampling).
+        (diff,) = diff_metrics(
+            {"ipc": 1.0},
+            {"ipc": [0.90, 0.91, 0.89]},
+            "c",
+            tolerance=0.05,
+        )
+        assert diff.status == "REGRESSION"
+
+    def test_medians_are_reported(self):
+        (diff,) = diff_metrics(
+            {"ipc": [1.0, 2.0, 3.0]}, {"ipc": [2.0, 2.0, 2.0]}, "c", 0.05
+        )
+        assert diff.recorded == 2.0
+        assert diff.current == 2.0
+        assert diff.status == "ok"
+
+
 class TestRecordAndCheck:
     def test_record_covers_the_matrix(self, recorded):
         assert set(recorded["runs"]) == {
             f"{wl}/{cfg}" for wl in WORKLOADS for cfg in CONFIGS
         }
+        assert recorded["reps"] == REPS
         for metrics in recorded["runs"].values():
-            assert metrics["ipc"] > 0
+            assert len(metrics["ipc"]) == REPS
+            assert all(v > 0 for v in metrics["ipc"])
 
     def test_check_against_fresh_recording_passes(self, recorded):
         passed, diffs = check_baseline(recorded)
@@ -99,7 +177,9 @@ class TestRecordAndCheck:
 
     def test_check_catches_injected_ipc_regression(self, recorded):
         tampered = json.loads(json.dumps(recorded))
-        tampered["runs"]["mcf/combined"]["ipc"] *= 1.10
+        tampered["runs"]["mcf/combined"]["ipc"] = [
+            v * 1.10 for v in tampered["runs"]["mcf/combined"]["ipc"]
+        ]
         passed, diffs = check_baseline(tampered)
         assert not passed
         bad = [d for d in diffs if d.status == "REGRESSION"]
@@ -124,6 +204,21 @@ class TestRecordAndCheck:
         with pytest.raises(ValueError):
             load_baseline(path)
 
+    def test_schema_1_scalar_baseline_still_gates(self, recorded, tmp_path):
+        # Pre-bootstrap documents: scalar per-cell values, no "reps" key.
+        legacy = json.loads(json.dumps(recorded))
+        legacy["schema"] = 1
+        del legacy["reps"]
+        legacy["runs"] = {
+            cell: {m: (v[0] if isinstance(v, list) else v)
+                   for m, v in metrics.items()}
+            for cell, metrics in legacy["runs"].items()
+        }
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(legacy))
+        passed, diffs = check_baseline(load_baseline(path))
+        assert passed
+
     def test_render_mentions_regressed_metric(self, recorded):
         diffs = [MetricDiff("mcf/combined", "ipc", 1.0, 0.5, "REGRESSION")]
         text = render_diffs(diffs, tolerance=0.05)
@@ -145,6 +240,7 @@ class TestCli:
             "record", "--out", str(out), "--name", "cli",
             "--workloads", "mcf", "--configs", "baseline,combined",
             "--budget", str(BUDGET), "--seed", str(SEED),
+            "--reps", str(REPS),
         ])
         assert rc == 0
         capsys.readouterr()
@@ -158,7 +254,9 @@ class TestCli:
     def test_check_fails_on_tampered_baseline(self, tmp_path, capsys):
         out = self._record(tmp_path, capsys)
         baseline = json.loads(out.read_text())
-        baseline["runs"]["mcf/combined"]["ipc"] *= 1.10
+        baseline["runs"]["mcf/combined"]["ipc"] = [
+            v * 1.10 for v in baseline["runs"]["mcf/combined"]["ipc"]
+        ]
         out.write_text(json.dumps(baseline))
         assert main(["check", "--baseline", str(out)]) == 1
         text = capsys.readouterr().out

@@ -1,0 +1,220 @@
+"""Regression tests pinning incremental victim tracking to the old scans.
+
+PR 10 replaced two O(n) ``min()``-based victim scans with incremental
+structures:
+
+* :class:`repro.vm.pwc._FullyAssocLru` keeps its stamp dict in recency
+  order so eviction is ``popitem(last=False)``;
+* :class:`repro.mem.cache.SetAssocCache` caches a per-set ``(way, stamp)``
+  min candidate so full-set LRU fills skip the stamp scan when the
+  candidate is still valid.
+
+Both must select the *identical* victim the old scan would have picked —
+simulation output is bit-compared across engines, so a different victim
+is a correctness bug, not a heuristic change. Each test drives the live
+structure through randomized operation sequences while an oracle recomputes
+the old ``min()`` scan from the same state at every eviction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import (
+    FILL_DISTANT,
+    CacheListener,
+    SetAssocCache,
+)
+from repro.vm.pwc import PageWalkCaches, _FullyAssocLru
+
+
+# --------------------------------------------------------------------- #
+# _FullyAssocLru vs. the old min()-scan oracle
+# --------------------------------------------------------------------- #
+class _MinScanLru:
+    """The pre-PR-10 implementation: plain dict + O(n) min() eviction."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.stamps: dict = {}
+        self.clock = 0
+
+    def lookup(self, tag: int) -> bool:
+        if tag in self.stamps:
+            self.clock += 1
+            self.stamps[tag] = self.clock
+            return True
+        return False
+
+    def fill(self, tag: int):
+        """Returns the evicted tag (None if no eviction)."""
+        victim = None
+        self.clock += 1
+        if tag not in self.stamps and len(self.stamps) >= self.capacity:
+            victim = min(self.stamps, key=self.stamps.get)
+            del self.stamps[victim]
+        self.stamps[tag] = self.clock
+        return victim
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=24)),
+        min_size=1,
+        max_size=200,
+    ),
+)
+def test_fully_assoc_lru_matches_min_scan(capacity, ops):
+    """Every eviction picks the tag the old min() scan would evict, and
+    the surviving (tag, stamp) state stays identical throughout."""
+    live = _FullyAssocLru(capacity)
+    oracle = _MinScanLru(capacity)
+    for is_lookup, tag in ops:
+        if is_lookup:
+            assert live.lookup(tag) == oracle.lookup(tag)
+        else:
+            before = set(live._stamps)
+            oracle_victim = oracle.fill(tag)
+            live.fill(tag)
+            evicted = before - set(live._stamps)
+            live_victim = evicted.pop() if evicted else None
+            assert live_victim == oracle_victim
+        assert dict(live._stamps) == oracle.stamps
+        assert live._clock == oracle.clock
+
+
+def test_fully_assoc_lru_recency_order_invariant():
+    """_stamps stays sorted by stamp (least-recent first) — the property
+    that makes popitem(last=False) equivalent to the min() scan."""
+    rng = random.Random(0xC0FFEE)
+    lru = _FullyAssocLru(6)
+    for _ in range(500):
+        tag = rng.randrange(20)
+        if rng.random() < 0.5:
+            lru.lookup(tag)
+        else:
+            lru.fill(tag)
+        stamps = list(lru._stamps.values())
+        assert stamps == sorted(stamps)
+        assert len(lru._stamps) <= 6
+
+
+def test_pwc_stack_victims_match_min_scan_oracle():
+    """Whole-stack PWC consult/fill against three min()-scan oracles."""
+    rng = random.Random(0x5EED)
+    pwc = PageWalkCaches(entries=(4, 8, 16))
+    oracles = [_MinScanLru(n) for n in (4, 8, 16)]
+    shifts = (9, 18, 27)  # L1/L2/L3 tag shifts for 9-bit radix levels
+    for _ in range(800):
+        vpn = rng.randrange(1 << 20)
+        asid = rng.choice((0, 0, 1, 3))
+        base = 0 if asid == 0 else asid << 36
+        if rng.random() < 0.5:
+            pwc.consult(vpn, asid)
+            # Mirror the early-out probe order: L1 first, stop on hit.
+            for oracle, shift in zip(oracles, shifts):
+                if oracle.lookup(base | (vpn >> shift)):
+                    break
+        else:
+            pwc.fill(vpn, asid)
+            for oracle, shift in zip(oracles, shifts):
+                oracle.fill(base | (vpn >> shift))
+        for level, oracle in zip(pwc._levels, oracles):
+            assert dict(level._stamps) == oracle.stamps
+
+
+# --------------------------------------------------------------------- #
+# SetAssocCache incremental min-stamp candidate vs. a fresh stamp scan
+# --------------------------------------------------------------------- #
+def _scan_victim(cache: SetAssocCache, set_idx: int) -> int:
+    """The old implementation: full O(assoc) min-stamp scan, first
+    minimal way wins (ties broken by lowest way index)."""
+    row = cache._lru_stamps[set_idx]
+    way, best = 0, row[0]
+    for w in range(1, cache.assoc):
+        if row[w] < best:
+            way, best = w, row[w]
+    return way
+
+
+class _EveryThirdDistant(CacheListener):
+    """Deterministically demotes every third fill to distant insertion —
+    distant stamps are *below* the set minimum, the one case where the
+    cached candidate must be explicitly re-pointed."""
+
+    def __init__(self):
+        self.count = 0
+
+    def on_fill(self, cache, block, now):
+        self.count += 1
+        if self.count % 3 == 0:
+            return FILL_DISTANT
+        return "allocate"
+
+
+@pytest.mark.parametrize("with_listener", [False, True])
+def test_setassoc_lru_victim_matches_fresh_scan(with_listener):
+    """Randomized fill/lookup/invalidate traffic: whenever a full set
+    evicts, the incremental candidate must name the way a fresh min()
+    scan of the live stamps would pick."""
+    rng = random.Random(0xDEAD)
+    listener = _EveryThirdDistant() if with_listener else None
+    cache = SetAssocCache("pin", num_sets=4, assoc=4, listener=listener)
+    now = 0
+    for _ in range(2000):
+        now += 1
+        block = rng.randrange(64)
+        roll = rng.random()
+        if roll < 0.25:
+            cache.lookup(block, now)
+        elif roll < 0.30:
+            victim = cache.invalidate(block, now)
+            if victim is not None:
+                from repro.mem.cache import release_line
+
+                release_line(victim)
+        else:
+            set_idx = block & cache._set_mask
+            expected_tag = None
+            if (
+                block not in cache._tags[set_idx]
+                and len(cache._tags[set_idx]) == cache.assoc
+            ):
+                will_bypass = (
+                    listener is not None
+                    and (listener.count + 1) % 3 == 0
+                    and False  # distant still allocates; never bypasses
+                )
+                if not will_bypass:
+                    way = _scan_victim(cache, set_idx)
+                    expected_tag = cache._lines[set_idx][way].tag
+            victim = cache.fill(block, now)
+            if expected_tag is not None:
+                assert victim is not None
+                assert victim.tag == expected_tag
+            if victim is not None:
+                from repro.mem.cache import release_line
+
+                release_line(victim)
+
+
+def test_setassoc_distant_insertion_is_next_victim():
+    """A distant insertion into a full set must be the next eviction's
+    victim (its stamp sits below the previous set minimum)."""
+    listener = _EveryThirdDistant()
+    cache = SetAssocCache("distant", num_sets=1, assoc=4, listener=listener)
+    now = 0
+    # Fills 1, 2 allocate; fill 3 is distant; fill 4 allocates.
+    for block in (0, 4, 8, 12):
+        now += 1
+        cache.fill(block, now)
+    # Set is full; block 8 was the distant (3rd) fill → next victim.
+    now += 1
+    victim = cache.fill(16, now)
+    assert victim is not None and victim.tag == 8
